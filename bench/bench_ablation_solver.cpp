@@ -1,0 +1,74 @@
+/// Ablation: how the optimal load-balancing policy is obtained. The paper
+/// argues RL is needed because the MFC MDP has continuous states/actions;
+/// Proposition 1 nevertheless guarantees a stationary deterministic optimum.
+/// This bench compares, on the exact mean-field objective:
+///   - the discretized dynamic-programming solution (value iteration on a
+///     simplex lattice, Boltzmann action set),
+///   - CEM over full tabular decision rules,
+///   - the best single Boltzmann rule (1 parameter),
+///   - the JSQ(2) / RND endpoints.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace mflb;
+    CliParser cli("bench_ablation_solver: DP vs CEM vs Boltzmann vs fixed baselines");
+    cli.flag("full", "false", "Finer DP grid and larger CEM budget");
+    cli.flag("dts", "1,5,10", "Delays to compare");
+    cli.flag("seed", "8", "Seed");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+    const bool full = cli.get_bool("full");
+    const std::size_t episodes = full ? 100 : 30;
+
+    bench::print_header("Ablation: solver",
+                        "Mean-field drops by solution method (lower is better)", full);
+
+    Table table({"dt", "DP (grid)", "CEM (tabular)", "best Boltzmann", "JSQ(2)", "RND"});
+    for (const double dt : cli.get_double_list("dts")) {
+        ExperimentConfig experiment;
+        experiment.dt = dt;
+        const MfcConfig config = experiment.mfc(/*eval_horizon_instead=*/true);
+        const TupleSpace space(config.queue.num_states(), config.d);
+
+        DpConfig dp;
+        dp.resolution = full ? 10 : 6;
+        const auto [dp_policy, dp_stats] = solve_mfc_dp(config, dp);
+        std::fprintf(stderr, "[solver] dt=%.0f DP solved: %zu states, %zu sweeps\n", dt,
+                     dp_stats.states, dp_stats.sweeps);
+
+        const std::vector<double> beta_grid{0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 1e6};
+        const double beta = best_boltzmann_beta(config, beta_grid, 6, cli.get_int("seed"));
+        const FixedRulePolicy boltzmann = make_greedy_softmax_policy(space, std::min(beta, 1e6));
+
+        const std::vector<double> warm =
+            boltzmann_initial_params(space, config.arrivals.num_states(), beta);
+        const CemTrainingResult cem = train_tabular_cem(
+            config, bench::default_cem(full), full ? 4 : 2, cli.get_int("seed"),
+            RuleParameterization::Logits, true, &warm);
+
+        const std::uint64_t seed = cli.get_int("seed");
+        const EvaluationResult dp_eval = evaluate_mfc(config, dp_policy, episodes, seed);
+        const EvaluationResult cem_eval = evaluate_mfc(config, cem.policy, episodes, seed);
+        const EvaluationResult bz_eval = evaluate_mfc(config, boltzmann, episodes, seed);
+        const EvaluationResult jsq_eval =
+            evaluate_mfc(config, make_jsq_policy(space), episodes, seed);
+        const EvaluationResult rnd_eval =
+            evaluate_mfc(config, make_rnd_policy(space), episodes, seed);
+
+        table.row()
+            .cell(dt, 1)
+            .cell(bench::ci_cell(dp_eval.total_drops))
+            .cell(bench::ci_cell(cem_eval.total_drops))
+            .cell(bench::ci_cell(bz_eval.total_drops))
+            .cell(jsq_eval.total_drops.mean, 3)
+            .cell(rnd_eval.total_drops.mean, 3);
+    }
+    std::printf("%s", table.to_text().c_str());
+    std::printf("\n(expected: every learned/planned column beats the losing endpoint at\n"
+                " each dt; DP and CEM agree closely despite entirely different machinery,\n"
+                " cross-validating the mean-field model; the 1-parameter Boltzmann rule\n"
+                " is nearly optimal, explaining why the learned policies look like\n"
+                " 'tempered JSQ')\n");
+    return 0;
+}

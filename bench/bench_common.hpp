@@ -1,0 +1,83 @@
+/// \file bench_common.hpp
+/// Shared helpers for the figure-reproduction binaries: consistent CLI flags,
+/// per-Δt learned-policy training (CEM on the exact MFC objective), and
+/// uniform table output. Every bench accepts `--full` to switch from the
+/// CI-sized default budget to the paper-scale configuration; EXPERIMENTS.md
+/// records both.
+#pragma once
+
+#include "core/mflb.hpp"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace mflb::bench {
+
+/// Standard CEM budget used to obtain the "MF" learned policy per Δt at the
+/// default bench scale. The optimized objective is the exact mean-field J.
+inline rl::CemConfig default_cem(bool full) {
+    rl::CemConfig cem;
+    cem.population = full ? 64 : 32;
+    cem.elites = full ? 10 : 6;
+    cem.generations = full ? 60 : 22;
+    return cem;
+}
+
+/// Trains (and memoizes) one tabular MF policy per Δt.
+class LearnedPolicyCache {
+public:
+    LearnedPolicyCache(bool full, std::uint64_t seed) : full_(full), seed_(seed) {}
+
+    const TabularPolicy& policy_for(double dt) {
+        auto it = cache_.find(dt);
+        if (it != cache_.end()) {
+            return *it->second;
+        }
+        ExperimentConfig experiment;
+        experiment.dt = dt;
+        const MfcConfig config = experiment.mfc(/*eval_horizon_instead=*/true);
+        std::fprintf(stderr, "[bench] training MF policy for dt=%.1f (CEM, %s budget)...\n", dt,
+                     full_ ? "full" : "default");
+        // Warm start the search at the best Boltzmann rule for this delay —
+        // a coarse but interpretable initialization that CEM then refines on
+        // common-random-number conditioned rollouts.
+        const TupleSpace space(config.queue.num_states(), config.d);
+        const std::vector<double> beta_grid{0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+        const double beta = best_boltzmann_beta(config, beta_grid, 4, seed_);
+        const std::vector<double> warm_start =
+            boltzmann_initial_params(space, config.arrivals.num_states(), beta);
+        std::fprintf(stderr, "[bench]   warm start: Boltzmann beta=%.2f\n", beta);
+        CemTrainingResult trained = train_tabular_cem(
+            config, default_cem(full_), full_ ? 4 : 2,
+            seed_ + static_cast<std::uint64_t>(dt * 1000), RuleParameterization::Logits,
+            /*common_random_numbers=*/true, &warm_start);
+        auto stored = std::make_unique<TabularPolicy>(std::move(trained.policy));
+        const TabularPolicy& ref = *stored;
+        cache_.emplace(dt, std::move(stored));
+        return ref;
+    }
+
+private:
+    bool full_;
+    std::uint64_t seed_;
+    std::map<double, std::unique_ptr<TabularPolicy>> cache_;
+};
+
+/// Formats a confidence interval cell like the paper's "mean ± ci" plots.
+inline std::string ci_cell(const ConfidenceInterval& ci, int precision = 3) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f +- %.*f", precision, ci.mean, precision,
+                  ci.half_width);
+    return buffer;
+}
+
+/// Prints a standard bench header naming the reproduced artifact.
+inline void print_header(const std::string& artifact, const std::string& description,
+                         bool full) {
+    std::printf("=== %s ===\n%s\nbudget: %s (use --full for paper scale)\n\n", artifact.c_str(),
+                description.c_str(), full ? "FULL (paper scale)" : "default (CI-sized)");
+}
+
+} // namespace mflb::bench

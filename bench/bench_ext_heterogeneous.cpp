@@ -1,0 +1,93 @@
+/// Extension bench: heterogeneous service rates (the paper's §5 extension).
+/// Compares SED(2), JSQ(2) and RND on the heterogeneous mean-field model
+/// across delays, and validates the hetero mean-field limit against the
+/// per-client finite simulator.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace mflb;
+    CliParser cli("bench_ext_heterogeneous: SED vs JSQ vs RND with two server classes");
+    cli.flag("full", "false", "More replications / larger finite systems");
+    cli.flag("dts", "1,3,5,10", "Delays to sweep");
+    cli.flag("slow-rate", "0.5", "Service rate of the slow class");
+    cli.flag("fast-rate", "1.5", "Service rate of the fast class");
+    cli.flag("seed", "10", "Seed");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+    const bool full = cli.get_bool("full");
+    const std::size_t episodes = full ? 100 : 30;
+
+    const ClassStateSpace space(
+        {{cli.get_double("slow-rate"), 0.5}, {cli.get_double("fast-rate"), 0.5}}, 5);
+
+    bench::print_header(
+        "Extension: heterogeneous servers",
+        "Mean-field drops of SED(2) / JSQ(2) / RND with half slow, half fast servers", full);
+
+    Table table({"dt", "SED(2)", "JSQ(2)", "RND", "SED gain vs JSQ"});
+    const DecisionRule sed = hetero_sed_rule(space, 2);
+    const DecisionRule jsq = hetero_jsq_rule(space, 2);
+    const DecisionRule rnd = DecisionRule::mf_rnd(space.tuple_space(2));
+    for (const double dt : cli.get_double_list("dts")) {
+        HeteroMfcEnv::Config config{space, 2, dt, ArrivalProcess::paper_two_state(),
+                                    MfcConfig::horizon_for_total_time(500.0, dt), 0.99};
+        auto evaluate = [&](const DecisionRule& rule) {
+            RunningStat drops;
+            Rng base(cli.get_int("seed"));
+            for (std::size_t e = 0; e < episodes; ++e) {
+                Rng rng = base.split();
+                HeteroMfcEnv env(config);
+                env.reset(rng);
+                drops.add(hetero_rollout_drops(env, rule, rng));
+            }
+            return confidence_interval_95(drops);
+        };
+        const auto sed_ci = evaluate(sed);
+        const auto jsq_ci = evaluate(jsq);
+        const auto rnd_ci = evaluate(rnd);
+        table.row()
+            .cell(dt, 1)
+            .cell(bench::ci_cell(sed_ci))
+            .cell(bench::ci_cell(jsq_ci))
+            .cell(bench::ci_cell(rnd_ci))
+            .cell(jsq_ci.mean - sed_ci.mean, 3);
+        std::fprintf(stderr, "[hetero] dt=%.0f done\n", dt);
+    }
+    std::printf("%s", table.to_text().c_str());
+
+    // Mean-field vs finite cross-check at one configuration.
+    const double dt = 2.0;
+    HeteroMfcEnv::Config mf_config{space, 2, dt, ArrivalProcess::constant(0.8), 50, 0.99};
+    HeteroMfcEnv env(mf_config);
+    Rng rng(1);
+    env.reset(rng);
+    const double limit = hetero_rollout_drops(env, sed, rng);
+    HeterogeneousConfig finite;
+    finite.dt = dt;
+    finite.horizon = 50;
+    finite.arrivals = ArrivalProcess::constant(0.8);
+    const std::size_t m = full ? 400 : 120;
+    finite.num_clients = static_cast<std::uint64_t>(m) * 40;
+    finite.service_rates.assign(m, cli.get_double("slow-rate"));
+    for (std::size_t j = m / 2; j < m; ++j) {
+        finite.service_rates[j] = cli.get_double("fast-rate");
+    }
+    RunningStat finite_drops;
+    for (int rep = 0; rep < (full ? 40 : 12); ++rep) {
+        HeterogeneousSystem system(finite);
+        Rng sim_rng(3000 + rep);
+        system.reset(sim_rng);
+        finite_drops.add(system.run_episode(HeteroSedPolicy{}, sim_rng).total_drops_per_queue);
+    }
+    const auto ci = confidence_interval_95(finite_drops);
+    std::printf("\nmean-field vs finite cross-check (SED, dt=2, constant load 0.8):\n"
+                "  hetero mean-field limit: %.3f\n"
+                "  finite system (M=%zu):   %s\n",
+                limit, m, bench::ci_cell(ci).c_str());
+    std::printf("\n(expected: SED <= JSQ <= RND at every dt, and the SED advantage WIDENS\n"
+                " with dt: queue fills go stale but the advertised service rates never\n"
+                " do, so rate-aware routing keeps paying off; finite system sits near\n"
+                " the mean-field limit)\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/// Microbenchmarks (google-benchmark) of the hot kernels behind every
+/// figure: matrix exponentials, the mean-field transition step, Gillespie
+/// queue epochs, client aggregation, and network inference.
+#include "core/mflb.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+using namespace mflb;
+
+void BM_ExpmPade7x7(benchmark::State& state) {
+    const ExactDiscretization disc({5, 1.0}, 5.0);
+    const Matrix q = disc.extended_generator(0.9) * 5.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(expm(q));
+    }
+}
+BENCHMARK(BM_ExpmPade7x7);
+
+void BM_ExpmUniformizedAction7x7(benchmark::State& state) {
+    const ExactDiscretization disc({5, 1.0}, 5.0);
+    const Matrix q = disc.extended_generator(0.9);
+    std::vector<double> e0(7, 0.0);
+    e0[0] = 1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(expm_uniformized_action(q, 5.0, e0));
+    }
+}
+BENCHMARK(BM_ExpmUniformizedAction7x7);
+
+void BM_MeanFieldStep(benchmark::State& state) {
+    const ExactDiscretization disc({5, 1.0}, static_cast<double>(state.range(0)));
+    const TupleSpace space(6, 2);
+    const DecisionRule h = DecisionRule::mf_jsq(space);
+    const std::vector<double> nu{0.3, 0.25, 0.2, 0.1, 0.1, 0.05};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(disc.step(nu, h, 0.9));
+    }
+}
+BENCHMARK(BM_MeanFieldStep)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_GillespieQueueEpoch(benchmark::State& state) {
+    Rng rng(1);
+    const double dt = static_cast<double>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulate_queue_epoch(2, 0.9, 1.0, 5, dt, rng));
+    }
+}
+BENCHMARK(BM_GillespieQueueEpoch)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_FiniteSystemEpochAggregated(benchmark::State& state) {
+    FiniteSystemConfig config;
+    config.num_queues = static_cast<std::size_t>(state.range(0));
+    config.num_clients = config.num_queues * config.num_queues;
+    config.dt = 5.0;
+    config.horizon = 1u << 20; // effectively unbounded for this loop
+    FiniteSystem system(config);
+    Rng rng(2);
+    system.reset(rng);
+    const DecisionRule h = DecisionRule::mf_jsq(system.tuple_space());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(system.step_with_rule(h, rng));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FiniteSystemEpochAggregated)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_FiniteSystemEpochPerClient(benchmark::State& state) {
+    FiniteSystemConfig config;
+    config.num_queues = 100;
+    config.num_clients = static_cast<std::uint64_t>(state.range(0));
+    config.dt = 5.0;
+    config.horizon = 1u << 20;
+    config.client_model = ClientModel::PerClient;
+    FiniteSystem system(config);
+    Rng rng(3);
+    system.reset(rng);
+    const DecisionRule h = DecisionRule::mf_jsq(system.tuple_space());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(system.step_with_rule(h, rng));
+    }
+}
+BENCHMARK(BM_FiniteSystemEpochPerClient)->Arg(10000)->Arg(100000);
+
+void BM_DecisionRuleFromLogits(benchmark::State& state) {
+    const TupleSpace space(6, 2);
+    std::vector<double> logits(space.size() * 2);
+    Rng rng(4);
+    for (double& l : logits) {
+        l = rng.normal();
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(DecisionRule::from_logits(space, logits));
+    }
+}
+BENCHMARK(BM_DecisionRuleFromLogits);
+
+void BM_PolicyNetworkForward(benchmark::State& state) {
+    Rng rng(5);
+    rl::GaussianPolicy policy(8, 72, {static_cast<std::size_t>(state.range(0)),
+                                      static_cast<std::size_t>(state.range(0))},
+                              rng);
+    const std::vector<double> obs{0.3, 0.2, 0.2, 0.1, 0.1, 0.1, 1.0, 0.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(policy.mean_action(obs));
+    }
+}
+BENCHMARK(BM_PolicyNetworkForward)->Arg(64)->Arg(256);
+
+void BM_MfcEnvEpisode(benchmark::State& state) {
+    MfcConfig config;
+    config.dt = 5.0;
+    config.horizon = 100;
+    const DecisionRule h = DecisionRule::greedy_softmax(TupleSpace(6, 2), 1.0);
+    Rng rng(6);
+    for (auto _ : state) {
+        MfcEnv env(config);
+        env.reset(rng);
+        double total = 0.0;
+        while (!env.done()) {
+            total += env.step(h, rng).drops;
+        }
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_MfcEnvEpisode);
+
+} // namespace

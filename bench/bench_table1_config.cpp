@@ -1,0 +1,34 @@
+/// Reproduces Table 1 of the paper: the system parameters used in all
+/// experiments, as resolved by ExperimentConfig. Also validates the derived
+/// quantities (evaluation horizon per Δt, stationary offered load).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace mflb;
+    CliParser cli("bench_table1_config: reproduce Table 1 (system parameters)");
+    cli.flag("full", "false", "No effect here; accepted for harness uniformity");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+
+    ExperimentConfig config;
+    bench::print_header("Table 1", "System parameters used in the experiments",
+                        cli.get_bool("full"));
+    std::printf("%s\n", config.to_table().to_text().c_str());
+
+    // Derived quantities the other benches rely on.
+    Table derived({"dt", "T_e = round(500/dt)", "offered load E[lambda]/alpha"});
+    const double mean_rate = config.arrivals().mean_rate();
+    for (const double dt : {1.0, 2.0, 3.0, 5.0, 7.0, 10.0}) {
+        ExperimentConfig c = config;
+        c.dt = dt;
+        derived.row()
+            .cell(dt, 1)
+            .cell(static_cast<std::int64_t>(c.eval_horizon()))
+            .cell(mean_rate / config.queue.service_rate, 4);
+    }
+    std::printf("%s", derived.to_text().c_str());
+    std::printf("\nStationary arrival-rate distribution: pi_high = %.4f, pi_low = %.4f\n",
+                config.arrivals().stationary()[0], config.arrivals().stationary()[1]);
+    return 0;
+}

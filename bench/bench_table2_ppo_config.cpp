@@ -1,0 +1,43 @@
+/// Reproduces Table 2 of the paper: the PPO hyperparameter configuration, as
+/// consumed by the from-scratch PPO trainer (rl/ppo.hpp). The defaults of
+/// rl::PpoConfig ARE Table 2; this binary prints them and cross-checks each
+/// value so a drift in defaults fails loudly.
+#include "bench_common.hpp"
+
+#include <cstdlib>
+
+namespace {
+void check(bool condition, const char* what) {
+    if (!condition) {
+        std::fprintf(stderr, "Table 2 drift detected: %s\n", what);
+        std::exit(1);
+    }
+}
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace mflb;
+    CliParser cli("bench_table2_ppo_config: reproduce Table 2 (PPO hyperparameters)");
+    cli.flag("full", "false", "No effect here; accepted for harness uniformity");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+
+    const rl::PpoConfig config;
+    bench::print_header("Table 2", "Hyperparameter configuration for PPO",
+                        cli.get_bool("full"));
+    std::printf("%s\n", ppo_config_table(config).to_text().c_str());
+
+    check(config.discount == 0.99, "gamma != 0.99");
+    check(config.gae_lambda == 1.0, "GAE lambda != 1");
+    check(config.kl_coeff == 0.2, "KL coefficient != 0.2");
+    check(config.clip_param == 0.3, "clip parameter != 0.3");
+    check(config.learning_rate == 5e-5, "learning rate != 0.00005");
+    check(config.train_batch_size == 4000, "train batch size != 4000");
+    check(config.minibatch_size == 128, "SGD minibatch size != 128");
+    check(config.num_epochs == 30, "number of epochs != 30");
+    check(config.hidden == std::vector<std::size_t>({256, 256}),
+          "policy network != 256x256 tanh");
+    std::printf("All Table 2 values match the paper.\n");
+    return 0;
+}

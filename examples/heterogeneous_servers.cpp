@@ -1,0 +1,59 @@
+/// Heterogeneous servers — the extension the paper's discussion names first.
+/// A cluster mixes one generation of slow machines with one of fast ones;
+/// clients sample d = 2 servers per epoch and see (stale) queue fills plus
+/// the servers' advertised service rates. Shortest-Expected-Delay SED(d)
+/// exploits the rates; JSQ(d) ignores them; RND ignores everything.
+#include "core/mflb.hpp"
+
+#include <cstdio>
+
+int main() {
+    using namespace mflb;
+
+    HeterogeneousConfig config;
+    config.buffer = 5;
+    config.d = 2;
+    config.dt = 2.0;
+    config.num_clients = 20000;
+    config.horizon = 100;
+    // 200 servers: 60% legacy (0.5 jobs/unit), 40% current-gen (1.75).
+    config.service_rates.assign(200, 0.5);
+    for (std::size_t j = 120; j < 200; ++j) {
+        config.service_rates[j] = 1.75;
+    }
+    double capacity = 0.0;
+    for (double r : config.service_rates) {
+        capacity += r;
+    }
+    std::printf("Cluster: 200 servers (120 x 0.5 + 80 x 1.75 = %.0f total capacity),\n"
+                "offered load %.1f x lambda, dt=%.1f, d=%d\n\n",
+                capacity, 200 * config.arrivals.mean_rate(), config.dt, config.d);
+
+    const HeteroJsqPolicy jsq;
+    const HeteroSedPolicy sed;
+    const HeteroRndPolicy rnd;
+
+    Table table({"policy", "drops/server (95% CI)", "mean fill"});
+    const int episodes = 12;
+    for (const HeteroClientPolicy* policy :
+         std::initializer_list<const HeteroClientPolicy*>{&sed, &jsq, &rnd}) {
+        RunningStat drops, fill;
+        for (int rep = 0; rep < episodes; ++rep) {
+            HeterogeneousSystem system(config);
+            Rng rng(100 + rep);
+            system.reset(rng);
+            const auto stats = system.run_episode(*policy, rng);
+            drops.add(stats.total_drops_per_queue);
+            fill.add(stats.mean_queue_length);
+        }
+        const auto ci = confidence_interval_95(drops);
+        table.row().cell(policy->name()).cell_ci(ci.mean, ci.half_width).cell(fill.mean(), 3);
+        std::fprintf(stderr, "[hetero] %s done\n", policy->name().c_str());
+    }
+    std::printf("%s\n", table.to_text().c_str());
+    std::printf("Reading: SED(d) routes long-but-fast over short-but-slow queues and\n"
+                "drops the fewest jobs; JSQ(d) wastes the fast tier; RND is the floor.\n"
+                "Extending the learned mean-field policy to (state, class) tuples is\n"
+                "the natural next step the paper sketches in its discussion.\n");
+    return 0;
+}

@@ -1,0 +1,170 @@
+/// mflb_cli — a single command-line front end over the library, the kind of
+/// tool a downstream operator would actually run:
+///
+///   mflb_cli --mode train   --dt 5 --out /tmp/policy.txt
+///   mflb_cli --mode eval    --dt 5 --policy /tmp/policy.txt --m 200
+///   mflb_cli --mode sweep   --dts 1,3,5,10 --m 100
+///   mflb_cli --mode dp      --dt 5 --resolution 6
+///
+/// Modes:
+///   train  — CEM policy search on the mean-field MDP, save to --out.
+///   eval   — evaluate a saved policy (or baselines) on the finite system.
+///   sweep  — JSQ/RND/Boltzmann delay sweep table.
+///   dp     — discretized value-iteration solve and evaluation.
+#include "core/mflb.hpp"
+
+#include <cstdio>
+#include <optional>
+
+namespace {
+using namespace mflb;
+
+int run_train(const CliParser& cli) {
+    MfcConfig config;
+    config.dt = cli.get_double("dt");
+    config.horizon = static_cast<int>(cli.get_int("horizon"));
+    rl::CemConfig cem;
+    cem.population = static_cast<std::size_t>(cli.get_int("population"));
+    cem.generations = static_cast<std::size_t>(cli.get_int("generations"));
+    cem.elites = std::max<std::size_t>(2, cem.population / 5);
+
+    const TupleSpace space(config.queue.num_states(), config.d);
+    const std::vector<double> beta_grid{0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
+    const double beta = best_boltzmann_beta(config, beta_grid, 4, cli.get_int("seed"));
+    const std::vector<double> warm = boltzmann_initial_params(space, 2, beta);
+    std::printf("training: dt=%.1f horizon=%d cem(pop=%zu, gens=%zu), warm beta=%.2f\n",
+                config.dt, config.horizon, cem.population, cem.generations, beta);
+    const CemTrainingResult result =
+        train_tabular_cem(config, cem, 2, cli.get_int("seed"), RuleParameterization::Logits,
+                          true, &warm);
+    std::printf("best mean-field return: %.4f\n", result.best_return);
+    const std::string out = cli.get("out");
+    if (!result.policy.to_archive().save(out)) {
+        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("policy saved to %s\n", out.c_str());
+    return 0;
+}
+
+int run_eval(const CliParser& cli) {
+    ExperimentConfig experiment;
+    experiment.dt = cli.get_double("dt");
+    experiment.num_queues = static_cast<std::size_t>(cli.get_int("m"));
+    experiment.num_clients = static_cast<std::uint64_t>(cli.get_int("n")) == 0
+                                 ? experiment.num_queues * experiment.num_queues
+                                 : static_cast<std::uint64_t>(cli.get_int("n"));
+    const TupleSpace space(experiment.queue.num_states(), experiment.d);
+    const std::size_t episodes = static_cast<std::size_t>(cli.get_int("episodes"));
+
+    std::optional<TabularPolicy> learned;
+    if (!cli.get("policy").empty()) {
+        learned = TabularPolicy::from_archive(Archive::load(cli.get("policy")));
+    }
+
+    Table table({"policy", "drops/queue (95% CI)", "mean fill", "utilization"});
+    auto add = [&](const UpperLevelPolicy& policy) {
+        const EvaluationResult r =
+            evaluate_finite(experiment.finite_system(), policy, episodes, cli.get_int("seed"));
+        table.row()
+            .cell(policy.name())
+            .cell_ci(r.total_drops.mean, r.total_drops.half_width)
+            .cell(r.mean_queue_length.mean, 3)
+            .cell(r.utilization.mean, 3);
+    };
+    if (learned) {
+        add(*learned);
+    }
+    add(make_jsq_policy(space));
+    add(make_rnd_policy(space));
+    std::printf("M=%zu N=%llu dt=%.1f, %zu episodes\n%s", experiment.num_queues,
+                static_cast<unsigned long long>(experiment.num_clients), experiment.dt,
+                episodes, table.to_text().c_str());
+    return 0;
+}
+
+int run_sweep(const CliParser& cli) {
+    Table table({"dt", "JSQ(2)", "RND", "best Boltzmann", "best beta"});
+    for (const double dt : cli.get_double_list("dts")) {
+        ExperimentConfig experiment;
+        experiment.dt = dt;
+        const MfcConfig config = experiment.mfc(/*eval_horizon_instead=*/true);
+        const TupleSpace space(config.queue.num_states(), config.d);
+        const std::vector<double> beta_grid{0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 1e6};
+        const double beta = best_boltzmann_beta(config, beta_grid, 6, cli.get_int("seed"));
+        const std::size_t episodes = static_cast<std::size_t>(cli.get_int("episodes"));
+        const EvaluationResult jsq =
+            evaluate_mfc(config, make_jsq_policy(space), episodes, cli.get_int("seed"));
+        const EvaluationResult rnd =
+            evaluate_mfc(config, make_rnd_policy(space), episodes, cli.get_int("seed"));
+        const EvaluationResult boltzmann = evaluate_mfc(
+            config, make_greedy_softmax_policy(space, std::min(beta, 1e6)), episodes,
+            cli.get_int("seed"));
+        table.row()
+            .cell(dt, 1)
+            .cell(jsq.total_drops.mean, 3)
+            .cell(rnd.total_drops.mean, 3)
+            .cell(boltzmann.total_drops.mean, 3)
+            .cell(beta >= 1e6 ? std::string("inf") : std::to_string(beta));
+    }
+    std::printf("%s", table.to_text().c_str());
+    return 0;
+}
+
+int run_dp(const CliParser& cli) {
+    MfcConfig config;
+    config.dt = cli.get_double("dt");
+    config.horizon = static_cast<int>(cli.get_int("horizon"));
+    DpConfig dp;
+    dp.resolution = static_cast<std::size_t>(cli.get_int("resolution"));
+    const auto [policy, stats] = solve_mfc_dp(config, dp);
+    std::printf("DP solve: %zu states x %zu actions, %zu sweeps, residual %.2e\n",
+                stats.states, stats.actions, stats.sweeps, stats.final_residual);
+    const TupleSpace space(config.queue.num_states(), config.d);
+    const std::size_t episodes = static_cast<std::size_t>(cli.get_int("episodes"));
+    const EvaluationResult dp_eval = evaluate_mfc(config, policy, episodes, cli.get_int("seed"));
+    const EvaluationResult jsq =
+        evaluate_mfc(config, make_jsq_policy(space), episodes, cli.get_int("seed"));
+    const EvaluationResult rnd =
+        evaluate_mfc(config, make_rnd_policy(space), episodes, cli.get_int("seed"));
+    std::printf("mean-field drops: DP %.3f | JSQ(2) %.3f | RND %.3f\n", dp_eval.total_drops.mean,
+                jsq.total_drops.mean, rnd.total_drops.mean);
+    return 0;
+}
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace mflb;
+    CliParser cli("mflb_cli: train / evaluate / sweep / dp-solve mean-field load balancers");
+    cli.flag("mode", "sweep", "One of: train, eval, sweep, dp");
+    cli.flag("dt", "5", "Synchronization delay");
+    cli.flag("dts", "1,3,5,10", "Delays for sweep mode");
+    cli.flag("m", "100", "Queues for eval mode");
+    cli.flag("n", "0", "Clients for eval mode (0 = M^2)");
+    cli.flag("horizon", "60", "Training/DP episode length (epochs)");
+    cli.flag("episodes", "15", "Evaluation episodes");
+    cli.flag("population", "32", "CEM population");
+    cli.flag("generations", "25", "CEM generations");
+    cli.flag("resolution", "6", "DP simplex-grid resolution");
+    cli.flag("policy", "", "Path of a saved policy for eval mode");
+    cli.flag("out", "/tmp/mflb_policy.txt", "Output path for train mode");
+    cli.flag("seed", "1", "Seed");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+    const std::string mode = cli.get("mode");
+    if (mode == "train") {
+        return run_train(cli);
+    }
+    if (mode == "eval") {
+        return run_eval(cli);
+    }
+    if (mode == "sweep") {
+        return run_sweep(cli);
+    }
+    if (mode == "dp") {
+        return run_dp(cli);
+    }
+    std::fprintf(stderr, "unknown mode '%s'\n%s", mode.c_str(), cli.usage().c_str());
+    return 1;
+}

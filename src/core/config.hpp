@@ -1,0 +1,53 @@
+/// \file config.hpp
+/// Experiment configuration mirroring the paper's Table 1 (system) and
+/// Table 2 (PPO). One struct resolves into the per-module configs so every
+/// bench/example derives its setup from the same source of truth.
+#pragma once
+
+#include "field/arrival_process.hpp"
+#include "field/mfc_env.hpp"
+#include "queueing/finite_system.hpp"
+#include "rl/ppo.hpp"
+#include "support/table.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace mflb {
+
+/// Table 1 of the paper; defaults are the paper's values.
+struct ExperimentConfig {
+    double dt = 1.0;                  ///< Δt ∈ [1, 10].
+    QueueParams queue{5, 1.0};        ///< B = 5, α = 1.
+    double lambda_high = 0.9;         ///< λ_h.
+    double lambda_low = 0.6;          ///< λ_l.
+    std::uint64_t num_clients = 10000;///< N ∈ [10^3, 10^6].
+    std::size_t num_queues = 100;     ///< M ∈ [10^2, 10^3].
+    int d = 2;                        ///< accessible queues per client.
+    std::size_t monte_carlo_runs = 100; ///< n.
+    /// D, cost per dropped job (Table 1). The objective counts drops
+    /// directly (unit penalty); other values uniformly scale reported costs
+    /// and never change policy orderings, so this field is informational.
+    double drop_penalty = 1.0;
+    int train_horizon = 500;          ///< T (training episode length).
+    double eval_total_time = 500.0;   ///< T_e · Δt ≈ 500 time units.
+    double discount = 0.99;           ///< γ (Table 2, used by both).
+    ClientModel client_model = ClientModel::Aggregated;
+
+    /// T_e = nearest integer to eval_total_time / Δt (paper, Section 4).
+    int eval_horizon() const noexcept;
+
+    ArrivalProcess arrivals() const;
+    /// MFC MDP with the *training* horizon T.
+    MfcConfig mfc(bool eval_horizon_instead = false) const;
+    /// Finite-system simulation with the evaluation horizon T_e.
+    FiniteSystemConfig finite_system() const;
+
+    /// Renders the resolved parameters as the paper's Table 1.
+    Table to_table() const;
+};
+
+/// Renders PPO hyperparameters as the paper's Table 2.
+Table ppo_config_table(const rl::PpoConfig& config);
+
+} // namespace mflb

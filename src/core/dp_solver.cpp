@@ -1,0 +1,206 @@
+#include "core/dp_solver.hpp"
+
+#include "field/transition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+namespace mflb {
+
+namespace {
+/// Recursively enumerates compositions of `remaining` into the tail bins.
+void enumerate_compositions(std::vector<int>& counts, std::size_t bin, int remaining,
+                            const std::function<void(const std::vector<int>&)>& emit) {
+    if (bin + 1 == counts.size()) {
+        counts[bin] = remaining;
+        emit(counts);
+        return;
+    }
+    for (int k = 0; k <= remaining; ++k) {
+        counts[bin] = k;
+        enumerate_compositions(counts, bin + 1, remaining - k, emit);
+    }
+}
+} // namespace
+
+SimplexGrid::SimplexGrid(std::size_t dimension, std::size_t resolution)
+    : dimension_(dimension), resolution_(resolution) {
+    if (dimension == 0 || resolution == 0) {
+        throw std::invalid_argument("SimplexGrid: dimension and resolution must be positive");
+    }
+    const std::size_t expected = lattice_size(dimension, resolution);
+    points_.reserve(expected);
+    std::vector<int> counts(dimension, 0);
+    enumerate_compositions(counts, 0, static_cast<int>(resolution),
+                           [&](const std::vector<int>& c) {
+                               std::vector<double> p(dimension_);
+                               for (std::size_t i = 0; i < dimension_; ++i) {
+                                   p[i] = static_cast<double>(c[i]) /
+                                          static_cast<double>(resolution_);
+                               }
+                               index_.emplace(c, points_.size());
+                               points_.push_back(std::move(p));
+                           });
+}
+
+std::size_t SimplexGrid::lattice_size(std::size_t dimension, std::size_t resolution) {
+    // C(R + n - 1, n - 1) computed multiplicatively.
+    std::size_t result = 1;
+    for (std::size_t i = 1; i < dimension; ++i) {
+        result = result * (resolution + i) / i;
+    }
+    return result;
+}
+
+std::span<const double> SimplexGrid::point(std::size_t index) const {
+    return points_.at(index);
+}
+
+std::size_t SimplexGrid::project(std::span<const double> nu) const {
+    if (nu.size() != dimension_) {
+        throw std::invalid_argument("SimplexGrid::project: dimension mismatch");
+    }
+    // Largest-remainder rounding of nu * R.
+    std::vector<int> counts(dimension_);
+    std::vector<std::pair<double, std::size_t>> remainders(dimension_);
+    int total = 0;
+    for (std::size_t i = 0; i < dimension_; ++i) {
+        const double scaled = std::max(0.0, nu[i]) * static_cast<double>(resolution_);
+        counts[i] = static_cast<int>(std::floor(scaled));
+        remainders[i] = {scaled - std::floor(scaled), i};
+        total += counts[i];
+    }
+    int deficit = static_cast<int>(resolution_) - total;
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t i = 0; deficit > 0 && i < dimension_; ++i, --deficit) {
+        ++counts[remainders[i].second];
+    }
+    // Over-allocation can only arise from unnormalized input; trim from the
+    // smallest remainders.
+    for (std::size_t i = dimension_; deficit < 0 && i-- > 0;) {
+        if (counts[remainders[i].second] > 0) {
+            --counts[remainders[i].second];
+            ++deficit;
+        }
+    }
+    const auto it = index_.find(counts);
+    if (it == index_.end()) {
+        throw std::logic_error("SimplexGrid::project: rounding left the lattice");
+    }
+    return it->second;
+}
+
+DpPolicy::DpPolicy(SimplexGrid grid, std::vector<DecisionRule> actions,
+                   std::vector<std::size_t> greedy_action, std::vector<double> values,
+                   std::size_t num_lambda_states)
+    : grid_(std::move(grid)),
+      actions_(std::move(actions)),
+      greedy_(std::move(greedy_action)),
+      values_(std::move(values)),
+      num_lambda_states_(num_lambda_states) {
+    if (greedy_.size() != grid_.size() * num_lambda_states_ ||
+        values_.size() != greedy_.size()) {
+        throw std::invalid_argument("DpPolicy: table size mismatch");
+    }
+}
+
+DecisionRule DpPolicy::decide(std::span<const double> nu, std::size_t lambda_state,
+                              Rng& /*rng*/) const {
+    if (lambda_state >= num_lambda_states_) {
+        throw std::out_of_range("DpPolicy::decide: lambda state out of range");
+    }
+    const std::size_t point = grid_.project(nu);
+    return actions_[greedy_[point * num_lambda_states_ + lambda_state]];
+}
+
+double DpPolicy::value(std::size_t point, std::size_t lambda_state) const {
+    return values_.at(point * num_lambda_states_ + lambda_state);
+}
+
+std::size_t DpPolicy::greedy_action(std::size_t point, std::size_t lambda_state) const {
+    return greedy_.at(point * num_lambda_states_ + lambda_state);
+}
+
+std::pair<DpPolicy, DpSolveStats> solve_mfc_dp(const MfcConfig& config, const DpConfig& dp) {
+    const auto dim = static_cast<std::size_t>(config.queue.num_states());
+    SimplexGrid grid(dim, dp.resolution);
+    const TupleSpace space(config.queue.num_states(), config.d);
+    const ExactDiscretization disc(config.queue, config.dt);
+
+    std::vector<DecisionRule> actions;
+    actions.reserve(dp.betas.size());
+    for (const double beta : dp.betas) {
+        actions.push_back(DecisionRule::greedy_softmax(space, beta));
+    }
+
+    const std::size_t num_lambda = config.arrivals.num_states();
+    const std::size_t states = grid.size() * num_lambda;
+    const std::size_t num_actions = actions.size();
+
+    // Precompute deterministic transitions and stage costs.
+    std::vector<std::size_t> next_point(states * num_actions);
+    std::vector<double> stage_cost(states * num_actions);
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+        const std::span<const double> nu = grid.point(p);
+        for (std::size_t l = 0; l < num_lambda; ++l) {
+            const double lambda = config.arrivals.level(l);
+            for (std::size_t a = 0; a < num_actions; ++a) {
+                const MeanFieldStep step = disc.step(nu, actions[a], lambda);
+                const std::size_t flat = (p * num_lambda + l) * num_actions + a;
+                next_point[flat] = grid.project(step.nu_next);
+                stage_cost[flat] = step.expected_drops;
+            }
+        }
+    }
+
+    // Value iteration: V(p, l) = max_a [-cost + γ Σ_{l'} P(l'|l) V(p', l')].
+    std::vector<double> values(states, 0.0);
+    std::vector<double> updated(states, 0.0);
+    std::vector<std::size_t> greedy(states, 0);
+    const Matrix& chain = config.arrivals.transition();
+    DpSolveStats stats;
+    stats.states = states;
+    stats.actions = num_actions;
+    for (std::size_t sweep = 0; sweep < dp.max_sweeps; ++sweep) {
+        double residual = 0.0;
+        for (std::size_t p = 0; p < grid.size(); ++p) {
+            for (std::size_t l = 0; l < num_lambda; ++l) {
+                const std::size_t state = p * num_lambda + l;
+                double best = -1e300;
+                std::size_t best_action = 0;
+                for (std::size_t a = 0; a < num_actions; ++a) {
+                    const std::size_t flat = state * num_actions + a;
+                    double continuation = 0.0;
+                    for (std::size_t l2 = 0; l2 < num_lambda; ++l2) {
+                        continuation +=
+                            chain(l, l2) * values[next_point[flat] * num_lambda + l2];
+                    }
+                    const double q = -stage_cost[flat] + config.discount * continuation;
+                    if (q > best) {
+                        best = q;
+                        best_action = a;
+                    }
+                }
+                updated[state] = best;
+                greedy[state] = best_action;
+                residual = std::max(residual, std::abs(best - values[state]));
+            }
+        }
+        values.swap(updated);
+        stats.sweeps = sweep + 1;
+        stats.final_residual = residual;
+        if (residual < dp.tolerance) {
+            break;
+        }
+    }
+
+    DpPolicy policy(std::move(grid), std::move(actions), std::move(greedy), std::move(values),
+                    num_lambda);
+    return {std::move(policy), stats};
+}
+
+} // namespace mflb

@@ -1,0 +1,98 @@
+/// \file dp_solver.hpp
+/// Approximate dynamic programming for the MFC MDP — the classical route the
+/// paper invokes via Proposition 1 (a stationary deterministic optimal
+/// policy exists, found in principle by the Bellman equation) before turning
+/// to RL because the state/action spaces are continuous.
+///
+/// We make the Bellman route concrete at small scale: discretize P(Z) to the
+/// lattice of compositions ν = k/R (k ∈ N^{|Z|}, Σk = R), restrict actions
+/// to a finite set of candidate decision rules, precompute the deterministic
+/// transition ν' = proj_grid(T_ν(ν, λ, h)) and stage cost once per
+/// (point, λ, rule), and run value iteration to the discounted fixed point.
+/// The induced greedy policy is directly deployable as an UpperLevelPolicy
+/// and serves as an independent check on what CEM / PPO learn.
+#pragma once
+
+#include "field/mfc_env.hpp"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mflb {
+
+/// Lattice of probability vectors with coordinates in {0, 1/R, ..., 1}.
+class SimplexGrid {
+public:
+    /// \param dimension  number of bins (|Z| = B + 1).
+    /// \param resolution R: coordinates are multiples of 1/R.
+    SimplexGrid(std::size_t dimension, std::size_t resolution);
+
+    std::size_t dimension() const noexcept { return dimension_; }
+    std::size_t resolution() const noexcept { return resolution_; }
+    std::size_t size() const noexcept { return points_.size(); }
+
+    /// The grid point with the given index (a probability vector).
+    std::span<const double> point(std::size_t index) const;
+    /// Index of the closest grid point (largest-remainder rounding of ν·R,
+    /// which minimizes l1 distortion among sum-preserving roundings).
+    std::size_t project(std::span<const double> nu) const;
+
+    /// Number of lattice points: C(R + n - 1, n - 1).
+    static std::size_t lattice_size(std::size_t dimension, std::size_t resolution);
+
+private:
+    std::size_t dimension_;
+    std::size_t resolution_;
+    std::vector<std::vector<double>> points_;
+    std::map<std::vector<int>, std::size_t> index_; ///< counts -> point index.
+};
+
+/// Configuration of the DP solve.
+struct DpConfig {
+    std::size_t resolution = 8;        ///< simplex lattice resolution R.
+    std::vector<double> betas{0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 1e6};
+                                       ///< Boltzmann action set (1e6 ≈ JSQ).
+    double tolerance = 1e-6;           ///< sup-norm stopping threshold.
+    std::size_t max_sweeps = 2000;
+};
+
+/// Value-iteration result: value table + greedy rule per (grid point, λ).
+class DpPolicy final : public UpperLevelPolicy {
+public:
+    DpPolicy(SimplexGrid grid, std::vector<DecisionRule> actions,
+             std::vector<std::size_t> greedy_action, std::vector<double> values,
+             std::size_t num_lambda_states);
+
+    DecisionRule decide(std::span<const double> nu, std::size_t lambda_state,
+                        Rng& rng) const override;
+    std::string name() const override { return "MF-DP"; }
+
+    const SimplexGrid& grid() const noexcept { return grid_; }
+    double value(std::size_t point, std::size_t lambda_state) const;
+    std::size_t greedy_action(std::size_t point, std::size_t lambda_state) const;
+    std::size_t num_actions() const noexcept { return actions_.size(); }
+
+private:
+    SimplexGrid grid_;
+    std::vector<DecisionRule> actions_;
+    std::vector<std::size_t> greedy_;
+    std::vector<double> values_;
+    std::size_t num_lambda_states_;
+};
+
+/// Diagnostics of the solve.
+struct DpSolveStats {
+    std::size_t sweeps = 0;
+    double final_residual = 0.0;
+    std::size_t states = 0;
+    std::size_t actions = 0;
+};
+
+/// Runs value iteration for the discounted objective (31) on the discretized
+/// MDP and returns the greedy policy. Deterministic; cost is dominated by
+/// the one-off transition precomputation O(states · |Λ| · actions).
+std::pair<DpPolicy, DpSolveStats> solve_mfc_dp(const MfcConfig& config, const DpConfig& dp);
+
+} // namespace mflb

@@ -1,0 +1,151 @@
+#include "core/evaluator.hpp"
+
+#include "support/thread_pool.hpp"
+
+#include <mutex>
+
+namespace mflb {
+
+namespace {
+/// Pre-splits one RNG per replication so results are thread-count invariant.
+std::vector<Rng> split_rngs(std::uint64_t seed, std::size_t count) {
+    Rng base(seed);
+    std::vector<Rng> rngs;
+    rngs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        rngs.push_back(base.split());
+    }
+    return rngs;
+}
+
+MfcConfig mfc_from_finite(const FiniteSystemConfig& config) {
+    MfcConfig mfc;
+    mfc.queue = config.queue;
+    mfc.d = config.d;
+    mfc.dt = config.dt;
+    mfc.arrivals = config.arrivals;
+    mfc.horizon = config.horizon;
+    mfc.discount = config.discount;
+    mfc.nu0 = config.nu0;
+    return mfc;
+}
+} // namespace
+
+EvaluationResult evaluate_finite(const FiniteSystemConfig& config, const UpperLevelPolicy& policy,
+                                 std::size_t episodes, std::uint64_t seed, std::size_t threads) {
+    std::vector<Rng> rngs = split_rngs(seed, episodes);
+    std::vector<EpisodeStats> stats(episodes);
+    parallel_for(
+        episodes,
+        [&](std::size_t i) {
+            FiniteSystem system(config);
+            system.reset(rngs[i]);
+            stats[i] = system.run_episode(policy, rngs[i]);
+        },
+        threads);
+
+    RunningStat drops, ret, length, util;
+    for (const EpisodeStats& s : stats) {
+        drops.add(s.total_drops_per_queue);
+        ret.add(s.discounted_return);
+        length.add(s.mean_queue_length);
+        util.add(s.server_utilization);
+    }
+    EvaluationResult result;
+    result.total_drops = confidence_interval_95(drops);
+    result.discounted_return = confidence_interval_95(ret);
+    result.mean_queue_length = confidence_interval_95(length);
+    result.utilization = confidence_interval_95(util);
+    result.episodes = episodes;
+    return result;
+}
+
+EvaluationResult evaluate_mfc(const MfcConfig& config, const UpperLevelPolicy& policy,
+                              std::size_t episodes, std::uint64_t seed, std::size_t threads) {
+    std::vector<Rng> rngs = split_rngs(seed, episodes);
+    std::vector<double> drops_by_episode(episodes, 0.0);
+    std::vector<double> return_by_episode(episodes, 0.0);
+    parallel_for(
+        episodes,
+        [&](std::size_t i) {
+            MfcEnv env(config);
+            env.reset(rngs[i]);
+            double total_drops = 0.0;
+            double discounted = 0.0;
+            double weight = 1.0;
+            while (!env.done()) {
+                const DecisionRule h = policy.decide(env.nu(), env.lambda_state(), rngs[i]);
+                const MfcEnv::Outcome outcome = env.step(h, rngs[i]);
+                total_drops += outcome.drops;
+                discounted += weight * outcome.reward;
+                weight *= config.discount;
+            }
+            drops_by_episode[i] = total_drops;
+            return_by_episode[i] = discounted;
+        },
+        threads);
+
+    RunningStat drops, ret;
+    for (std::size_t i = 0; i < episodes; ++i) {
+        drops.add(drops_by_episode[i]);
+        ret.add(return_by_episode[i]);
+    }
+    EvaluationResult result;
+    result.total_drops = confidence_interval_95(drops);
+    result.discounted_return = confidence_interval_95(ret);
+    result.episodes = episodes;
+    return result;
+}
+
+CoupledEvaluation evaluate_coupled(const FiniteSystemConfig& finite_config,
+                                   const UpperLevelPolicy& policy, std::size_t episodes,
+                                   std::uint64_t seed, std::size_t threads) {
+    CoupledEvaluation result;
+
+    // Draw one λ path shared by the mean-field model and every finite run.
+    Rng path_rng(seed ^ 0xABCDEF12345ULL);
+    std::size_t lambda_state = finite_config.arrivals.sample_initial(path_rng);
+    result.lambda_sequence.reserve(static_cast<std::size_t>(finite_config.horizon));
+    for (int t = 0; t < finite_config.horizon; ++t) {
+        result.lambda_sequence.push_back(lambda_state);
+        lambda_state = finite_config.arrivals.step(lambda_state, path_rng);
+    }
+
+    // Deterministic mean-field value on the conditioned path.
+    {
+        MfcEnv env(mfc_from_finite(finite_config));
+        env.reset_conditioned(result.lambda_sequence);
+        Rng unused(seed);
+        double total = 0.0;
+        while (!env.done()) {
+            const DecisionRule h = policy.decide(env.nu(), env.lambda_state(), unused);
+            total += env.step(h, unused).drops;
+        }
+        result.mean_field_drops = total;
+    }
+
+    // Finite-system replications on the same path.
+    std::vector<Rng> rngs = split_rngs(seed, episodes);
+    std::vector<double> drops_by_episode(episodes, 0.0);
+    parallel_for(
+        episodes,
+        [&](std::size_t i) {
+            FiniteSystem system(finite_config);
+            system.reset_conditioned(result.lambda_sequence, rngs[i]);
+            double total = 0.0;
+            while (!system.done()) {
+                total += system.step(policy, rngs[i]).drops_per_queue;
+            }
+            drops_by_episode[i] = total;
+        },
+        threads);
+
+    RunningStat drops;
+    for (double v : drops_by_episode) {
+        drops.add(v);
+    }
+    result.finite_drops = confidence_interval_95(drops);
+    return result;
+}
+
+} // namespace mflb

@@ -1,0 +1,53 @@
+#include "core/neural_policy.hpp"
+
+#include <stdexcept>
+
+namespace mflb {
+
+NeuralUpperPolicy::NeuralUpperPolicy(const TupleSpace& space, std::size_t num_lambda_states,
+                                     std::shared_ptr<const rl::GaussianPolicy> policy,
+                                     RuleParameterization parameterization, std::string name)
+    : space_(space),
+      num_lambda_states_(num_lambda_states),
+      policy_(std::move(policy)),
+      parameterization_(parameterization),
+      name_(std::move(name)) {
+    if (!policy_) {
+        throw std::invalid_argument("NeuralUpperPolicy: null policy");
+    }
+    const std::size_t expected_obs =
+        static_cast<std::size_t>(space_.num_states()) + num_lambda_states_;
+    if (policy_->obs_dim() != expected_obs) {
+        throw std::invalid_argument("NeuralUpperPolicy: network obs dim mismatch");
+    }
+    const std::size_t expected_action = space_.size() * static_cast<std::size_t>(space_.d());
+    if (policy_->action_dim() != expected_action) {
+        throw std::invalid_argument("NeuralUpperPolicy: network action dim mismatch");
+    }
+}
+
+DecisionRule NeuralUpperPolicy::decide(std::span<const double> nu, std::size_t lambda_state,
+                                       Rng& /*rng*/) const {
+    if (nu.size() != static_cast<std::size_t>(space_.num_states())) {
+        throw std::invalid_argument("NeuralUpperPolicy::decide: nu size mismatch");
+    }
+    if (lambda_state >= num_lambda_states_) {
+        throw std::out_of_range("NeuralUpperPolicy::decide: lambda state out of range");
+    }
+    std::vector<double> obs;
+    obs.reserve(nu.size() + num_lambda_states_);
+    obs.insert(obs.end(), nu.begin(), nu.end());
+    for (std::size_t s = 0; s < num_lambda_states_; ++s) {
+        obs.push_back(s == lambda_state ? 1.0 : 0.0);
+    }
+    const std::vector<double> raw = policy_->mean_action(obs);
+    switch (parameterization_) {
+    case RuleParameterization::Logits:
+        return DecisionRule::from_logits(space_, raw);
+    case RuleParameterization::Simplex:
+        return DecisionRule::from_probabilities(space_, raw);
+    }
+    return DecisionRule(space_);
+}
+
+} // namespace mflb

@@ -1,0 +1,37 @@
+#include "core/rl_adapter.hpp"
+
+namespace mflb {
+
+MfcRlEnv::MfcRlEnv(MfcConfig config, RuleParameterization parameterization)
+    : env_(std::move(config)), parameterization_(parameterization) {}
+
+std::size_t MfcRlEnv::action_dim() const {
+    return env_.tuple_space().size() * static_cast<std::size_t>(env_.tuple_space().d());
+}
+
+DecisionRule MfcRlEnv::decode_action(std::span<const double> action) const {
+    switch (parameterization_) {
+    case RuleParameterization::Logits:
+        return DecisionRule::from_logits(env_.tuple_space(), action);
+    case RuleParameterization::Simplex:
+        return DecisionRule::from_probabilities(env_.tuple_space(), action);
+    }
+    return DecisionRule(env_.tuple_space());
+}
+
+std::vector<double> MfcRlEnv::reset(Rng& rng) {
+    env_.reset(rng);
+    return env_.observation();
+}
+
+rl::Env::StepResult MfcRlEnv::step(std::span<const double> action, Rng& rng) {
+    const DecisionRule rule = decode_action(action);
+    const MfcEnv::Outcome outcome = env_.step(rule, rng);
+    StepResult result;
+    result.reward = outcome.reward;
+    result.done = outcome.done;
+    result.observation = env_.observation();
+    return result;
+}
+
+} // namespace mflb

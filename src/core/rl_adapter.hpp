@@ -1,0 +1,38 @@
+/// \file rl_adapter.hpp
+/// Bridges the MFC MDP (field/mfc_env.hpp) to the generic RL environment
+/// interface. The continuous RL action vector of length |Z|^d · d is mapped
+/// to a row-stochastic decision rule either by per-row softmax (the paper's
+/// Gaussian-logits + "manual normalization" approach) or by clamping and
+/// renormalizing raw values (the Dirichlet-style simplex parameterization the
+/// paper reports as significantly worse — exposed for the ablation bench).
+#pragma once
+
+#include "field/mfc_env.hpp"
+#include "policies/tabular.hpp"
+#include "rl/env.hpp"
+
+namespace mflb {
+
+/// RL view of the mean-field control MDP.
+class MfcRlEnv final : public rl::Env {
+public:
+    MfcRlEnv(MfcConfig config, RuleParameterization parameterization);
+
+    std::size_t observation_dim() const override { return env_.observation_dim(); }
+    std::size_t action_dim() const override;
+
+    std::vector<double> reset(Rng& rng) override;
+    StepResult step(std::span<const double> action, Rng& rng) override;
+
+    const MfcEnv& env() const noexcept { return env_; }
+    RuleParameterization parameterization() const noexcept { return parameterization_; }
+
+    /// Decodes a raw action vector into the decision rule it induces.
+    DecisionRule decode_action(std::span<const double> action) const;
+
+private:
+    MfcEnv env_;
+    RuleParameterization parameterization_;
+};
+
+} // namespace mflb

@@ -1,0 +1,147 @@
+#include "core/trainers.hpp"
+
+#include "field/mfc_env.hpp"
+#include "policies/fixed.hpp"
+
+#include <stdexcept>
+
+namespace mflb {
+
+namespace {
+/// Pre-samples `count` λ-state paths of the episode length for conditioned
+/// (common-random-number) rollouts.
+std::vector<std::vector<std::size_t>> sample_lambda_paths(const MfcConfig& config,
+                                                          std::size_t count,
+                                                          std::uint64_t seed) {
+    Rng rng(seed ^ 0x5DEECE66DULL);
+    std::vector<std::vector<std::size_t>> paths(count);
+    for (auto& path : paths) {
+        path.reserve(static_cast<std::size_t>(config.horizon));
+        std::size_t state = config.arrivals.sample_initial(rng);
+        for (int t = 0; t < config.horizon; ++t) {
+            path.push_back(state);
+            state = config.arrivals.step(state, rng);
+        }
+    }
+    return paths;
+}
+
+double conditioned_return(const MfcConfig& config, const UpperLevelPolicy& policy,
+                          const std::vector<std::size_t>& path) {
+    MfcEnv env(config);
+    env.reset_conditioned(path);
+    Rng unused(0);
+    double total = 0.0;
+    while (!env.done()) {
+        const DecisionRule h = policy.decide(env.nu(), env.lambda_state(), unused);
+        total += env.step(h, unused).reward;
+    }
+    return total;
+}
+} // namespace
+
+std::vector<double> boltzmann_initial_params(const TupleSpace& space,
+                                             std::size_t num_lambda_states, double beta) {
+    const std::size_t d = static_cast<std::size_t>(space.d());
+    const std::size_t per_rule = space.size() * d;
+    std::vector<double> params(num_lambda_states * per_rule, 0.0);
+    for (std::size_t s = 0; s < num_lambda_states; ++s) {
+        for (std::size_t idx = 0; idx < space.size(); ++idx) {
+            for (std::size_t u = 0; u < d; ++u) {
+                params[s * per_rule + idx * d + u] =
+                    -beta * static_cast<double>(space.coordinate(idx, static_cast<int>(u)));
+            }
+        }
+    }
+    return params;
+}
+
+double best_boltzmann_beta(const MfcConfig& config, std::span<const double> betas,
+                           std::size_t episodes, std::uint64_t seed) {
+    if (betas.empty()) {
+        throw std::invalid_argument("best_boltzmann_beta: empty beta grid");
+    }
+    const TupleSpace space(config.queue.num_states(), config.d);
+    const auto paths = sample_lambda_paths(config, episodes, seed);
+    double best_beta = betas[0];
+    double best_return = -1e300;
+    for (const double beta : betas) {
+        const FixedRulePolicy policy = make_greedy_softmax_policy(space, beta);
+        double total = 0.0;
+        for (const auto& path : paths) {
+            total += conditioned_return(config, policy, path);
+        }
+        if (total > best_return) {
+            best_return = total;
+            best_beta = beta;
+        }
+    }
+    return best_beta;
+}
+
+CemTrainingResult train_tabular_cem(const MfcConfig& config, const rl::CemConfig& cem,
+                                    std::size_t episodes_per_candidate, std::uint64_t seed,
+                                    RuleParameterization parameterization,
+                                    bool common_random_numbers,
+                                    const std::vector<double>* initial_params) {
+    const TupleSpace space(config.queue.num_states(), config.d);
+    TabularPolicy prototype(space, config.arrivals.num_states(), parameterization, "MF-CEM");
+    if (initial_params != nullptr) {
+        prototype.set_parameters(*initial_params);
+    }
+
+    const auto shared_paths = common_random_numbers
+                                  ? sample_lambda_paths(config, episodes_per_candidate, seed)
+                                  : std::vector<std::vector<std::size_t>>{};
+
+    const auto objective = [&](std::span<const double> params, Rng& rng) {
+        TabularPolicy candidate = prototype;
+        candidate.set_parameters(params);
+        double total = 0.0;
+        if (common_random_numbers) {
+            for (const auto& path : shared_paths) {
+                total += conditioned_return(config, candidate, path);
+            }
+        } else {
+            for (std::size_t e = 0; e < episodes_per_candidate; ++e) {
+                MfcEnv env(config);
+                env.reset(rng);
+                total += rollout_return(env, candidate, rng, /*discounted=*/false);
+            }
+        }
+        return total / static_cast<double>(episodes_per_candidate);
+    };
+
+    Rng rng(seed);
+    const rl::CemResult search = rl::cem_maximize(objective, prototype.parameters(), cem, rng);
+
+    CemTrainingResult result{prototype, search.best_score, search.history};
+    result.policy.set_parameters(search.best_parameters);
+    return result;
+}
+
+PpoTrainingResult train_mfc_ppo(const MfcConfig& config, const rl::PpoConfig& ppo,
+                                std::size_t iterations, std::size_t eval_episodes,
+                                std::uint64_t seed, RuleParameterization parameterization,
+                                const std::function<void(const rl::PpoIterationStats&)>&
+                                    on_iteration) {
+    MfcRlEnv env(config, parameterization);
+    rl::PpoTrainer trainer(env, ppo, Rng(seed));
+    trainer.train(iterations, on_iteration);
+
+    PpoTrainingResult result;
+    result.history = trainer.history();
+    result.final_eval_return = eval_episodes > 0 ? trainer.evaluate(eval_episodes) : 0.0;
+    result.network = std::make_shared<rl::GaussianPolicy>(trainer.policy());
+    return result;
+}
+
+NeuralUpperPolicy make_neural_policy(const MfcConfig& config,
+                                     std::shared_ptr<const rl::GaussianPolicy> network,
+                                     RuleParameterization parameterization) {
+    const TupleSpace space(config.queue.num_states(), config.d);
+    return NeuralUpperPolicy(space, config.arrivals.num_states(), std::move(network),
+                             parameterization);
+}
+
+} // namespace mflb

@@ -1,0 +1,82 @@
+/// \file trainers.hpp
+/// High-level training entry points.
+///
+///  - `train_tabular_cem` — derivative-free optimization of a tabular
+///    upper-level policy (one decision rule per λ-state) directly on the MFC
+///    objective J(π̃). This is the fast offline trainer the bench harness
+///    uses at its default budget; it converges in seconds on the
+///    |Λ|·|Z|^d·d-dimensional rule space.
+///  - `train_mfc_ppo` — the paper-faithful PPO pipeline (Table 2): trains a
+///    Gaussian-logits network on the MFC MDP and returns both the trainer
+///    history (the Fig. 3 learning curve) and a deployable upper policy.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/neural_policy.hpp"
+#include "core/rl_adapter.hpp"
+#include "policies/tabular.hpp"
+#include "rl/cem.hpp"
+#include "rl/ppo.hpp"
+
+#include <memory>
+
+namespace mflb {
+
+/// Result of CEM policy search on the mean-field objective.
+struct CemTrainingResult {
+    TabularPolicy policy;                       ///< best policy found.
+    double best_return = 0.0;                   ///< J estimate of that policy.
+    std::vector<rl::CemGenerationStats> history;
+};
+
+/// Trains a TabularPolicy on the MFC MDP with CEM. `episodes_per_candidate`
+/// controls the Monte Carlo averaging of J (randomness: the λ chain only).
+///
+/// With `common_random_numbers` (default), the λ paths are sampled once and
+/// shared by every candidate via conditioned rollouts — the mean-field
+/// dynamics are deterministic given the path, so the search objective
+/// becomes noise-free and CEM converges markedly faster. `initial_params`
+/// optionally warm-starts the search mean (e.g. from a Boltzmann rule).
+CemTrainingResult train_tabular_cem(const MfcConfig& config, const rl::CemConfig& cem,
+                                    std::size_t episodes_per_candidate, std::uint64_t seed,
+                                    RuleParameterization parameterization =
+                                        RuleParameterization::Logits,
+                                    bool common_random_numbers = true,
+                                    const std::vector<double>* initial_params = nullptr);
+
+/// Logit parameters reproducing the Boltzmann rule h(u|z̄) ∝ exp(-β z̄_u) in
+/// every λ-state — the natural warm start for CEM (β = 0 is MF-RND, large β
+/// approaches MF-JSQ).
+std::vector<double> boltzmann_initial_params(const TupleSpace& space,
+                                             std::size_t num_lambda_states, double beta);
+
+/// Coarse search over the Boltzmann family on conditioned λ paths: returns
+/// the β minimizing total drops. Cheap (|betas| × episodes rollouts) and a
+/// strong interpretable baseline by itself.
+double best_boltzmann_beta(const MfcConfig& config, std::span<const double> betas,
+                           std::size_t episodes, std::uint64_t seed);
+
+/// Result of PPO training on the MFC MDP.
+struct PpoTrainingResult {
+    std::shared_ptr<rl::GaussianPolicy> network;
+    std::vector<rl::PpoIterationStats> history; ///< the Fig. 3 learning curve.
+    double final_eval_return = 0.0;             ///< deterministic-policy J.
+};
+
+/// Trains PPO per Table 2 for `iterations` on the MFC MDP and evaluates the
+/// deterministic policy on `eval_episodes` fresh episodes.
+PpoTrainingResult train_mfc_ppo(const MfcConfig& config, const rl::PpoConfig& ppo,
+                                std::size_t iterations, std::size_t eval_episodes,
+                                std::uint64_t seed,
+                                RuleParameterization parameterization =
+                                    RuleParameterization::Logits,
+                                const std::function<void(const rl::PpoIterationStats&)>&
+                                    on_iteration = nullptr);
+
+/// Wraps a trained network as an upper-level policy for system evaluation.
+NeuralUpperPolicy make_neural_policy(const MfcConfig& config,
+                                     std::shared_ptr<const rl::GaussianPolicy> network,
+                                     RuleParameterization parameterization =
+                                         RuleParameterization::Logits);
+
+} // namespace mflb

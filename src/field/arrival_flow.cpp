@@ -1,0 +1,67 @@
+#include "field/arrival_flow.hpp"
+
+#include "math/simplex.hpp"
+
+#include <stdexcept>
+
+namespace mflb {
+
+double tuple_probability(const TupleSpace& space, std::span<const double> nu, std::size_t idx) {
+    double p = 1.0;
+    for (int k = 0; k < space.d(); ++k) {
+        p *= nu[static_cast<std::size_t>(space.coordinate(idx, k))];
+        if (p == 0.0) {
+            return 0.0;
+        }
+    }
+    return p;
+}
+
+ArrivalFlow compute_arrival_flow(std::span<const double> nu, const DecisionRule& h,
+                                 double lambda_total) {
+    const TupleSpace& space = h.space();
+    const auto num_z = static_cast<std::size_t>(space.num_states());
+    if (nu.size() != num_z) {
+        throw std::invalid_argument("compute_arrival_flow: nu size mismatch");
+    }
+    ArrivalFlow flow;
+    flow.inflow_by_state.assign(num_z, 0.0);
+
+    // λ'(z) = λ Σ_{z̄} μ(z̄) Σ_u h(u|z̄) 1{z̄_u = z}. The tuple probability
+    // μ(z̄) factorizes over coordinates, so we accumulate it on the fly.
+    const int d = space.d();
+    std::vector<int> tuple(static_cast<std::size_t>(d));
+    for (std::size_t idx = 0; idx < space.size(); ++idx) {
+        space.decode(idx, tuple);
+        double mu = 1.0;
+        for (int k = 0; k < d; ++k) {
+            mu *= nu[static_cast<std::size_t>(tuple[static_cast<std::size_t>(k)])];
+        }
+        if (mu == 0.0) {
+            continue;
+        }
+        for (int u = 0; u < d; ++u) {
+            const double weight = mu * h.prob(idx, u);
+            if (weight > 0.0) {
+                flow.inflow_by_state[static_cast<std::size_t>(tuple[static_cast<std::size_t>(u)])] +=
+                    lambda_total * weight;
+            }
+        }
+    }
+
+    flow.rate_by_state.assign(num_z, 0.0);
+    for (std::size_t z = 0; z < num_z; ++z) {
+        if (nu[z] > 0.0) {
+            flow.rate_by_state[z] = flow.inflow_by_state[z] / nu[z]; // eq. (19)
+        }
+    }
+    return flow;
+}
+
+std::vector<double> packet_destination_distribution(std::span<const double> nu,
+                                                    const DecisionRule& h) {
+    const ArrivalFlow flow = compute_arrival_flow(nu, h, 1.0);
+    return normalized(flow.inflow_by_state);
+}
+
+} // namespace mflb

@@ -1,0 +1,43 @@
+/// \file arrival_flow.hpp
+/// Mean-field packet routing: eqs. (16)-(19) of the paper.
+///
+/// Given the queue-state distribution ν ∈ P(Z) and a decision rule h, the
+/// agent state distribution is the product measure μ = ν^{⊗d} (16); together
+/// with h it induces the state-action distribution G = μ ⊗ h (17); Poisson
+/// thinning then yields the per-*state* packet inflow
+///     λ'(z) = λ ∫ 1{z̄_u = z} G(dz̄, du)                       (18)
+/// and the equivalent per-*queue* arrival rate for queues in state z
+///     λ(z) = λ'(z) / ν(z).                                    (19)
+#pragma once
+
+#include "field/decision_rule.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mflb {
+
+/// Result of the mean-field routing computation for one decision epoch.
+struct ArrivalFlow {
+    /// λ'(z): total packet inflow rate (per queue count M) into state class z.
+    std::vector<double> inflow_by_state;
+    /// λ(z) = λ'(z)/ν(z): arrival rate seen by one queue currently in state z;
+    /// zero where ν(z) = 0 (no queue occupies the class, rate is immaterial).
+    std::vector<double> rate_by_state;
+};
+
+/// Computes eq. (18)-(19). `nu` must be a distribution over Z with
+/// |Z| = h.space().num_states(); `lambda_total` is the modulated rate λ_t.
+/// Complexity O(|Z|^d · d).
+ArrivalFlow compute_arrival_flow(std::span<const double> nu, const DecisionRule& h,
+                                 double lambda_total);
+
+/// Probability μ(z̄) = Π_k ν(z̄_k) of an agent observing tuple index `idx`.
+double tuple_probability(const TupleSpace& space, std::span<const double> nu, std::size_t idx);
+
+/// Destination-state distribution of a single packet: probability that a
+/// packet is routed to *some* queue in state z, i.e. λ'(z)/λ. Sums to one.
+std::vector<double> packet_destination_distribution(std::span<const double> nu,
+                                                    const DecisionRule& h);
+
+} // namespace mflb

@@ -1,0 +1,55 @@
+/// \file arrival_process.hpp
+/// Markov-modulated arrival-rate process λ_t, eq. (1) of the paper. The rate
+/// parameter switches between a finite set of levels Λ according to a
+/// discrete-time Markov chain sampled once per decision epoch; the paper's
+/// experiments use two levels (λ_h, λ_l) = (0.9, 0.6) with switching
+/// probabilities (32)-(33), but any finite chain is supported (e.g. a
+/// day/night/burst 3-level chain in the edge-computing example).
+#pragma once
+
+#include "math/matrix.hpp"
+#include "support/rng.hpp"
+
+#include <vector>
+
+namespace mflb {
+
+/// Finite-state modulating chain for the per-queue arrival rate λ_t.
+class ArrivalProcess {
+public:
+    /// \param levels      rate value of each modulation state (all > 0).
+    /// \param transition  row-stochastic transition matrix over states.
+    /// \param initial     initial distribution; empty means uniform.
+    ArrivalProcess(std::vector<double> levels, Matrix transition,
+                   std::vector<double> initial = {});
+
+    /// The paper's two-level chain: eqs. (32)-(33) with
+    /// P(l|h) = 0.2, P(h|l) = 0.5 and λ_0 ~ Unif({λ_h, λ_l}).
+    static ArrivalProcess paper_two_state(double lambda_high = 0.9, double lambda_low = 0.6,
+                                          double p_high_to_low = 0.2, double p_low_to_high = 0.5);
+
+    /// Degenerate single-level process (no modulation).
+    static ArrivalProcess constant(double rate);
+
+    std::size_t num_states() const noexcept { return levels_.size(); }
+    double level(std::size_t state) const { return levels_.at(state); }
+    const Matrix& transition() const noexcept { return transition_; }
+
+    /// Samples the initial modulation state.
+    std::size_t sample_initial(Rng& rng) const;
+    /// Samples the next modulation state given the current one.
+    std::size_t step(std::size_t state, Rng& rng) const;
+
+    /// Stationary distribution via power iteration (used for analysis and
+    /// to report the long-run offered load in the bench output).
+    std::vector<double> stationary(std::size_t iterations = 10000) const;
+    /// Long-run mean arrival rate under the stationary distribution.
+    double mean_rate() const;
+
+private:
+    std::vector<double> levels_;
+    Matrix transition_;
+    std::vector<double> initial_;
+};
+
+} // namespace mflb

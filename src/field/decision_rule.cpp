@@ -1,0 +1,123 @@
+#include "field/decision_rule.hpp"
+
+#include "math/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mflb {
+
+DecisionRule::DecisionRule(const TupleSpace& space)
+    : space_(space),
+      table_(space.size() * static_cast<std::size_t>(space.d()),
+             1.0 / static_cast<double>(space.d())) {}
+
+DecisionRule DecisionRule::mf_rnd(const TupleSpace& space) {
+    return DecisionRule(space);
+}
+
+DecisionRule DecisionRule::mf_jsq(const TupleSpace& space) {
+    DecisionRule rule(space);
+    const int d = space.d();
+    std::vector<int> tuple(static_cast<std::size_t>(d));
+    std::vector<double> row(static_cast<std::size_t>(d));
+    for (std::size_t idx = 0; idx < space.size(); ++idx) {
+        space.decode(idx, tuple);
+        const int shortest = *std::min_element(tuple.begin(), tuple.end());
+        int ties = 0;
+        for (int z : tuple) {
+            ties += (z == shortest) ? 1 : 0;
+        }
+        for (int u = 0; u < d; ++u) {
+            row[static_cast<std::size_t>(u)] =
+                tuple[static_cast<std::size_t>(u)] == shortest ? 1.0 / static_cast<double>(ties)
+                                                               : 0.0;
+        }
+        rule.set_row(idx, row);
+    }
+    return rule;
+}
+
+DecisionRule DecisionRule::greedy_softmax(const TupleSpace& space, double beta) {
+    if (beta < 0.0) {
+        throw std::invalid_argument("DecisionRule::greedy_softmax: beta must be >= 0");
+    }
+    DecisionRule rule(space);
+    const int d = space.d();
+    std::vector<int> tuple(static_cast<std::size_t>(d));
+    std::vector<double> logits(static_cast<std::size_t>(d));
+    for (std::size_t idx = 0; idx < space.size(); ++idx) {
+        space.decode(idx, tuple);
+        for (int u = 0; u < d; ++u) {
+            logits[static_cast<std::size_t>(u)] = -beta * tuple[static_cast<std::size_t>(u)];
+        }
+        rule.set_row(idx, softmax(logits));
+    }
+    return rule;
+}
+
+DecisionRule DecisionRule::from_logits(const TupleSpace& space, std::span<const double> logits) {
+    const std::size_t expected = space.size() * static_cast<std::size_t>(space.d());
+    if (logits.size() != expected) {
+        throw std::invalid_argument("DecisionRule::from_logits: wrong logits length");
+    }
+    DecisionRule rule(space);
+    const std::size_t d = static_cast<std::size_t>(space.d());
+    for (std::size_t idx = 0; idx < space.size(); ++idx) {
+        rule.set_row(idx, softmax(logits.subspan(idx * d, d)));
+    }
+    return rule;
+}
+
+DecisionRule DecisionRule::from_probabilities(const TupleSpace& space,
+                                              std::span<const double> probs) {
+    const std::size_t expected = space.size() * static_cast<std::size_t>(space.d());
+    if (probs.size() != expected) {
+        throw std::invalid_argument("DecisionRule::from_probabilities: wrong length");
+    }
+    DecisionRule rule(space);
+    const std::size_t d = static_cast<std::size_t>(space.d());
+    std::vector<double> row(d);
+    for (std::size_t idx = 0; idx < space.size(); ++idx) {
+        for (std::size_t u = 0; u < d; ++u) {
+            row[u] = std::max(0.0, probs[idx * d + u]);
+        }
+        normalize_in_place(row);
+        rule.set_row(idx, row);
+    }
+    return rule;
+}
+
+std::span<const double> DecisionRule::row(std::size_t r) const noexcept {
+    const std::size_t d = static_cast<std::size_t>(space_.d());
+    return std::span<const double>(table_.data() + r * d, d);
+}
+
+void DecisionRule::set_row(std::size_t r, std::span<const double> probs) {
+    const std::size_t d = static_cast<std::size_t>(space_.d());
+    if (probs.size() != d) {
+        throw std::invalid_argument("DecisionRule::set_row: wrong row length");
+    }
+    std::copy(probs.begin(), probs.end(), table_.begin() + static_cast<std::ptrdiff_t>(r * d));
+}
+
+bool DecisionRule::is_valid(double tol) const noexcept {
+    for (std::size_t r = 0; r < rows(); ++r) {
+        if (!is_probability_vector(row(r), tol)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+double DecisionRule::max_abs_diff(const DecisionRule& other) const noexcept {
+    double best = 0.0;
+    const std::size_t n = std::min(table_.size(), other.table_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        best = std::max(best, std::abs(table_[i] - other.table_[i]));
+    }
+    return best;
+}
+
+} // namespace mflb

@@ -1,0 +1,135 @@
+/// \file hetero_field.hpp
+/// Heterogeneous-server mean-field model — the extension the paper's
+/// discussion names first ("one straightforward extension would be to use
+/// heterogeneous service rates").
+///
+/// Servers come in a finite set of classes c with service rate α_c and
+/// population weight w_c. The anonymous queue state becomes the pair
+/// s = (c, z) ∈ S = C × Z, the mean-field state is ν ∈ P(S) with fixed
+/// class marginals ν(c, ·) = w_c (classes never change), and everything
+/// else of the homogeneous model carries over verbatim: clients observe
+/// d sampled pairs, decision rules are h : S^d → P(U), the routing flow is
+/// eq. (18)-(19) over S, and the exact discretization runs one birth-death
+/// generator per class-state with the class's service rate.
+#pragma once
+
+#include "field/arrival_flow.hpp"
+#include "field/arrival_process.hpp"
+#include "field/decision_rule.hpp"
+#include "field/transition.hpp"
+#include "support/rng.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace mflb {
+
+/// One server class: exponential rate and fraction of the fleet.
+struct ServerClass {
+    double service_rate = 1.0;
+    double weight = 1.0;
+};
+
+/// Flat enumeration of S = C × Z with s = c * (B+1) + z.
+class ClassStateSpace {
+public:
+    ClassStateSpace(std::vector<ServerClass> classes, int buffer);
+
+    int num_classes() const noexcept { return static_cast<int>(classes_.size()); }
+    int buffer() const noexcept { return buffer_; }
+    int fills() const noexcept { return buffer_ + 1; }
+    std::size_t size() const noexcept {
+        return classes_.size() * static_cast<std::size_t>(fills());
+    }
+
+    std::size_t index(int c, int z) const;
+    int class_of(std::size_t s) const noexcept {
+        return static_cast<int>(s / static_cast<std::size_t>(fills()));
+    }
+    int fill_of(std::size_t s) const noexcept {
+        return static_cast<int>(s % static_cast<std::size_t>(fills()));
+    }
+    const ServerClass& server_class(int c) const { return classes_.at(static_cast<std::size_t>(c)); }
+
+    /// ν_0: every queue empty, classes at their weights.
+    std::vector<double> initial_distribution() const;
+
+    /// Tuple space over S for decision rules.
+    TupleSpace tuple_space(int d) const { return TupleSpace(static_cast<int>(size()), d); }
+
+private:
+    std::vector<ServerClass> classes_;
+    int buffer_;
+};
+
+/// SED rule over class-state tuples: all mass on argmin (z_u + 1) / α_{c_u}.
+DecisionRule hetero_sed_rule(const ClassStateSpace& space, int d);
+/// JSQ rule over class-state tuples (fill only, ignores rates).
+DecisionRule hetero_jsq_rule(const ClassStateSpace& space, int d);
+
+/// Exact discretizer with per-class service rates (generalizes
+/// ExactDiscretization, which it reuses per class).
+class HeteroDiscretization {
+public:
+    HeteroDiscretization(ClassStateSpace space, double dt);
+
+    const ClassStateSpace& space() const noexcept { return space_; }
+    double dt() const noexcept { return dt_; }
+
+    /// One mean-field step over P(S): routing by eq. (18)-(19) on S, then
+    /// one per-class-state birth-death propagation.
+    MeanFieldStep step(std::span<const double> nu, const DecisionRule& h,
+                       double lambda_total) const;
+
+private:
+    ClassStateSpace space_;
+    double dt_;
+    std::vector<ExactDiscretization> per_class_;
+};
+
+/// Heterogeneous MFC MDP: identical control structure to MfcEnv, states are
+/// (ν ∈ P(S), λ).
+class HeteroMfcEnv {
+public:
+    struct Config {
+        ClassStateSpace space;
+        int d = 2;
+        double dt = 1.0;
+        ArrivalProcess arrivals = ArrivalProcess::paper_two_state();
+        int horizon = 100;
+        double discount = 0.99;
+    };
+
+    explicit HeteroMfcEnv(Config config);
+
+    const Config& config() const noexcept { return config_; }
+    const TupleSpace& tuple_space() const noexcept { return tuple_space_; }
+
+    void reset(Rng& rng);
+    void reset_conditioned(std::vector<std::size_t> lambda_states);
+    bool done() const noexcept { return t_ >= config_.horizon; }
+    std::span<const double> nu() const noexcept { return nu_; }
+    std::size_t lambda_state() const noexcept { return lambda_state_; }
+    double lambda_value() const { return config_.arrivals.level(lambda_state_); }
+
+    struct Outcome {
+        double drops = 0.0;
+        double reward = 0.0;
+        bool done = false;
+    };
+    Outcome step(const DecisionRule& h, Rng& rng);
+
+private:
+    Config config_;
+    HeteroDiscretization disc_;
+    TupleSpace tuple_space_;
+    std::vector<double> nu_;
+    std::size_t lambda_state_ = 0;
+    int t_ = 0;
+    std::optional<std::vector<std::size_t>> conditioned_;
+};
+
+/// Total drops of a fixed rule over one conditioned or sampled episode.
+double hetero_rollout_drops(HeteroMfcEnv& env, const DecisionRule& h, Rng& rng);
+
+} // namespace mflb

@@ -1,0 +1,105 @@
+#include "field/mfc_env.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mflb {
+
+int MfcConfig::horizon_for_total_time(double total_time, double dt) noexcept {
+    const int epochs = static_cast<int>(std::lround(total_time / dt));
+    return epochs > 0 ? epochs : 1;
+}
+
+MfcEnv::MfcEnv(MfcConfig config)
+    : config_(std::move(config)),
+      disc_(config_.queue, config_.dt),
+      space_(config_.queue.num_states(), config_.d) {
+    if (config_.horizon <= 0) {
+        throw std::invalid_argument("MfcEnv: horizon must be positive");
+    }
+    if (config_.nu0.empty()) {
+        // Table 1: ν_0 = [1, 0, 0, ...] — all queues start empty.
+        config_.nu0.assign(static_cast<std::size_t>(config_.queue.num_states()), 0.0);
+        config_.nu0[0] = 1.0;
+    }
+    if (config_.nu0.size() != static_cast<std::size_t>(config_.queue.num_states())) {
+        throw std::invalid_argument("MfcEnv: nu0 size mismatch");
+    }
+    nu_ = config_.nu0;
+}
+
+void MfcEnv::reset(Rng& rng) {
+    nu_ = config_.nu0;
+    lambda_state_ = config_.arrivals.sample_initial(rng);
+    t_ = 0;
+    conditioned_.reset();
+}
+
+void MfcEnv::reset_conditioned(std::vector<std::size_t> lambda_states) {
+    if (lambda_states.empty()) {
+        throw std::invalid_argument("MfcEnv: conditioned sequence must be non-empty");
+    }
+    for (std::size_t s : lambda_states) {
+        if (s >= config_.arrivals.num_states()) {
+            throw std::invalid_argument("MfcEnv: conditioned state out of range");
+        }
+    }
+    nu_ = config_.nu0;
+    t_ = 0;
+    lambda_state_ = lambda_states.front();
+    conditioned_ = std::move(lambda_states);
+}
+
+std::vector<double> MfcEnv::observation() const {
+    std::vector<double> obs;
+    obs.reserve(observation_dim());
+    obs.insert(obs.end(), nu_.begin(), nu_.end());
+    for (std::size_t s = 0; s < config_.arrivals.num_states(); ++s) {
+        obs.push_back(s == lambda_state_ ? 1.0 : 0.0);
+    }
+    return obs;
+}
+
+std::size_t MfcEnv::observation_dim() const noexcept {
+    return nu_.size() + config_.arrivals.num_states();
+}
+
+MfcEnv::Outcome MfcEnv::step(const DecisionRule& h, Rng& rng) {
+    if (done()) {
+        throw std::logic_error("MfcEnv::step: episode already finished");
+    }
+    if (!(h.space() == space_)) {
+        throw std::invalid_argument("MfcEnv::step: decision rule on wrong tuple space");
+    }
+    const MeanFieldStep transition = disc_.step(nu_, h, lambda_value());
+    nu_ = transition.nu_next;
+    ++t_;
+    if (conditioned_) {
+        const std::size_t next_idx = static_cast<std::size_t>(t_);
+        lambda_state_ = next_idx < conditioned_->size() ? (*conditioned_)[next_idx]
+                                                        : conditioned_->back();
+    } else {
+        lambda_state_ = config_.arrivals.step(lambda_state_, rng);
+    }
+    Outcome outcome;
+    outcome.drops = transition.expected_drops;
+    outcome.reward = -transition.expected_drops;
+    outcome.done = done();
+    return outcome;
+}
+
+double rollout_return(MfcEnv& env, const UpperLevelPolicy& policy, Rng& rng, bool discounted) {
+    double total = 0.0;
+    double weight = 1.0;
+    while (!env.done()) {
+        const DecisionRule h = policy.decide(env.nu(), env.lambda_state(), rng);
+        const auto outcome = env.step(h, rng);
+        total += weight * outcome.reward;
+        if (discounted) {
+            weight *= env.config().discount;
+        }
+    }
+    return total;
+}
+
+} // namespace mflb

@@ -1,0 +1,103 @@
+#include "field/transition.hpp"
+
+#include "math/expm.hpp"
+
+#include <stdexcept>
+
+namespace mflb {
+
+ExactDiscretization::ExactDiscretization(QueueParams params, double dt)
+    : params_(params), dt_(dt) {
+    if (params.buffer < 1) {
+        throw std::invalid_argument("ExactDiscretization: buffer must be >= 1");
+    }
+    if (params.service_rate <= 0.0) {
+        throw std::invalid_argument("ExactDiscretization: service rate must be > 0");
+    }
+    if (dt <= 0.0) {
+        throw std::invalid_argument("ExactDiscretization: dt must be > 0");
+    }
+}
+
+Matrix ExactDiscretization::extended_generator(double arrival_rate) const {
+    const int b = params_.buffer;
+    const auto n = static_cast<std::size_t>(b + 2); // states 0..B plus drop row
+    Matrix q(n, n);
+    // Transposed generator: columns sum to zero over the Z block. Arrivals
+    // move probability from column i-1 up to row i; services from column i
+    // down to row i-1 (paper's Q(ν,z)_{i,i-1} = λ_t, Q_{i-1,i} = α).
+    for (int i = 1; i <= b; ++i) {
+        q(static_cast<std::size_t>(i), static_cast<std::size_t>(i - 1)) = arrival_rate;
+    }
+    for (int i = 1; i <= b; ++i) {
+        q(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(i)) = params_.service_rate;
+    }
+    // Diagonal: each column's outflow. State B keeps losing arrivals (they
+    // are dropped, not state-changing), so its diagonal only reflects the
+    // service outflow; the drop row integrates λ · P_B separately.
+    for (int i = 0; i <= b; ++i) {
+        double outflow = 0.0;
+        if (i < b) {
+            outflow += arrival_rate; // arrival leaves state i (to i+1)
+        }
+        if (i > 0) {
+            outflow += params_.service_rate; // service leaves state i (to i-1)
+        }
+        q(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = -outflow;
+    }
+    // Drop bookkeeping row (27): Ḋ = λ_t(z) e_B^T P.
+    q(static_cast<std::size_t>(b + 1), static_cast<std::size_t>(b)) = arrival_rate;
+    return q;
+}
+
+std::vector<double> ExactDiscretization::propagate_queue(int z0, double arrival_rate) const {
+    const int b = params_.buffer;
+    if (z0 < 0 || z0 > b) {
+        throw std::invalid_argument("propagate_queue: z0 out of range");
+    }
+    const Matrix q = extended_generator(arrival_rate);
+    std::vector<double> e(static_cast<std::size_t>(b + 2), 0.0);
+    e[static_cast<std::size_t>(z0)] = 1.0;
+    // Uniformization keeps the probability block non-negative by
+    // construction and is cheap for these tiny tridiagonal generators.
+    return expm_uniformized_action(q, dt_, e);
+}
+
+double ExactDiscretization::expected_queue_drops(int z0, double arrival_rate) const {
+    return propagate_queue(z0, arrival_rate).back();
+}
+
+MeanFieldStep ExactDiscretization::step(std::span<const double> nu, const DecisionRule& h,
+                                        double lambda_total) const {
+    const ArrivalFlow flow = compute_arrival_flow(nu, h, lambda_total);
+    MeanFieldStep result = step_with_rates(nu, flow.rate_by_state);
+    result.rate_by_state = flow.rate_by_state;
+    return result;
+}
+
+MeanFieldStep ExactDiscretization::step_with_rates(std::span<const double> nu,
+                                                   std::span<const double> rate_by_state) const {
+    const auto num_z = static_cast<std::size_t>(params_.num_states());
+    if (nu.size() != num_z || rate_by_state.size() != num_z) {
+        throw std::invalid_argument("step_with_rates: size mismatch");
+    }
+    MeanFieldStep result;
+    result.nu_next.assign(num_z, 0.0);
+    result.drops_by_state.assign(num_z, 0.0);
+    result.rate_by_state.assign(rate_by_state.begin(), rate_by_state.end());
+    for (std::size_t z = 0; z < num_z; ++z) {
+        if (nu[z] == 0.0) {
+            continue;
+        }
+        const std::vector<double> propagated =
+            propagate_queue(static_cast<int>(z), rate_by_state[z]);
+        for (std::size_t z2 = 0; z2 < num_z; ++z2) {
+            result.nu_next[z2] += nu[z] * propagated[z2]; // eq. (23)-(24)
+        }
+        result.drops_by_state[z] = propagated[num_z]; // D^z(Δt), eq. (25)
+        result.expected_drops += nu[z] * propagated[num_z]; // eq. (26)
+    }
+    return result;
+}
+
+} // namespace mflb

@@ -1,0 +1,76 @@
+/// \file transition.hpp
+/// Exact discretization of the queue master equation over one synchronization
+/// interval Δt: eqs. (20)-(28) of the paper.
+///
+/// During an epoch, a queue that started in state z receives packets at the
+/// frozen rate λ_t(ν, z) (clients route on the stale epoch-start snapshot)
+/// and serves at rate α. Its state therefore evolves as a birth-death CTMC on
+/// Z = {0..B}; the extended generator (27) appends one bookkeeping dimension
+/// integrating the expected packet drops Ḋ = λ_t(z) P_B. One matrix
+/// exponential per starting state z produces both the transition row
+/// P^z(Δt) ∈ P(Z) and the expected drops D^z(Δt), from which the
+/// deterministic map ν_{t+1} = T_ν(ν_t, λ_t, h_t) (24) and the stage cost
+/// D_t (26) follow.
+#pragma once
+
+#include "field/arrival_flow.hpp"
+#include "field/decision_rule.hpp"
+#include "math/matrix.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mflb {
+
+/// Homogeneous finite-buffer queue parameters of the paper's model.
+struct QueueParams {
+    int buffer = 5;            ///< B: maximum jobs per queue (|Z| = B + 1).
+    double service_rate = 1.0; ///< α: exponential service rate.
+
+    int num_states() const noexcept { return buffer + 1; }
+};
+
+/// Output of one exact mean-field transition step.
+struct MeanFieldStep {
+    std::vector<double> nu_next;        ///< ν_{t+1} per eq. (24).
+    double expected_drops = 0.0;        ///< D_t per eq. (26), per queue.
+    std::vector<double> drops_by_state; ///< D^z_t(Δt) per starting state, eq. (25).
+    std::vector<double> rate_by_state;  ///< λ_t(ν, z) used in the generators.
+};
+
+/// Exact discretizer for a fixed (B, α, Δt).
+class ExactDiscretization {
+public:
+    ExactDiscretization(QueueParams params, double dt);
+
+    const QueueParams& params() const noexcept { return params_; }
+    double dt() const noexcept { return dt_; }
+
+    /// Full mean-field step: routing (18)-(19) + master equation (20)-(28).
+    MeanFieldStep step(std::span<const double> nu, const DecisionRule& h,
+                       double lambda_total) const;
+
+    /// Same but with per-state arrival rates given directly (used by the
+    /// finite-M, infinite-N system where rates come from the empirical
+    /// histogram, and by tests).
+    MeanFieldStep step_with_rates(std::span<const double> nu,
+                                  std::span<const double> rate_by_state) const;
+
+    /// Transposed extended generator Q̄ of eq. (27) for one arrival rate:
+    /// a (B+2)x(B+2) matrix; column space is [P(0..B), D].
+    Matrix extended_generator(double arrival_rate) const;
+
+    /// Propagates a single queue: returns the (B+2)-vector
+    /// [P^z(Δt); D^z(Δt)] = exp(Q̄ Δt) [e_z; 0], eq. (28).
+    std::vector<double> propagate_queue(int z0, double arrival_rate) const;
+
+    /// Expected drops of a single queue over the epoch (last component of
+    /// propagate_queue) — the per-queue loss used in Theorem 1's proof.
+    double expected_queue_drops(int z0, double arrival_rate) const;
+
+private:
+    QueueParams params_;
+    double dt_;
+};
+
+} // namespace mflb

@@ -1,0 +1,63 @@
+#include "field/tuple_space.hpp"
+
+#include <stdexcept>
+
+namespace mflb {
+
+TupleSpace::TupleSpace(int num_states, int d) : num_states_(num_states), d_(d) {
+    if (num_states <= 0 || d <= 0) {
+        throw std::invalid_argument("TupleSpace: num_states and d must be positive");
+    }
+    size_ = 1;
+    strides_.resize(static_cast<std::size_t>(d));
+    for (int k = 0; k < d; ++k) {
+        strides_[static_cast<std::size_t>(k)] = size_;
+        const std::size_t next = size_ * static_cast<std::size_t>(num_states);
+        if (next / static_cast<std::size_t>(num_states) != size_) {
+            throw std::invalid_argument("TupleSpace: |Z|^d overflows");
+        }
+        size_ = next;
+    }
+}
+
+std::size_t TupleSpace::index_of(std::span<const int> tuple) const {
+    if (tuple.size() != static_cast<std::size_t>(d_)) {
+        throw std::invalid_argument("TupleSpace::index_of: wrong tuple arity");
+    }
+    std::size_t index = 0;
+    for (int k = 0; k < d_; ++k) {
+        const int z = tuple[static_cast<std::size_t>(k)];
+        if (z < 0 || z >= num_states_) {
+            throw std::out_of_range("TupleSpace::index_of: coordinate out of range");
+        }
+        index += static_cast<std::size_t>(z) * strides_[static_cast<std::size_t>(k)];
+    }
+    return index;
+}
+
+void TupleSpace::decode(std::size_t index, std::span<int> out) const {
+    if (index >= size_) {
+        throw std::out_of_range("TupleSpace::decode: index out of range");
+    }
+    if (out.size() != static_cast<std::size_t>(d_)) {
+        throw std::invalid_argument("TupleSpace::decode: wrong output arity");
+    }
+    for (int k = 0; k < d_; ++k) {
+        out[static_cast<std::size_t>(k)] =
+            static_cast<int>(index % static_cast<std::size_t>(num_states_));
+        index /= static_cast<std::size_t>(num_states_);
+    }
+}
+
+std::vector<int> TupleSpace::tuple_at(std::size_t index) const {
+    std::vector<int> tuple(static_cast<std::size_t>(d_));
+    decode(index, tuple);
+    return tuple;
+}
+
+int TupleSpace::coordinate(std::size_t index, int k) const noexcept {
+    return static_cast<int>((index / strides_[static_cast<std::size_t>(k)]) %
+                            static_cast<std::size_t>(num_states_));
+}
+
+} // namespace mflb

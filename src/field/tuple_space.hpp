@@ -1,0 +1,49 @@
+/// \file tuple_space.hpp
+/// The anonymous agent state space Z^d of the mean-field model: each client
+/// observes the (stale) states of d sampled queues, so its state is a tuple
+/// z̄ ∈ Z^d with Z = {0, ..., B}. This class provides a dense bijection
+/// between tuples and flat indices so decision rules h : Z^d -> P(U) can be
+/// stored as row-stochastic matrices.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mflb {
+
+/// Dense enumeration of Z^d, Z = {0, ..., num_states-1}.
+class TupleSpace {
+public:
+    /// \param num_states |Z| = B + 1 queue fill levels.
+    /// \param d          number of sampled queues per client (power-of-d).
+    TupleSpace(int num_states, int d);
+
+    int num_states() const noexcept { return num_states_; }
+    int d() const noexcept { return d_; }
+    /// Total number of tuples |Z|^d.
+    std::size_t size() const noexcept { return size_; }
+
+    /// Flat index of a tuple; coordinate 0 varies fastest.
+    std::size_t index_of(std::span<const int> tuple) const;
+    /// Inverse of index_of; writes d coordinates into `out`.
+    void decode(std::size_t index, std::span<int> out) const;
+    /// Convenience allocating decode.
+    std::vector<int> tuple_at(std::size_t index) const;
+
+    /// Value of coordinate k of the tuple with the given flat index, without
+    /// materializing the whole tuple.
+    int coordinate(std::size_t index, int k) const noexcept;
+
+    bool operator==(const TupleSpace& other) const noexcept {
+        return num_states_ == other.num_states_ && d_ == other.d_;
+    }
+
+private:
+    int num_states_;
+    int d_;
+    std::size_t size_;
+    std::vector<std::size_t> strides_;
+};
+
+} // namespace mflb

@@ -1,0 +1,148 @@
+#include "math/expm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mflb {
+
+namespace {
+// Padé-13 coefficients from Higham, "The scaling and squaring method for the
+// matrix exponential revisited" (2005).
+constexpr double kPade13[] = {64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+                              1187353796428800.0,  129060195264000.0,   10559470521600.0,
+                              670442572800.0,      33522128640.0,       1323241920.0,
+                              40840800.0,          960960.0,            16380.0,
+                              182.0,               1.0};
+} // namespace
+
+Matrix expm(const Matrix& a) {
+    if (a.rows() != a.cols()) {
+        throw std::invalid_argument("expm: matrix must be square");
+    }
+    const std::size_t n = a.rows();
+    if (n == 0) {
+        return a;
+    }
+
+    // Scaling: bring the norm under the Padé-13 threshold (theta_13 = 5.37).
+    const double norm = a.norm_inf();
+    int squarings = 0;
+    Matrix scaled = a;
+    constexpr double kTheta13 = 5.371920351148152;
+    if (norm > kTheta13) {
+        squarings = static_cast<int>(std::ceil(std::log2(norm / kTheta13)));
+        scaled *= std::ldexp(1.0, -squarings);
+    }
+
+    const Matrix a2 = scaled * scaled;
+    const Matrix a4 = a2 * a2;
+    const Matrix a6 = a2 * a4;
+    const Matrix eye = Matrix::identity(n);
+
+    // U = A * (A6*(b13*A6 + b11*A4 + b9*A2) + b7*A6 + b5*A4 + b3*A2 + b1*I)
+    Matrix u_inner = a6 * kPade13[13] + a4 * kPade13[11] + a2 * kPade13[9];
+    Matrix u = scaled * (a6 * u_inner + a6 * kPade13[7] + a4 * kPade13[5] + a2 * kPade13[3] +
+                         eye * kPade13[1]);
+    // V = A6*(b12*A6 + b10*A4 + b8*A2) + b6*A6 + b4*A4 + b2*A2 + b0*I
+    Matrix v_inner = a6 * kPade13[12] + a4 * kPade13[10] + a2 * kPade13[8];
+    Matrix v = a6 * v_inner + a6 * kPade13[6] + a4 * kPade13[4] + a2 * kPade13[2] +
+               eye * kPade13[0];
+
+    // exp(A) ~= (V - U)^{-1} (V + U)
+    Matrix result = solve_linear(v - u, v + u);
+    for (int s = 0; s < squarings; ++s) {
+        result = result * result;
+    }
+    return result;
+}
+
+std::vector<double> expm_uniformized_action(const Matrix& a, double t, std::span<const double> v,
+                                            double uniform_rate, double tol) {
+    if (a.rows() != a.cols()) {
+        throw std::invalid_argument("expm_uniformized_action: matrix must be square");
+    }
+    if (v.size() != a.rows()) {
+        throw std::invalid_argument("expm_uniformized_action: vector size mismatch");
+    }
+    if (t < 0.0) {
+        throw std::invalid_argument("expm_uniformized_action: t must be >= 0");
+    }
+    const std::size_t n = a.rows();
+    if (t == 0.0 || n == 0) {
+        return std::vector<double>(v.begin(), v.end());
+    }
+
+    double rate = uniform_rate;
+    if (rate <= 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            rate = std::max(rate, std::abs(a(i, i)));
+        }
+        if (rate == 0.0) {
+            return std::vector<double>(v.begin(), v.end());
+        }
+        rate *= 1.0001; // strict domination avoids a zero diagonal in P
+    }
+
+    // P = I + A / rate is (sub)stochastic by the generator property.
+    Matrix p = Matrix::identity(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            p(i, j) += a(i, j) / rate;
+        }
+    }
+
+    // exp(A t) v = sum_k Pois(rate*t)(k) * P^k v. Accumulate until the
+    // remaining Poisson tail mass (times a crude bound on ||P^k v||) is
+    // below tol.
+    const double mean = rate * t;
+    std::vector<double> term(v.begin(), v.end());
+    std::vector<double> result(n, 0.0);
+    double log_weight = -mean; // log of Pois pmf at k=0
+    double tail_remaining = 1.0;
+    const std::size_t max_terms = static_cast<std::size_t>(mean + 40.0 * std::sqrt(mean + 1.0)) + 64;
+    for (std::size_t k = 0; k <= max_terms; ++k) {
+        const double weight = std::exp(log_weight);
+        for (std::size_t i = 0; i < n; ++i) {
+            result[i] += weight * term[i];
+        }
+        tail_remaining -= weight;
+        if (tail_remaining < tol) {
+            break;
+        }
+        term = p.multiply(term);
+        log_weight += std::log(mean) - std::log(static_cast<double>(k + 1));
+    }
+    return result;
+}
+
+std::vector<double> integrate_linear_ode_rk4(const Matrix& a, double t, std::span<const double> v,
+                                             std::size_t steps) {
+    if (steps == 0) {
+        throw std::invalid_argument("integrate_linear_ode_rk4: steps must be > 0");
+    }
+    std::vector<double> y(v.begin(), v.end());
+    const double h = t / static_cast<double>(steps);
+    const std::size_t n = y.size();
+    std::vector<double> k1, k2, k3, k4, tmp(n);
+    for (std::size_t s = 0; s < steps; ++s) {
+        k1 = a.multiply(y);
+        for (std::size_t i = 0; i < n; ++i) {
+            tmp[i] = y[i] + 0.5 * h * k1[i];
+        }
+        k2 = a.multiply(tmp);
+        for (std::size_t i = 0; i < n; ++i) {
+            tmp[i] = y[i] + 0.5 * h * k2[i];
+        }
+        k3 = a.multiply(tmp);
+        for (std::size_t i = 0; i < n; ++i) {
+            tmp[i] = y[i] + h * k3[i];
+        }
+        k4 = a.multiply(tmp);
+        for (std::size_t i = 0; i < n; ++i) {
+            y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+    return y;
+}
+
+} // namespace mflb

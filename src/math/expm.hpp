@@ -1,0 +1,40 @@
+/// \file expm.hpp
+/// Matrix exponentials for the exact discretization of the queue master
+/// equation, eq. (20)-(28) of the paper.
+///
+/// Two independent algorithms are provided:
+///  - `expm`: Higham's scaling-and-squaring with the degree-13 Padé
+///    approximant — the general-purpose workhorse;
+///  - `expm_uniformized_action`: uniformization (Jensen's method), valid for
+///    CTMC generator matrices only. It computes exp(Q^T t) * v as a Poisson-
+///    weighted series of products with a stochastic matrix, which is
+///    numerically non-negative by construction. Tests cross-validate the two.
+#pragma once
+
+#include "math/matrix.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mflb {
+
+/// Matrix exponential exp(A) by scaling-and-squaring with Padé-13
+/// (Higham 2005). A must be square.
+Matrix expm(const Matrix& a);
+
+/// Computes y = exp(A * t) * v without forming exp(A*t), by uniformization.
+/// Requirements: A is the *transposed* generator of a CTMC (columns sum to
+/// zero, off-diagonals >= 0) possibly extended with absorbing bookkeeping
+/// rows whose diagonal is zero; `t >= 0`. `uniform_rate` must dominate
+/// max_i |A(i,i)|; pass 0 to derive it from A. Truncation adapts to reach
+/// relative tolerance `tol` on the Poisson tail.
+std::vector<double> expm_uniformized_action(const Matrix& a, double t,
+                                            std::span<const double> v,
+                                            double uniform_rate = 0.0, double tol = 1e-13);
+
+/// Reference ODE integrator: integrates y' = A y over [0, t] with RK4 using
+/// `steps` uniform steps. Used only as an independent oracle in tests.
+std::vector<double> integrate_linear_ode_rk4(const Matrix& a, double t,
+                                             std::span<const double> v, std::size_t steps);
+
+} // namespace mflb

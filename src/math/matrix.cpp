@@ -1,0 +1,330 @@
+#include "math/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace mflb {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : rows) {
+        if (r.size() != cols_) {
+            throw std::invalid_argument("Matrix: ragged initializer list");
+        }
+        data_.insert(data_.end(), r.begin(), r.end());
+    }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = 1.0;
+    }
+    return m;
+}
+
+Matrix Matrix::diagonal(std::span<const double> diag) {
+    Matrix m(diag.size(), diag.size());
+    for (std::size_t i = 0; i < diag.size(); ++i) {
+        m(i, i) = diag[i];
+    }
+    return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+    if (r >= rows_ || c >= cols_) {
+        throw std::out_of_range("Matrix::at: index out of range");
+    }
+    return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) {
+        throw std::out_of_range("Matrix::at: index out of range");
+    }
+    return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) noexcept {
+    return std::span<double>(data_.data() + r * cols_, cols_);
+}
+
+std::span<const double> Matrix::row(std::size_t r) const noexcept {
+    return std::span<const double>(data_.data() + r * cols_, cols_);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+    if (rows_ != other.rows_ || cols_ != other.cols_) {
+        throw std::invalid_argument("Matrix::operator+=: shape mismatch");
+    }
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += other.data_[i];
+    }
+    return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+    if (rows_ != other.rows_ || cols_ != other.cols_) {
+        throw std::invalid_argument("Matrix::operator-=: shape mismatch");
+    }
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] -= other.data_[i];
+    }
+    return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+    for (double& v : data_) {
+        v *= scalar;
+    }
+    return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+    Matrix result = *this;
+    result += other;
+    return result;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+    Matrix result = *this;
+    result -= other;
+    return result;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+    Matrix result = *this;
+    result *= scalar;
+    return result;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+    if (cols_ != other.rows_) {
+        throw std::invalid_argument("Matrix::operator*: shape mismatch");
+    }
+    Matrix result(rows_, other.cols_);
+    // ikj loop order: streams through rows of `other`, good locality.
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double aik = (*this)(i, k);
+            if (aik == 0.0) {
+                continue;
+            }
+            const double* brow = other.data_.data() + k * other.cols_;
+            double* crow = result.data_.data() + i * other.cols_;
+            for (std::size_t j = 0; j < other.cols_; ++j) {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+    return result;
+}
+
+bool Matrix::operator==(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+Matrix Matrix::transposed() const {
+    Matrix result(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            result(j, i) = (*this)(i, j);
+        }
+    }
+    return result;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+    if (x.size() != cols_) {
+        throw std::invalid_argument("Matrix::multiply: size mismatch");
+    }
+    std::vector<double> y(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double* arow = data_.data() + i * cols_;
+        double acc = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j) {
+            acc += arow[j] * x[j];
+        }
+        y[i] = acc;
+    }
+    return y;
+}
+
+std::vector<double> Matrix::multiply_left(std::span<const double> x) const {
+    if (x.size() != rows_) {
+        throw std::invalid_argument("Matrix::multiply_left: size mismatch");
+    }
+    std::vector<double> y(cols_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double xi = x[i];
+        if (xi == 0.0) {
+            continue;
+        }
+        const double* arow = data_.data() + i * cols_;
+        for (std::size_t j = 0; j < cols_; ++j) {
+            y[j] += xi * arow[j];
+        }
+    }
+    return y;
+}
+
+double Matrix::norm_inf() const noexcept {
+    double best = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j) {
+            sum += std::abs((*this)(i, j));
+        }
+        best = std::max(best, sum);
+    }
+    return best;
+}
+
+double Matrix::norm_1() const noexcept {
+    double best = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < rows_; ++i) {
+            sum += std::abs((*this)(i, j));
+        }
+        best = std::max(best, sum);
+    }
+    return best;
+}
+
+double Matrix::max_abs() const noexcept {
+    double best = 0.0;
+    for (double v : data_) {
+        best = std::max(best, std::abs(v));
+    }
+    return best;
+}
+
+void Matrix::fill(double value) noexcept {
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+std::string Matrix::to_string(int precision) const {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        out << (i == 0 ? "[[" : " [");
+        for (std::size_t j = 0; j < cols_; ++j) {
+            if (j > 0) {
+                out << ", ";
+            }
+            out << (*this)(i, j);
+        }
+        out << (i + 1 == rows_ ? "]]" : "]\n");
+    }
+    return out.str();
+}
+
+namespace {
+/// LU factorization with partial pivoting, in place; returns the pivot
+/// permutation. Throws on (numerically) singular input.
+std::vector<std::size_t> lu_factor(Matrix& a) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n) {
+        throw std::invalid_argument("solve_linear: matrix must be square");
+    }
+    std::vector<std::size_t> pivots(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pivots[i] = i;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t pivot = k;
+        double best = std::abs(a(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            if (std::abs(a(i, k)) > best) {
+                best = std::abs(a(i, k));
+                pivot = i;
+            }
+        }
+        if (best == 0.0) {
+            throw std::invalid_argument("solve_linear: singular matrix");
+        }
+        if (pivot != k) {
+            for (std::size_t j = 0; j < n; ++j) {
+                std::swap(a(k, j), a(pivot, j));
+            }
+            std::swap(pivots[k], pivots[pivot]);
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            a(i, k) /= a(k, k);
+            const double lik = a(i, k);
+            if (lik == 0.0) {
+                continue;
+            }
+            for (std::size_t j = k + 1; j < n; ++j) {
+                a(i, j) -= lik * a(k, j);
+            }
+        }
+    }
+    return pivots;
+}
+
+void lu_solve_inplace(const Matrix& lu, const std::vector<std::size_t>& pivots,
+                      std::span<double> x) {
+    const std::size_t n = lu.rows();
+    std::vector<double> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        b[i] = x[pivots[i]];
+    }
+    // Forward substitution (unit lower-triangular L).
+    for (std::size_t i = 1; i < n; ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            b[i] -= lu(i, j) * b[j];
+        }
+    }
+    // Back substitution (upper-triangular U).
+    for (std::size_t ii = n; ii-- > 0;) {
+        for (std::size_t j = ii + 1; j < n; ++j) {
+            b[ii] -= lu(ii, j) * b[j];
+        }
+        b[ii] /= lu(ii, ii);
+    }
+    std::copy(b.begin(), b.end(), x.begin());
+}
+} // namespace
+
+std::vector<double> solve_linear(const Matrix& a, std::span<const double> b) {
+    if (b.size() != a.rows()) {
+        throw std::invalid_argument("solve_linear: rhs size mismatch");
+    }
+    Matrix lu = a;
+    const auto pivots = lu_factor(lu);
+    std::vector<double> x(b.begin(), b.end());
+    lu_solve_inplace(lu, pivots, x);
+    return x;
+}
+
+Matrix solve_linear(const Matrix& a, const Matrix& b) {
+    if (b.rows() != a.rows()) {
+        throw std::invalid_argument("solve_linear: rhs shape mismatch");
+    }
+    Matrix lu = a;
+    const auto pivots = lu_factor(lu);
+    Matrix x = b;
+    std::vector<double> column(a.rows());
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+            column[i] = x(i, j);
+        }
+        lu_solve_inplace(lu, pivots, column);
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+            x(i, j) = column[i];
+        }
+    }
+    return x;
+}
+
+} // namespace mflb

@@ -1,0 +1,87 @@
+/// \file matrix.hpp
+/// Small dense row-major matrix used throughout the mean-field transition
+/// kernel and the neural-network layers. Generator matrices here are tiny
+/// ((B+2)x(B+2) with B = 5 by default) so a straightforward cache-friendly
+/// implementation with loop-order ikj multiplication is both simple and fast.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mflb {
+
+/// Row-major dense matrix of doubles with value semantics.
+class Matrix {
+public:
+    Matrix() = default;
+    /// Zero-initialized rows x cols matrix.
+    Matrix(std::size_t rows, std::size_t cols);
+    /// Builds from nested initializer lists; all rows must have equal length.
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    static Matrix identity(std::size_t n);
+    /// Matrix with `diag` on the main diagonal.
+    static Matrix diagonal(std::span<const double> diag);
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+    bool empty() const noexcept { return data_.empty(); }
+
+    double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+    double operator()(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+    /// Bounds-checked accessor; throws std::out_of_range.
+    double& at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    /// Contiguous row view.
+    std::span<double> row(std::size_t r) noexcept;
+    std::span<const double> row(std::size_t r) const noexcept;
+    std::span<const double> data() const noexcept { return data_; }
+    std::span<double> data() noexcept { return data_; }
+
+    Matrix& operator+=(const Matrix& other);
+    Matrix& operator-=(const Matrix& other);
+    Matrix& operator*=(double scalar) noexcept;
+    Matrix operator+(const Matrix& other) const;
+    Matrix operator-(const Matrix& other) const;
+    Matrix operator*(double scalar) const;
+    /// Matrix product; dimensions must be compatible.
+    Matrix operator*(const Matrix& other) const;
+    bool operator==(const Matrix& other) const noexcept;
+
+    Matrix transposed() const;
+    /// Matrix-vector product (x sized cols()).
+    std::vector<double> multiply(std::span<const double> x) const;
+    /// Vector-matrix product (x sized rows()); i.e. x^T * A.
+    std::vector<double> multiply_left(std::span<const double> x) const;
+
+    /// Maximum absolute row sum (induced infinity norm).
+    double norm_inf() const noexcept;
+    /// Maximum absolute column sum (induced 1-norm).
+    double norm_1() const noexcept;
+    /// Largest absolute entry.
+    double max_abs() const noexcept;
+
+    /// Fills every entry with `value`.
+    void fill(double value) noexcept;
+
+    std::string to_string(int precision = 4) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Solves A x = b by partial-pivot Gaussian elimination (A square, copied).
+/// Throws std::invalid_argument on singular systems. Used by the Padé
+/// matrix-exponential solver; sizes here are tiny.
+std::vector<double> solve_linear(const Matrix& a, std::span<const double> b);
+
+/// Solves A X = B for a matrix right-hand side.
+Matrix solve_linear(const Matrix& a, const Matrix& b);
+
+} // namespace mflb

@@ -1,0 +1,136 @@
+#include "math/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mflb {
+
+bool is_probability_vector(std::span<const double> p, double tol) noexcept {
+    double sum = 0.0;
+    for (double v : p) {
+        if (v < -tol || !std::isfinite(v)) {
+            return false;
+        }
+        sum += v;
+    }
+    return std::abs(sum - 1.0) <= tol;
+}
+
+std::vector<double> normalized(std::span<const double> weights) {
+    std::vector<double> p(weights.begin(), weights.end());
+    normalize_in_place(p);
+    return p;
+}
+
+void normalize_in_place(std::span<double> weights) noexcept {
+    double sum = 0.0;
+    for (double w : weights) {
+        sum += w;
+    }
+    if (sum <= 0.0 || !std::isfinite(sum)) {
+        const double uniform = weights.empty() ? 0.0 : 1.0 / static_cast<double>(weights.size());
+        for (double& w : weights) {
+            w = uniform;
+        }
+        return;
+    }
+    for (double& w : weights) {
+        w /= sum;
+    }
+}
+
+std::vector<double> softmax(std::span<const double> logits) {
+    return softmax(logits, 1.0);
+}
+
+std::vector<double> softmax(std::span<const double> logits, double tau) {
+    std::vector<double> p(logits.size());
+    if (logits.empty()) {
+        return p;
+    }
+    const double peak = *std::max_element(logits.begin(), logits.end());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        p[i] = std::exp((logits[i] - peak) / tau);
+        sum += p[i];
+    }
+    for (double& v : p) {
+        v /= sum;
+    }
+    return p;
+}
+
+double l1_distance(std::span<const double> p, std::span<const double> q) noexcept {
+    double total = 0.0;
+    const std::size_t n = std::min(p.size(), q.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        total += std::abs(p[i] - q[i]);
+    }
+    for (std::size_t i = n; i < p.size(); ++i) {
+        total += std::abs(p[i]);
+    }
+    for (std::size_t i = n; i < q.size(); ++i) {
+        total += std::abs(q[i]);
+    }
+    return total;
+}
+
+double entropy(std::span<const double> p) noexcept {
+    double h = 0.0;
+    for (double v : p) {
+        if (v > 0.0) {
+            h -= v * std::log(v);
+        }
+    }
+    return h;
+}
+
+double kl_divergence(std::span<const double> p, std::span<const double> q) noexcept {
+    double kl = 0.0;
+    const std::size_t n = std::min(p.size(), q.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (p[i] > 0.0) {
+            kl += p[i] * (std::log(p[i]) - std::log(std::max(q[i], 1e-300)));
+        }
+    }
+    return kl;
+}
+
+std::vector<double> project_to_simplex(std::span<const double> v) {
+    // Sort-based algorithm of Duchi et al. (2008), O(n log n).
+    std::vector<double> sorted(v.begin(), v.end());
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    double cumulative = 0.0;
+    double theta = 0.0;
+    std::size_t support = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        cumulative += sorted[i];
+        const double candidate = (cumulative - 1.0) / static_cast<double>(i + 1);
+        if (sorted[i] - candidate > 0.0) {
+            support = i + 1;
+            theta = candidate;
+        }
+    }
+    std::vector<double> result(v.size());
+    if (support == 0) {
+        const double uniform = v.empty() ? 0.0 : 1.0 / static_cast<double>(v.size());
+        std::fill(result.begin(), result.end(), uniform);
+        return result;
+    }
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        result[i] = std::max(0.0, v[i] - theta);
+    }
+    return result;
+}
+
+double expectation(std::span<const double> p, std::span<const double> f) noexcept {
+    double acc = 0.0;
+    const std::size_t n = std::min(p.size(), f.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += p[i] * f[i];
+    }
+    return acc;
+}
+
+} // namespace mflb

@@ -1,0 +1,43 @@
+/// \file simplex.hpp
+/// Probability-vector helpers for distributions over the queue state space
+/// P(Z) and over actions P(U): normalization, softmax (the paper's "manual
+/// normalization" of Gaussian logits), l1 distance used in Theorem 1, and
+/// entropy/KL for the RL stack.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mflb {
+
+/// True if every entry is >= -tol and entries sum to 1 within tol.
+bool is_probability_vector(std::span<const double> p, double tol = 1e-9) noexcept;
+
+/// Scales a non-negative vector to sum 1. Zero vectors become uniform.
+std::vector<double> normalized(std::span<const double> weights);
+/// In-place variant of `normalized`.
+void normalize_in_place(std::span<double> weights) noexcept;
+
+/// Numerically stable softmax.
+std::vector<double> softmax(std::span<const double> logits);
+/// Softmax with temperature tau > 0; tau -> 0 approaches argmax.
+std::vector<double> softmax(std::span<const double> logits, double tau);
+
+/// l1 distance sum_i |p_i - q_i| (the norm used in the paper's analysis).
+double l1_distance(std::span<const double> p, std::span<const double> q) noexcept;
+
+/// Shannon entropy in nats; 0 log 0 = 0.
+double entropy(std::span<const double> p) noexcept;
+
+/// KL divergence KL(p || q) in nats; infinite if q lacks support, guarded
+/// by a floor of 1e-300 on q.
+double kl_divergence(std::span<const double> p, std::span<const double> q) noexcept;
+
+/// Euclidean projection onto the probability simplex (Duchi et al. 2008).
+/// Used by the ablation that optimizes raw simplex actions.
+std::vector<double> project_to_simplex(std::span<const double> v);
+
+/// Expectation of f over p, i.e. sum_i p_i f_i.
+double expectation(std::span<const double> p, std::span<const double> f) noexcept;
+
+} // namespace mflb

@@ -1,0 +1,31 @@
+#include "policies/fixed.hpp"
+
+#include <sstream>
+
+namespace mflb {
+
+FixedRulePolicy::FixedRulePolicy(std::string name, DecisionRule rule)
+    : name_(std::move(name)), rule_(std::move(rule)) {}
+
+DecisionRule FixedRulePolicy::decide(std::span<const double> /*nu*/,
+                                     std::size_t /*lambda_state*/, Rng& /*rng*/) const {
+    return rule_;
+}
+
+FixedRulePolicy make_jsq_policy(const TupleSpace& space) {
+    std::ostringstream name;
+    name << "JSQ(" << space.d() << ")";
+    return FixedRulePolicy(name.str(), DecisionRule::mf_jsq(space));
+}
+
+FixedRulePolicy make_rnd_policy(const TupleSpace& space) {
+    return FixedRulePolicy("RND", DecisionRule::mf_rnd(space));
+}
+
+FixedRulePolicy make_greedy_softmax_policy(const TupleSpace& space, double beta) {
+    std::ostringstream name;
+    name << "Boltzmann(beta=" << beta << ")";
+    return FixedRulePolicy(name.str(), DecisionRule::greedy_softmax(space, beta));
+}
+
+} // namespace mflb

@@ -1,0 +1,37 @@
+/// \file fixed.hpp
+/// State-independent upper-level policies: the same decision rule h is
+/// applied at every epoch regardless of (ν_t, λ_t). These realize the
+/// paper's baselines — JSQ(d) (eq. 34) is optimal as Δt → 0, RND (eq. 35) as
+/// Δt → ∞ — plus the interpolating Boltzmann family used by examples and
+/// ablations.
+#pragma once
+
+#include "field/mfc_env.hpp"
+
+#include <string>
+
+namespace mflb {
+
+/// Applies one fixed decision rule at every decision epoch.
+class FixedRulePolicy final : public UpperLevelPolicy {
+public:
+    FixedRulePolicy(std::string name, DecisionRule rule);
+
+    DecisionRule decide(std::span<const double> nu, std::size_t lambda_state,
+                        Rng& rng) const override;
+    std::string name() const override { return name_; }
+    const DecisionRule& rule() const noexcept { return rule_; }
+
+private:
+    std::string name_;
+    DecisionRule rule_;
+};
+
+/// MF-JSQ(d) of eq. (34): all mass on the shortest sampled queue(s).
+FixedRulePolicy make_jsq_policy(const TupleSpace& space);
+/// MF-RND of eq. (35): uniform over the d sampled queues.
+FixedRulePolicy make_rnd_policy(const TupleSpace& space);
+/// Boltzmann interpolation h(u|z̄) ∝ exp(-β z̄_u).
+FixedRulePolicy make_greedy_softmax_policy(const TupleSpace& space, double beta);
+
+} // namespace mflb

@@ -1,0 +1,81 @@
+#include "policies/tabular.hpp"
+
+#include <stdexcept>
+
+namespace mflb {
+
+TabularPolicy::TabularPolicy(const TupleSpace& space, std::size_t num_lambda_states,
+                             RuleParameterization parameterization, std::string name)
+    : space_(space),
+      num_lambda_states_(num_lambda_states),
+      parameterization_(parameterization),
+      name_(std::move(name)) {
+    if (num_lambda_states_ == 0) {
+        throw std::invalid_argument("TabularPolicy: need at least one lambda state");
+    }
+    const std::size_t per_rule = space_.size() * static_cast<std::size_t>(space_.d());
+    // Zero logits = uniform rows = MF-RND; a safe, valid starting policy for
+    // both parameterizations.
+    params_.assign(num_lambda_states_ * per_rule,
+                   parameterization_ == RuleParameterization::Logits
+                       ? 0.0
+                       : 1.0 / static_cast<double>(space_.d()));
+}
+
+void TabularPolicy::set_parameters(std::span<const double> params) {
+    if (params.size() != params_.size()) {
+        throw std::invalid_argument("TabularPolicy::set_parameters: wrong size");
+    }
+    params_.assign(params.begin(), params.end());
+}
+
+DecisionRule TabularPolicy::rule_for(std::size_t lambda_state) const {
+    if (lambda_state >= num_lambda_states_) {
+        throw std::out_of_range("TabularPolicy::rule_for: lambda state out of range");
+    }
+    const std::size_t per_rule = space_.size() * static_cast<std::size_t>(space_.d());
+    const std::span<const double> slice(params_.data() + lambda_state * per_rule, per_rule);
+    switch (parameterization_) {
+    case RuleParameterization::Logits:
+        return DecisionRule::from_logits(space_, slice);
+    case RuleParameterization::Simplex:
+        return DecisionRule::from_probabilities(space_, slice);
+    }
+    return DecisionRule(space_);
+}
+
+DecisionRule TabularPolicy::decide(std::span<const double> /*nu*/, std::size_t lambda_state,
+                                   Rng& /*rng*/) const {
+    return rule_for(lambda_state);
+}
+
+Archive TabularPolicy::to_archive() const {
+    Archive archive;
+    archive.put("type", std::string("tabular"));
+    archive.put("name", name_);
+    archive.put("num_states", static_cast<std::int64_t>(space_.num_states()));
+    archive.put("d", static_cast<std::int64_t>(space_.d()));
+    archive.put("num_lambda_states", static_cast<std::int64_t>(num_lambda_states_));
+    archive.put("parameterization",
+                std::string(parameterization_ == RuleParameterization::Logits ? "logits"
+                                                                              : "simplex"));
+    archive.put("params", params_);
+    return archive;
+}
+
+TabularPolicy TabularPolicy::from_archive(const Archive& archive) {
+    if (archive.get_string("type") != "tabular") {
+        throw std::invalid_argument("TabularPolicy::from_archive: wrong archive type");
+    }
+    const TupleSpace space(static_cast<int>(archive.get_int("num_states")),
+                           static_cast<int>(archive.get_int("d")));
+    const auto parameterization = archive.get_string("parameterization") == "logits"
+                                      ? RuleParameterization::Logits
+                                      : RuleParameterization::Simplex;
+    TabularPolicy policy(space, static_cast<std::size_t>(archive.get_int("num_lambda_states")),
+                         parameterization, archive.get_string("name"));
+    policy.set_parameters(archive.get_vector("params"));
+    return policy;
+}
+
+} // namespace mflb

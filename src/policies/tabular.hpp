@@ -1,0 +1,63 @@
+/// \file tabular.hpp
+/// Tabular upper-level policy: one full decision rule per arrival-rate
+/// modulation state, parameterized either by logits (softmax rows, the
+/// paper's "manual normalization") or directly by clamped/renormalized
+/// probabilities (the paper's remark that Dirichlet-style raw simplex
+/// parameterization trains worse — kept for the ablation bench).
+///
+/// The parameter vector is flat — |Λ| · |Z|^d · d reals — which makes the
+/// class directly optimizable by the derivative-free CEM trainer, and
+/// serializable for the offline-train / online-apply workflow.
+#pragma once
+
+#include "field/mfc_env.hpp"
+#include "support/serialization.hpp"
+
+#include <string>
+#include <vector>
+
+namespace mflb {
+
+/// How the flat parameters map to row-stochastic decision rules.
+enum class RuleParameterization {
+    Logits,  ///< rows = softmax(params) — smooth, unconstrained.
+    Simplex, ///< rows = clamp(params, 0)/sum — the ablation variant.
+};
+
+/// Piecewise-constant-in-λ upper policy with a learnable decision rule per
+/// modulation state (ν is not used; the learned MFC policies in the paper's
+/// evaluation operate on (λ, z̄) — see Fig. 2's lower-level application).
+class TabularPolicy final : public UpperLevelPolicy {
+public:
+    TabularPolicy(const TupleSpace& space, std::size_t num_lambda_states,
+                  RuleParameterization parameterization = RuleParameterization::Logits,
+                  std::string name = "MF-tabular");
+
+    std::size_t parameter_count() const noexcept { return params_.size(); }
+    const std::vector<double>& parameters() const noexcept { return params_; }
+    void set_parameters(std::span<const double> params);
+
+    DecisionRule decide(std::span<const double> nu, std::size_t lambda_state,
+                        Rng& rng) const override;
+    std::string name() const override { return name_; }
+
+    /// Decision rule for a specific λ-state (deterministic).
+    DecisionRule rule_for(std::size_t lambda_state) const;
+
+    RuleParameterization parameterization() const noexcept { return parameterization_; }
+    const TupleSpace& space() const noexcept { return space_; }
+    std::size_t num_lambda_states() const noexcept { return num_lambda_states_; }
+
+    /// Serializes shape + parameters.
+    Archive to_archive() const;
+    static TabularPolicy from_archive(const Archive& archive);
+
+private:
+    TupleSpace space_;
+    std::size_t num_lambda_states_;
+    RuleParameterization parameterization_;
+    std::string name_;
+    std::vector<double> params_;
+};
+
+} // namespace mflb

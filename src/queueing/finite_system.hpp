@@ -1,0 +1,140 @@
+/// \file finite_system.hpp
+/// The finite N-client / M-queue system of Section 2.1, simulated exactly per
+/// Algorithm 1 of the paper: at every decision epoch all clients observe the
+/// same stale snapshot of queue states, each samples d queues uniformly at
+/// random, routes its job stream according to the decision rule h_t produced
+/// by the upper-level policy, and every queue then evolves as an independent
+/// birth-death CTMC for Δt time units at the frozen arrival rate (5).
+///
+/// Three client models are provided:
+///  - `PerClient`        — literal Algorithm 1, O(N) per epoch;
+///  - `Aggregated`       — exact O(M·|Z|^{d-1} + M) reformulation: client
+///    destinations are conditionally i.i.d. given the snapshot, so the
+///    per-queue client counts are Multinomial(N, p) with p computed in
+///    closed form. Statistically identical to PerClient (tested), but cost
+///    is independent of N — this is how N = 10^6 runs are exact and fast;
+///  - `InfiniteClients`  — the N → ∞ intermediate system of Section 2.2:
+///    per-queue rates become the deterministic λ_t(H^M, z_j) of the proof of
+///    Theorem 1, while queues remain stochastic.
+#pragma once
+
+#include "field/arrival_process.hpp"
+#include "field/mfc_env.hpp"
+#include "field/transition.hpp"
+#include "queueing/gillespie.hpp"
+#include "queueing/sojourn.hpp"
+#include "support/rng.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mflb {
+
+/// How client routing decisions are realized each epoch.
+enum class ClientModel {
+    PerClient,       ///< sample x_i, u_i for every client i = 1..N.
+    Aggregated,      ///< exact multinomial aggregation of client choices.
+    InfiniteClients, ///< deterministic mean-field rates (N = ∞, M finite).
+};
+
+/// Configuration of the finite system (defaults = Table 1).
+struct FiniteSystemConfig {
+    QueueParams queue{};        ///< B = 5, α = 1.
+    int d = 2;                  ///< sampled queues per client.
+    double dt = 1.0;            ///< synchronization delay Δt.
+    ArrivalProcess arrivals = ArrivalProcess::paper_two_state();
+    std::uint64_t num_clients = 10000; ///< N.
+    std::size_t num_queues = 100;      ///< M.
+    int horizon = 500;                 ///< T_e decision epochs.
+    double discount = 0.99;            ///< γ for discounted returns.
+    ClientModel client_model = ClientModel::Aggregated;
+    std::vector<double> nu0;           ///< initial per-queue state law; empty = δ_0.
+    /// Track exact per-job sojourn times (FIFO timestamps per queue).
+    bool track_sojourn = false;
+    /// Partial information (paper §2.1 remark): if > 0, the upper-level
+    /// policy sees an *estimate* of H_t^M built from this many uniformly
+    /// sampled queues instead of the exact histogram. 0 = exact.
+    std::size_t histogram_sample_size = 0;
+};
+
+/// Statistics of a single decision epoch, aggregated over all M queues.
+struct EpochStats {
+    double drops_per_queue = 0.0;        ///< D_t^{N,M} of eq. (6).
+    std::uint64_t dropped_packets = 0;   ///< raw count across queues.
+    std::uint64_t accepted_packets = 0;  ///< arrivals that entered a buffer.
+    std::uint64_t served_packets = 0;    ///< completed services.
+    double mean_queue_length = 0.0;      ///< time-average over the epoch.
+    double server_utilization = 0.0;     ///< busy-time fraction.
+    double mean_sojourn = 0.0;           ///< mean sojourn of jobs completed
+                                         ///< this epoch (track_sojourn only).
+    std::uint64_t completed_jobs = 0;    ///< sojourn sample count.
+};
+
+/// Episode-level summary; `total_drops_per_queue` is the quantity plotted in
+/// Figures 4-6 ("average/total packet drops" per queue over ≈500 time units).
+struct EpisodeStats {
+    double total_drops_per_queue = 0.0;
+    double discounted_return = 0.0; ///< -Σ_t γ^t D_t.
+    std::uint64_t dropped_packets = 0;
+    std::uint64_t accepted_packets = 0;
+    double mean_queue_length = 0.0; ///< averaged over epochs.
+    double server_utilization = 0.0;
+    double mean_sojourn = 0.0;      ///< job-weighted mean sojourn (track_sojourn).
+    std::uint64_t completed_jobs = 0;
+    std::vector<double> drops_per_epoch;
+};
+
+/// Exact simulator of the finite (or infinite-client) queuing system.
+class FiniteSystem {
+public:
+    explicit FiniteSystem(FiniteSystemConfig config);
+
+    const FiniteSystemConfig& config() const noexcept { return config_; }
+    const TupleSpace& tuple_space() const noexcept { return space_; }
+
+    /// Draws initial queue states i.i.d. from ν_0 and samples λ_0.
+    void reset(Rng& rng);
+    /// Like reset but with a fixed λ-state sequence (Theorem 1 conditioning).
+    void reset_conditioned(std::vector<std::size_t> lambda_states, Rng& rng);
+
+    bool done() const noexcept { return t_ >= config_.horizon; }
+    int time() const noexcept { return t_; }
+    std::size_t lambda_state() const noexcept { return lambda_state_; }
+    double lambda_value() const { return config_.arrivals.level(lambda_state_); }
+    const std::vector<int>& queue_states() const noexcept { return queues_; }
+
+    /// Empirical distribution H_t^M over Z, eq. (2).
+    std::vector<double> empirical_distribution() const;
+
+    /// The distribution shown to the upper-level policy: exact H_t^M, or an
+    /// estimate from `histogram_sample_size` sampled queues (paper §2.1).
+    std::vector<double> observed_distribution(Rng& rng) const;
+
+    /// One decision epoch: query the policy on (H_t^M, λ_t), route clients,
+    /// simulate all queues for Δt, advance λ.
+    EpochStats step(const UpperLevelPolicy& policy, Rng& rng);
+    /// Same with an explicit decision rule (skips the policy query).
+    EpochStats step_with_rule(const DecisionRule& h, Rng& rng);
+
+    /// Runs a full episode from reset state; accumulates per-epoch stats.
+    EpisodeStats run_episode(const UpperLevelPolicy& policy, Rng& rng);
+
+    /// Per-queue arrival rates computed for the *current* snapshot under `h`
+    /// — exposed for tests validating eq. (5) and its aggregation.
+    std::vector<double> compute_queue_rates(const DecisionRule& h, Rng& rng) const;
+
+private:
+    std::vector<double> destination_probabilities(const DecisionRule& h) const;
+
+    FiniteSystemConfig config_;
+    TupleSpace space_;
+    std::vector<int> queues_;
+    std::vector<JobTimestamps> jobs_; ///< per-queue FIFO timestamps (sojourn mode).
+    double clock_ = 0.0;              ///< absolute simulation time (sojourn mode).
+    std::size_t lambda_state_ = 0;
+    int t_ = 0;
+    std::optional<std::vector<std::size_t>> conditioned_;
+};
+
+} // namespace mflb

@@ -1,0 +1,85 @@
+#include "queueing/gillespie.hpp"
+
+#include "math/expm.hpp"
+#include "math/matrix.hpp"
+
+#include <stdexcept>
+
+namespace mflb {
+
+QueueEpochResult simulate_queue_epoch(int z0, double arrival_rate, double service_rate,
+                                      int buffer, double dt, Rng& rng) noexcept {
+    QueueEpochResult result;
+    int z = z0;
+    double t = 0.0;
+    while (true) {
+        // Competing exponential clocks: arrivals always tick (a blocked
+        // arrival at z == B is a drop event); services tick while busy.
+        const double service = z > 0 ? service_rate : 0.0;
+        const double total = arrival_rate + service;
+        if (total <= 0.0) {
+            break;
+        }
+        const double wait = rng.exponential(total);
+        if (t + wait > dt) {
+            break;
+        }
+        result.queue_length_area += static_cast<double>(z) * wait;
+        if (z > 0) {
+            result.busy_time += wait;
+        }
+        t += wait;
+        if (rng.uniform() * total < arrival_rate) {
+            if (z < buffer) {
+                ++z;
+                ++result.arrivals;
+            } else {
+                ++result.drops;
+            }
+        } else {
+            --z;
+            ++result.services;
+        }
+    }
+    result.queue_length_area += static_cast<double>(z) * (dt - t);
+    if (z > 0) {
+        result.busy_time += dt - t;
+    }
+    result.final_state = z;
+    return result;
+}
+
+QueueTransientResult queue_transient_solution(int z0, double arrival_rate, double service_rate,
+                                              int buffer, double dt) {
+    if (z0 < 0 || z0 > buffer) {
+        throw std::invalid_argument("queue_transient_solution: z0 out of range");
+    }
+    const auto n = static_cast<std::size_t>(buffer + 2);
+    Matrix q(n, n);
+    for (int i = 1; i <= buffer; ++i) {
+        q(static_cast<std::size_t>(i), static_cast<std::size_t>(i - 1)) = arrival_rate;
+        q(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(i)) = service_rate;
+    }
+    for (int i = 0; i <= buffer; ++i) {
+        double outflow = 0.0;
+        if (i < buffer) {
+            outflow += arrival_rate;
+        }
+        if (i > 0) {
+            outflow += service_rate;
+        }
+        q(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = -outflow;
+    }
+    q(static_cast<std::size_t>(buffer + 1), static_cast<std::size_t>(buffer)) = arrival_rate;
+
+    std::vector<double> e(n, 0.0);
+    e[static_cast<std::size_t>(z0)] = 1.0;
+    const std::vector<double> propagated = expm_uniformized_action(q, dt, e);
+
+    QueueTransientResult result;
+    result.state_distribution.assign(propagated.begin(), propagated.end() - 1);
+    result.expected_drops = propagated.back();
+    return result;
+}
+
+} // namespace mflb

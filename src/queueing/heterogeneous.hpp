@@ -1,0 +1,100 @@
+/// \file heterogeneous.hpp
+/// Heterogeneous-server extension sketched in the paper's discussion
+/// (Section 5): servers keep finite buffers but differ in service rate, and
+/// clients may exploit the rates via Shortest-Expected-Delay, SED(d), which
+/// routes to the sampled queue minimizing (z_j + 1) / α_j. Homogeneous JSQ(d)
+/// and RND are included for comparison. This module simulates clients
+/// literally (per-client), since destination laws now depend on the joint
+/// (state, rate) of each sampled queue.
+#pragma once
+
+#include "field/arrival_process.hpp"
+#include "field/transition.hpp"
+#include "queueing/gillespie.hpp"
+#include "support/rng.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mflb {
+
+/// Client-side routing rule over the d sampled (state, service-rate) pairs.
+class HeteroClientPolicy {
+public:
+    virtual ~HeteroClientPolicy() = default;
+    /// Returns the index in [0, d) of the chosen sampled queue.
+    virtual int choose(std::span<const int> states, std::span<const double> rates,
+                       Rng& rng) const = 0;
+    virtual std::string name() const = 0;
+};
+
+/// JSQ(d): pick the sampled queue with the fewest jobs (uniform ties).
+class HeteroJsqPolicy final : public HeteroClientPolicy {
+public:
+    int choose(std::span<const int> states, std::span<const double> rates,
+               Rng& rng) const override;
+    std::string name() const override { return "JSQ(d)"; }
+};
+
+/// SED(d): pick argmin (z + 1) / α (uniform ties).
+class HeteroSedPolicy final : public HeteroClientPolicy {
+public:
+    int choose(std::span<const int> states, std::span<const double> rates,
+               Rng& rng) const override;
+    std::string name() const override { return "SED(d)"; }
+};
+
+/// RND: uniform among the d sampled queues.
+class HeteroRndPolicy final : public HeteroClientPolicy {
+public:
+    int choose(std::span<const int> states, std::span<const double> rates,
+               Rng& rng) const override;
+    std::string name() const override { return "RND"; }
+};
+
+/// Configuration of the heterogeneous system.
+struct HeterogeneousConfig {
+    int buffer = 5;
+    std::vector<double> service_rates; ///< α_j per queue (size M).
+    int d = 2;
+    double dt = 1.0;
+    ArrivalProcess arrivals = ArrivalProcess::paper_two_state();
+    std::uint64_t num_clients = 10000;
+    int horizon = 100;
+};
+
+/// Episode outcome for the heterogeneous system.
+struct HeterogeneousEpisodeStats {
+    double total_drops_per_queue = 0.0;
+    std::uint64_t dropped_packets = 0;
+    double mean_queue_length = 0.0;
+};
+
+/// Finite heterogeneous system with stale synchronized snapshots, mirroring
+/// the homogeneous FiniteSystem but with per-queue service rates.
+class HeterogeneousSystem {
+public:
+    explicit HeterogeneousSystem(HeterogeneousConfig config);
+
+    const HeterogeneousConfig& config() const noexcept { return config_; }
+    void reset(Rng& rng);
+    bool done() const noexcept { return t_ >= config_.horizon; }
+    const std::vector<int>& queue_states() const noexcept { return queues_; }
+
+    /// One synchronized epoch under the given client rule.
+    double step(const HeteroClientPolicy& policy, Rng& rng);
+    HeterogeneousEpisodeStats run_episode(const HeteroClientPolicy& policy, Rng& rng);
+
+private:
+    HeterogeneousConfig config_;
+    std::vector<int> queues_;
+    std::size_t lambda_state_ = 0;
+    int t_ = 0;
+    double length_sum_ = 0.0;
+    std::uint64_t total_drops_ = 0;
+};
+
+} // namespace mflb

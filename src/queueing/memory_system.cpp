@@ -1,0 +1,103 @@
+#include "queueing/memory_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mflb {
+
+MemorySystem::MemorySystem(MemorySystemConfig config) : config_(std::move(config)) {
+    if (config_.num_queues == 0 || config_.num_clients == 0) {
+        throw std::invalid_argument("MemorySystem: need clients and queues");
+    }
+    if (config_.buffer < 1 || config_.d < 1 || config_.horizon < 1) {
+        throw std::invalid_argument("MemorySystem: bad configuration");
+    }
+    queues_.assign(config_.num_queues, 0);
+    memory_.assign(config_.num_clients, -1);
+}
+
+void MemorySystem::reset(Rng& rng) {
+    std::fill(queues_.begin(), queues_.end(), 0);
+    std::fill(memory_.begin(), memory_.end(), -1);
+    lambda_state_ = config_.arrivals.sample_initial(rng);
+    t_ = 0;
+    total_drops_ = 0;
+    memory_hits_ = 0;
+    decisions_ = 0;
+}
+
+double MemorySystem::step(MemoryDiscipline discipline, Rng& rng) {
+    if (done()) {
+        throw std::logic_error("MemorySystem::step: episode finished");
+    }
+    const std::size_t m = queues_.size();
+    const double lambda = config_.arrivals.level(lambda_state_);
+
+    std::vector<std::uint64_t> counts(m, 0);
+    std::vector<std::size_t> sampled(static_cast<std::size_t>(config_.d));
+    for (std::uint64_t i = 0; i < config_.num_clients; ++i) {
+        for (int k = 0; k < config_.d; ++k) {
+            sampled[static_cast<std::size_t>(k)] =
+                static_cast<std::size_t>(rng.uniform_below(m));
+        }
+        std::size_t choice = sampled[0];
+        switch (discipline) {
+        case MemoryDiscipline::Random:
+            choice = sampled[static_cast<std::size_t>(rng.uniform_below(sampled.size()))];
+            break;
+        case MemoryDiscipline::JsqD:
+        case MemoryDiscipline::JsqDMemory: {
+            int best_state = queues_[sampled[0]];
+            for (int k = 1; k < config_.d; ++k) {
+                const std::size_t j = sampled[static_cast<std::size_t>(k)];
+                if (queues_[j] < best_state) {
+                    best_state = queues_[j];
+                    choice = j;
+                }
+            }
+            if (discipline == MemoryDiscipline::JsqDMemory && memory_[i] >= 0) {
+                const auto remembered = static_cast<std::size_t>(memory_[i]);
+                // Strict inequality: ties go to the fresh sample so memory
+                // does not trivially lock clients onto one queue.
+                if (queues_[remembered] < best_state) {
+                    choice = remembered;
+                    ++memory_hits_;
+                }
+            }
+            break;
+        }
+        }
+        memory_[i] = static_cast<std::int32_t>(choice);
+        ++counts[choice];
+        ++decisions_;
+    }
+
+    const double scale =
+        static_cast<double>(m) * lambda / static_cast<double>(config_.num_clients);
+    std::uint64_t drops = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+        const QueueEpochResult r =
+            simulate_queue_epoch(queues_[j], scale * static_cast<double>(counts[j]),
+                                 config_.service_rate, config_.buffer, config_.dt, rng);
+        queues_[j] = r.final_state;
+        drops += r.drops;
+    }
+    total_drops_ += drops;
+    ++t_;
+    lambda_state_ = config_.arrivals.step(lambda_state_, rng);
+    return static_cast<double>(drops) / static_cast<double>(m);
+}
+
+MemoryEpisodeStats MemorySystem::run_episode(MemoryDiscipline discipline, Rng& rng) {
+    MemoryEpisodeStats stats;
+    while (!done()) {
+        stats.total_drops_per_queue += step(discipline, rng);
+    }
+    stats.dropped_packets = total_drops_;
+    stats.memory_hit_rate =
+        decisions_ > 0 ? static_cast<double>(memory_hits_) / static_cast<double>(decisions_)
+                       : 0.0;
+    return stats;
+}
+
+} // namespace mflb

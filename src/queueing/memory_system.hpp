@@ -1,0 +1,75 @@
+/// \file memory_system.hpp
+/// Power-of-d with memory — the client-side memory idea of Anselmi & Dufour
+/// ("Power-of-d-choices with memory", cited as [3] by the paper) adapted to
+/// the synchronized-delay setting: besides its d fresh uniform samples, each
+/// client also looks up the stale state of the queue it used last epoch and
+/// routes to the shortest of the d+1 candidates. Memory adds information at
+/// zero extra sampling cost, but under large Δt it can also reinforce
+/// herding onto the same queue — which this module lets us measure.
+#pragma once
+
+#include "field/arrival_process.hpp"
+#include "queueing/gillespie.hpp"
+#include "support/rng.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mflb {
+
+/// Client dispatch discipline in the memory simulator.
+enum class MemoryDiscipline {
+    JsqD,       ///< plain JSQ(d): min of d fresh samples.
+    JsqDMemory, ///< JSQ(d)+memory: min of d fresh samples + last-used queue.
+    Random,     ///< uniform over the d fresh samples.
+};
+
+/// Configuration of the memory-augmented finite system.
+struct MemorySystemConfig {
+    int buffer = 5;
+    double service_rate = 1.0;
+    int d = 2;
+    double dt = 1.0;
+    ArrivalProcess arrivals = ArrivalProcess::paper_two_state();
+    std::uint64_t num_clients = 10000;
+    std::size_t num_queues = 100;
+    int horizon = 100;
+};
+
+/// Episode statistics of the memory simulator.
+struct MemoryEpisodeStats {
+    double total_drops_per_queue = 0.0;
+    std::uint64_t dropped_packets = 0;
+    /// Fraction of routing decisions that picked the remembered queue
+    /// (0 for disciplines without memory) — a direct herding diagnostic.
+    double memory_hit_rate = 0.0;
+};
+
+/// Finite system where clients carry one remembered queue index across
+/// epochs. Clients are simulated literally (memory is per-client state, so
+/// the multinomial aggregation of FiniteSystem does not apply).
+class MemorySystem {
+public:
+    explicit MemorySystem(MemorySystemConfig config);
+
+    const MemorySystemConfig& config() const noexcept { return config_; }
+    void reset(Rng& rng);
+    bool done() const noexcept { return t_ >= config_.horizon; }
+
+    /// One synchronized epoch under the given discipline.
+    double step(MemoryDiscipline discipline, Rng& rng);
+    MemoryEpisodeStats run_episode(MemoryDiscipline discipline, Rng& rng);
+
+private:
+    MemorySystemConfig config_;
+    std::vector<int> queues_;
+    std::vector<std::int32_t> memory_; ///< last-used queue per client; -1 = none.
+    std::size_t lambda_state_ = 0;
+    int t_ = 0;
+    std::uint64_t total_drops_ = 0;
+    std::uint64_t memory_hits_ = 0;
+    std::uint64_t decisions_ = 0;
+};
+
+} // namespace mflb

@@ -1,0 +1,118 @@
+#include "queueing/sojourn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mflb {
+
+JobTimestamps::JobTimestamps(int capacity) : ring_(static_cast<std::size_t>(capacity) + 1) {
+    if (capacity < 1) {
+        throw std::invalid_argument("JobTimestamps: capacity must be >= 1");
+    }
+}
+
+void JobTimestamps::push(double t) {
+    if (count_ >= ring_.size()) {
+        throw std::logic_error("JobTimestamps::push: buffer overflow");
+    }
+    ring_[(head_ + count_) % ring_.size()] = t;
+    ++count_;
+}
+
+double JobTimestamps::pop(double t) {
+    if (count_ == 0) {
+        throw std::logic_error("JobTimestamps::pop: empty buffer");
+    }
+    const double arrival = ring_[head_];
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    return t - arrival;
+}
+
+SojournEpochResult simulate_queue_epoch_sojourn(JobTimestamps& jobs, double t0,
+                                                double arrival_rate, double service_rate,
+                                                int buffer, double dt, Rng& rng) {
+    SojournEpochResult result;
+    int z = jobs.size();
+    double t = 0.0;
+    while (true) {
+        const double service = z > 0 ? service_rate : 0.0;
+        const double total = arrival_rate + service;
+        if (total <= 0.0) {
+            break;
+        }
+        const double wait = rng.exponential(total);
+        if (t + wait > dt) {
+            break;
+        }
+        result.queue.queue_length_area += static_cast<double>(z) * wait;
+        if (z > 0) {
+            result.queue.busy_time += wait;
+        }
+        t += wait;
+        if (rng.uniform() * total < arrival_rate) {
+            if (z < buffer) {
+                ++z;
+                ++result.queue.arrivals;
+                jobs.push(t0 + t);
+            } else {
+                ++result.queue.drops;
+            }
+        } else {
+            --z;
+            ++result.queue.services;
+            result.sojourn.add(jobs.pop(t0 + t));
+        }
+    }
+    result.queue.queue_length_area += static_cast<double>(z) * (dt - t);
+    if (z > 0) {
+        result.queue.busy_time += dt - t;
+    }
+    result.queue.final_state = z;
+    return result;
+}
+
+namespace {
+/// Stationary distribution of M/M/1/B: pi_k ∝ rho^k, truncated at B.
+std::vector<double> mm1b_stationary(double rho, int buffer) {
+    std::vector<double> pi(static_cast<std::size_t>(buffer) + 1);
+    double normalizer = 0.0;
+    double term = 1.0;
+    for (int k = 0; k <= buffer; ++k) {
+        pi[static_cast<std::size_t>(k)] = term;
+        normalizer += term;
+        term *= rho;
+    }
+    for (double& v : pi) {
+        v /= normalizer;
+    }
+    return pi;
+}
+} // namespace
+
+double mm1b_blocking_probability(double arrival_rate, double service_rate, int buffer) {
+    if (arrival_rate <= 0.0 || service_rate <= 0.0 || buffer < 1) {
+        throw std::invalid_argument("mm1b_blocking_probability: bad parameters");
+    }
+    return mm1b_stationary(arrival_rate / service_rate, buffer).back();
+}
+
+double mm1b_mean_length(double arrival_rate, double service_rate, int buffer) {
+    if (arrival_rate <= 0.0 || service_rate <= 0.0 || buffer < 1) {
+        throw std::invalid_argument("mm1b_mean_length: bad parameters");
+    }
+    const auto pi = mm1b_stationary(arrival_rate / service_rate, buffer);
+    double mean = 0.0;
+    for (std::size_t k = 0; k < pi.size(); ++k) {
+        mean += static_cast<double>(k) * pi[k];
+    }
+    return mean;
+}
+
+double mm1b_mean_sojourn(double arrival_rate, double service_rate, int buffer) {
+    const double blocking = mm1b_blocking_probability(arrival_rate, service_rate, buffer);
+    const double effective_rate = arrival_rate * (1.0 - blocking);
+    return mm1b_mean_length(arrival_rate, service_rate, buffer) / effective_rate;
+}
+
+} // namespace mflb

@@ -1,0 +1,62 @@
+/// \file sojourn.hpp
+/// Exact per-job sojourn-time tracking for the finite-system simulator — a
+/// metrics extension beyond the paper's drop objective (its introduction
+/// motivates response times; JSQ literature reports sojourn/response times).
+///
+/// Queues are FIFO, so a job's sojourn time is the interval from its
+/// accepted arrival to its service completion. The tracker keeps the arrival
+/// timestamps of the jobs currently in each buffer; the Gillespie kernel
+/// variant below records every accepted arrival and completed service with
+/// exact event times.
+#pragma once
+
+#include "queueing/gillespie.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+
+#include <vector>
+
+namespace mflb {
+
+/// FIFO timestamp buffer of the jobs inside one queue.
+class JobTimestamps {
+public:
+    explicit JobTimestamps(int capacity);
+
+    int size() const noexcept { return static_cast<int>(count_); }
+    /// Records an accepted arrival at absolute time `t`.
+    void push(double t);
+    /// Completes the oldest job at absolute time `t`; returns its sojourn.
+    double pop(double t);
+
+private:
+    std::vector<double> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+/// Epoch result extended with sojourn samples.
+struct SojournEpochResult {
+    QueueEpochResult queue;           ///< the usual drop/arrival counters.
+    RunningStat sojourn;              ///< completed jobs' sojourn times.
+};
+
+/// Exact simulation of one queue for `dt` units starting at absolute time
+/// `t0`, with the jobs currently in the buffer described by `jobs` (whose
+/// size must equal the queue fill). Updates `jobs` in place.
+SojournEpochResult simulate_queue_epoch_sojourn(JobTimestamps& jobs, double t0,
+                                                double arrival_rate, double service_rate,
+                                                int buffer, double dt, Rng& rng);
+
+/// Stationary M/M/1/B mean sojourn time via Little's law: E[T] = E[L] /
+/// (λ (1 - P_B)) under the truncated-geometric stationary law. Oracle for
+/// tests and capacity-planning examples.
+double mm1b_mean_sojourn(double arrival_rate, double service_rate, int buffer);
+
+/// Stationary M/M/1/B blocking probability P_B.
+double mm1b_blocking_probability(double arrival_rate, double service_rate, int buffer);
+
+/// Stationary M/M/1/B mean queue length E[L].
+double mm1b_mean_length(double arrival_rate, double service_rate, int buffer);
+
+} // namespace mflb

@@ -1,0 +1,45 @@
+#include "rl/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mflb::rl {
+
+Adam::Adam(std::size_t parameter_count, double learning_rate, double beta1, double beta2,
+           double epsilon)
+    : lr_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(epsilon),
+      m_(parameter_count, 0.0),
+      v_(parameter_count, 0.0) {}
+
+void Adam::step(std::span<double> params, std::span<const double> grads, double max_grad_norm) {
+    if (params.size() != m_.size() || grads.size() != m_.size()) {
+        throw std::invalid_argument("Adam::step: size mismatch");
+    }
+    double scale = 1.0;
+    if (max_grad_norm > 0.0) {
+        double norm_sq = 0.0;
+        for (double g : grads) {
+            norm_sq += g * g;
+        }
+        const double norm = std::sqrt(norm_sq);
+        if (norm > max_grad_norm) {
+            scale = max_grad_norm / norm;
+        }
+    }
+    ++t_;
+    const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        const double g = grads[i] * scale;
+        m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * g;
+        v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * g * g;
+        const double m_hat = m_[i] / bias1;
+        const double v_hat = v_[i] / bias2;
+        params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+}
+
+} // namespace mflb::rl

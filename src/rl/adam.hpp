@@ -1,0 +1,38 @@
+/// \file adam.hpp
+/// Adam optimizer (Kingma & Ba, 2015) over a flat parameter vector, with
+/// optional global-norm gradient clipping as used by RLlib's PPO trainer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mflb::rl {
+
+/// First-order optimizer state for a fixed-size parameter vector.
+class Adam {
+public:
+    Adam(std::size_t parameter_count, double learning_rate, double beta1 = 0.9,
+         double beta2 = 0.999, double epsilon = 1e-8);
+
+    /// Applies one update in place; `grads` is dLoss/dparams (minimized).
+    /// If `max_grad_norm` > 0 the gradient is rescaled to that global norm
+    /// when it exceeds it.
+    void step(std::span<double> params, std::span<const double> grads,
+              double max_grad_norm = 0.0);
+
+    double learning_rate() const noexcept { return lr_; }
+    void set_learning_rate(double lr) noexcept { lr_ = lr; }
+    std::size_t updates() const noexcept { return t_; }
+
+private:
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    std::size_t t_ = 0;
+    std::vector<double> m_;
+    std::vector<double> v_;
+};
+
+} // namespace mflb::rl

@@ -1,0 +1,94 @@
+#include "rl/cem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace mflb::rl {
+
+CemResult cem_maximize(const std::function<double(std::span<const double>, Rng&)>& objective,
+                       std::span<const double> initial_mean, const CemConfig& config, Rng& rng) {
+    if (config.population == 0 || config.elites == 0 || config.elites > config.population) {
+        throw std::invalid_argument("cem_maximize: bad population/elite sizes");
+    }
+    const std::size_t dim = initial_mean.size();
+    std::vector<double> mean(initial_mean.begin(), initial_mean.end());
+    std::vector<double> stddev(dim, config.initial_std);
+    double extra_std = config.initial_std;
+
+    CemResult result;
+    result.best_parameters = mean;
+    result.best_score = -std::numeric_limits<double>::infinity();
+
+    std::vector<std::vector<double>> population(config.population);
+    std::vector<double> scores(config.population);
+    std::vector<std::size_t> order(config.population);
+
+    for (std::size_t gen = 0; gen < config.generations; ++gen) {
+        for (std::size_t c = 0; c < config.population; ++c) {
+            population[c].resize(dim);
+            for (std::size_t i = 0; i < dim; ++i) {
+                population[c][i] = mean[i] + stddev[i] * rng.normal();
+            }
+            Rng eval_rng = rng.split();
+            scores[c] = objective(population[c], eval_rng);
+        }
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+        if (scores[order[0]] > result.best_score) {
+            result.best_score = scores[order[0]];
+            result.best_parameters = population[order[0]];
+        }
+
+        // Refit the sampling distribution to the elites, plus decaying
+        // additive noise to avoid premature collapse (Szita & Lörincz 2006).
+        std::vector<double> new_mean(dim, 0.0);
+        for (std::size_t e = 0; e < config.elites; ++e) {
+            const std::vector<double>& candidate = population[order[e]];
+            for (std::size_t i = 0; i < dim; ++i) {
+                new_mean[i] += candidate[i];
+            }
+        }
+        for (double& v : new_mean) {
+            v /= static_cast<double>(config.elites);
+        }
+        std::vector<double> new_var(dim, 0.0);
+        for (std::size_t e = 0; e < config.elites; ++e) {
+            const std::vector<double>& candidate = population[order[e]];
+            for (std::size_t i = 0; i < dim; ++i) {
+                const double diff = candidate[i] - new_mean[i];
+                new_var[i] += diff * diff;
+            }
+        }
+        extra_std *= config.extra_std_decay;
+        double std_sum = 0.0;
+        for (std::size_t i = 0; i < dim; ++i) {
+            const double variance =
+                new_var[i] / static_cast<double>(config.elites) + extra_std * extra_std;
+            stddev[i] = std::max(config.min_std, std::sqrt(variance));
+            std_sum += stddev[i];
+        }
+        mean = std::move(new_mean);
+
+        CemGenerationStats stats;
+        stats.generation = gen;
+        stats.best_score = scores[order[0]];
+        double elite_sum = 0.0;
+        for (std::size_t e = 0; e < config.elites; ++e) {
+            elite_sum += scores[order[e]];
+        }
+        stats.elite_mean_score = elite_sum / static_cast<double>(config.elites);
+        stats.population_mean_score =
+            std::accumulate(scores.begin(), scores.end(), 0.0) /
+            static_cast<double>(config.population);
+        stats.mean_std = dim > 0 ? std_sum / static_cast<double>(dim) : 0.0;
+        result.history.push_back(stats);
+    }
+    return result;
+}
+
+} // namespace mflb::rl

@@ -1,0 +1,49 @@
+/// \file cem.hpp
+/// Cross-Entropy Method: derivative-free optimizer over a flat parameter
+/// vector. Used as the fast offline trainer for tabular upper-level policies
+/// — it optimizes the *same* MFC objective J(π̃) as PPO but converges in
+/// seconds on the small decision-rule parameter space, which is what the
+/// benchmark harness uses at its default (CI-sized) budget. PPO remains the
+/// paper-faithful trainer (bench_fig3 runs it).
+#pragma once
+
+#include "support/rng.hpp"
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace mflb::rl {
+
+/// CEM hyperparameters.
+struct CemConfig {
+    std::size_t population = 64;      ///< candidates per generation.
+    std::size_t elites = 8;           ///< top candidates kept.
+    std::size_t generations = 40;
+    double initial_std = 1.0;         ///< exploration noise at generation 0.
+    double min_std = 0.02;            ///< noise floor (keeps exploring).
+    double extra_std_decay = 0.9;     ///< decay of additive exploration noise.
+};
+
+/// One generation's diagnostics.
+struct CemGenerationStats {
+    std::size_t generation = 0;
+    double best_score = 0.0;
+    double elite_mean_score = 0.0;
+    double population_mean_score = 0.0;
+    double mean_std = 0.0;
+};
+
+/// Maximizes `objective` over R^n starting from `initial_mean`.
+/// `objective` is called once per candidate per generation and receives a
+/// split RNG so evaluations can be stochastic yet reproducible.
+struct CemResult {
+    std::vector<double> best_parameters;
+    double best_score = 0.0;
+    std::vector<CemGenerationStats> history;
+};
+
+CemResult cem_maximize(const std::function<double(std::span<const double>, Rng&)>& objective,
+                       std::span<const double> initial_mean, const CemConfig& config, Rng& rng);
+
+} // namespace mflb::rl

@@ -1,0 +1,34 @@
+/// \file env.hpp
+/// Generic episodic environment interface for the RL stack. The MFC MDP is
+/// exposed to PPO through an adapter implementing this interface (see
+/// core/rl_adapter.hpp); the RL library itself is agnostic of queuing.
+#pragma once
+
+#include "support/rng.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mflb::rl {
+
+/// Continuous-observation, continuous-action episodic environment.
+class Env {
+public:
+    virtual ~Env() = default;
+
+    virtual std::size_t observation_dim() const = 0;
+    virtual std::size_t action_dim() const = 0;
+
+    /// Starts a new episode, returning the initial observation.
+    virtual std::vector<double> reset(Rng& rng) = 0;
+
+    struct StepResult {
+        std::vector<double> observation;
+        double reward = 0.0;
+        bool done = false;
+    };
+    /// Applies a raw (unconstrained) action vector.
+    virtual StepResult step(std::span<const double> action, Rng& rng) = 0;
+};
+
+} // namespace mflb::rl

@@ -1,0 +1,140 @@
+#include "rl/gaussian_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mflb::rl {
+
+namespace {
+constexpr double kHalfLog2Pi = 0.9189385332046727; // 0.5 * ln(2π)
+
+std::vector<std::size_t> layer_spec(std::size_t obs_dim, const std::vector<std::size_t>& hidden,
+                                    std::size_t action_dim) {
+    std::vector<std::size_t> layers;
+    layers.push_back(obs_dim);
+    layers.insert(layers.end(), hidden.begin(), hidden.end());
+    layers.push_back(2 * action_dim); // mean and log-std heads
+    return layers;
+}
+} // namespace
+
+GaussianPolicy::GaussianPolicy(std::size_t obs_dim, std::size_t action_dim,
+                               const std::vector<std::size_t>& hidden, Rng& rng)
+    : obs_dim_(obs_dim), action_dim_(action_dim), net_(layer_spec(obs_dim, hidden, action_dim), rng) {}
+
+GaussianPolicy::Moments GaussianPolicy::moments(std::span<const double> obs) const {
+    const std::vector<double> out = net_.forward(obs);
+    Moments m;
+    m.mean.assign(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(action_dim_));
+    m.log_std.resize(action_dim_);
+    for (std::size_t i = 0; i < action_dim_; ++i) {
+        m.log_std[i] = std::clamp(out[action_dim_ + i], kMinLogStd, kMaxLogStd);
+    }
+    return m;
+}
+
+GaussianPolicy::Sample GaussianPolicy::sample(std::span<const double> obs, Rng& rng) const {
+    const Moments m = moments(obs);
+    Sample s;
+    s.action.resize(action_dim_);
+    for (std::size_t i = 0; i < action_dim_; ++i) {
+        const double sigma = std::exp(m.log_std[i]);
+        s.action[i] = m.mean[i] + sigma * rng.normal();
+        const double zscore = (s.action[i] - m.mean[i]) / sigma;
+        s.log_prob += -0.5 * zscore * zscore - m.log_std[i] - kHalfLog2Pi;
+    }
+    return s;
+}
+
+std::vector<double> GaussianPolicy::mean_action(std::span<const double> obs) const {
+    return moments(obs).mean;
+}
+
+GaussianPolicy::Eval GaussianPolicy::evaluate(std::span<const double> obs,
+                                              std::span<const double> action,
+                                              Mlp::Workspace& ws) const {
+    if (action.size() != action_dim_) {
+        throw std::invalid_argument("GaussianPolicy::evaluate: action size mismatch");
+    }
+    const std::vector<double> out = net_.forward_cached(obs, ws);
+    Eval eval;
+    eval.moments.mean.assign(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(action_dim_));
+    eval.moments.log_std.resize(action_dim_);
+    for (std::size_t i = 0; i < action_dim_; ++i) {
+        const double ls = std::clamp(out[action_dim_ + i], kMinLogStd, kMaxLogStd);
+        eval.moments.log_std[i] = ls;
+        const double sigma = std::exp(ls);
+        const double zscore = (action[i] - eval.moments.mean[i]) / sigma;
+        eval.log_prob += -0.5 * zscore * zscore - ls - kHalfLog2Pi;
+        eval.entropy += ls + 0.5 + kHalfLog2Pi;
+    }
+    return eval;
+}
+
+void GaussianPolicy::backward(const Mlp::Workspace& ws, const Eval& eval,
+                              std::span<const double> action, double c_logp, double c_entropy,
+                              double c_kl, const Moments* old,
+                              std::span<double> grad_params) const {
+    const std::vector<double>& raw = ws.activations.back();
+    std::vector<double> grad_out(2 * action_dim_, 0.0);
+    for (std::size_t i = 0; i < action_dim_; ++i) {
+        const double mu = eval.moments.mean[i];
+        const double ls = eval.moments.log_std[i];
+        const double sigma = std::exp(ls);
+        const double var = sigma * sigma;
+        const double diff = action[i] - mu;
+
+        double g_mu = c_logp * diff / var;
+        // log-prob: d/dls = z^2 - 1; entropy: d/dls = 1.
+        double g_ls = c_logp * (diff * diff / var - 1.0) + c_entropy;
+        if (c_kl != 0.0 && old != nullptr) {
+            const double mu_o = old->mean[i];
+            const double sigma_o = std::exp(old->log_std[i]);
+            const double delta = mu - mu_o;
+            g_mu += c_kl * delta / var;
+            g_ls += c_kl * (1.0 - (sigma_o * sigma_o + delta * delta) / var);
+        }
+        grad_out[i] = g_mu;
+        // Straight-through clamp: no gradient where the raw log-std output
+        // sits outside the clamp range.
+        const double raw_ls = raw[action_dim_ + i];
+        grad_out[action_dim_ + i] =
+            (raw_ls > kMinLogStd && raw_ls < kMaxLogStd) ? g_ls : 0.0;
+    }
+    net_.backward(ws, grad_out, grad_params);
+}
+
+void GaussianPolicy::set_initial_mean(std::span<const double> mean) {
+    if (mean.size() != action_dim_) {
+        throw std::invalid_argument("GaussianPolicy::set_initial_mean: size mismatch");
+    }
+    std::span<double> bias = net_.output_bias();
+    for (std::size_t i = 0; i < action_dim_; ++i) {
+        bias[i] = mean[i];
+    }
+}
+
+void GaussianPolicy::set_initial_log_std(double log_std) noexcept {
+    std::span<double> bias = net_.output_bias();
+    for (std::size_t i = action_dim_; i < 2 * action_dim_; ++i) {
+        bias[i] = log_std;
+    }
+}
+
+double GaussianPolicy::kl(const Moments& old_moments, const Moments& new_moments) noexcept {
+    double total = 0.0;
+    const std::size_t n = old_moments.mean.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double ls_o = old_moments.log_std[i];
+        const double ls_n = new_moments.log_std[i];
+        const double var_o = std::exp(2.0 * ls_o);
+        const double var_n = std::exp(2.0 * ls_n);
+        const double delta = old_moments.mean[i] - new_moments.mean[i];
+        total += ls_n - ls_o + (var_o + delta * delta) / (2.0 * var_n) - 0.5;
+    }
+    return total;
+}
+
+} // namespace mflb::rl

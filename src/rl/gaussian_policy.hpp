@@ -1,0 +1,88 @@
+/// \file gaussian_policy.hpp
+/// Diagonal-Gaussian stochastic policy over a continuous action vector. The
+/// network (tanh MLP, Fig. 2 of the paper) outputs mean and log-std for each
+/// action dimension; the raw sampled actions are the *logits* of the decision
+/// rule, which the environment adapter normalizes per row ("manual
+/// normalization" in the paper's Section 4).
+#pragma once
+
+#include "rl/mlp.hpp"
+#include "support/rng.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mflb::rl {
+
+/// π_θ(a|s) = N(μ_θ(s), diag(σ_θ(s)^2)); log-std is clamped to a stable
+/// range before exponentiation.
+class GaussianPolicy {
+public:
+    /// \param hidden e.g. {256, 256}.
+    GaussianPolicy(std::size_t obs_dim, std::size_t action_dim,
+                   const std::vector<std::size_t>& hidden, Rng& rng);
+
+    std::size_t obs_dim() const noexcept { return obs_dim_; }
+    std::size_t action_dim() const noexcept { return action_dim_; }
+    Mlp& network() noexcept { return net_; }
+    const Mlp& network() const noexcept { return net_; }
+    std::size_t parameter_count() const noexcept { return net_.parameter_count(); }
+
+    /// Distribution parameters at a state.
+    struct Moments {
+        std::vector<double> mean;
+        std::vector<double> log_std; ///< clamped.
+    };
+    Moments moments(std::span<const double> obs) const;
+
+    struct Sample {
+        std::vector<double> action;
+        double log_prob = 0.0;
+    };
+    /// Samples an action and returns its log-density.
+    Sample sample(std::span<const double> obs, Rng& rng) const;
+    /// Deterministic (mean) action for evaluation.
+    std::vector<double> mean_action(std::span<const double> obs) const;
+
+    /// Log-density and entropy of `action` at `obs`, with activations cached
+    /// for a subsequent backward().
+    struct Eval {
+        double log_prob = 0.0;
+        double entropy = 0.0;
+        Moments moments;
+    };
+    Eval evaluate(std::span<const double> obs, std::span<const double> action,
+                  Mlp::Workspace& ws) const;
+
+    /// Accumulates into `grad_params` the gradient of
+    ///   loss = c_logp * log π(a|s) + c_entropy * H(π(·|s))
+    ///        + c_kl * KL(N(old) || π(·|s))
+    /// using the workspace cached by evaluate(). `old` may be null when
+    /// c_kl == 0.
+    void backward(const Mlp::Workspace& ws, const Eval& eval, std::span<const double> action,
+                  double c_logp, double c_entropy, double c_kl, const Moments* old,
+                  std::span<double> grad_params) const;
+
+    /// Analytic KL(N(old) || N(current at obs)). Used for the adaptive KL
+    /// penalty coefficient of RLlib-style PPO.
+    static double kl(const Moments& old_moments, const Moments& new_moments) noexcept;
+
+    /// Sets the log-std head bias so the initial exploration noise is
+    /// exp(log_std) regardless of observation (the head weights are near
+    /// zero at init). Tighter noise helps in high-dimensional action spaces.
+    void set_initial_log_std(double log_std) noexcept;
+
+    /// Sets the mean head bias, i.e. the (state-independent) initial mean
+    /// action — used to warm-start training from a known-good rule.
+    void set_initial_mean(std::span<const double> mean);
+
+    static constexpr double kMinLogStd = -5.0;
+    static constexpr double kMaxLogStd = 2.0;
+
+private:
+    std::size_t obs_dim_;
+    std::size_t action_dim_;
+    Mlp net_;
+};
+
+} // namespace mflb::rl

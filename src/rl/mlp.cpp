@@ -1,0 +1,154 @@
+#include "rl/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mflb::rl {
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, Rng& rng, double output_scale)
+    : layers_(std::move(layer_sizes)) {
+    if (layers_.size() < 2) {
+        throw std::invalid_argument("Mlp: need at least input and output layer");
+    }
+    for (std::size_t n : layers_) {
+        if (n == 0) {
+            throw std::invalid_argument("Mlp: zero-width layer");
+        }
+    }
+    std::size_t total = 0;
+    offsets_.clear();
+    for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+        offsets_.push_back(total);                    // weights
+        total += layers_[l] * layers_[l + 1];
+        offsets_.push_back(total);                    // biases
+        total += layers_[l + 1];
+    }
+    params_.assign(total, 0.0);
+
+    for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+        const std::size_t fan_in = layers_[l];
+        const std::size_t fan_out = layers_[l + 1];
+        const bool is_output = (l + 2 == layers_.size());
+        const double limit =
+            std::sqrt(6.0 / static_cast<double>(fan_in + fan_out)) * (is_output ? output_scale : 1.0);
+        double* w = params_.data() + offsets_[2 * l];
+        for (std::size_t i = 0; i < fan_in * fan_out; ++i) {
+            w[i] = rng.uniform(-limit, limit);
+        }
+        // biases stay zero
+    }
+}
+
+void Mlp::set_parameters(std::span<const double> params) {
+    if (params.size() != params_.size()) {
+        throw std::invalid_argument("Mlp::set_parameters: wrong size");
+    }
+    params_.assign(params.begin(), params.end());
+}
+
+std::size_t Mlp::weight_offset(std::size_t layer) const noexcept {
+    return offsets_[2 * layer];
+}
+
+std::size_t Mlp::bias_offset(std::size_t layer) const noexcept {
+    return offsets_[2 * layer + 1];
+}
+
+std::vector<double> Mlp::forward(std::span<const double> input) const {
+    Workspace ws;
+    return forward_cached(input, ws);
+}
+
+std::vector<double> Mlp::forward_cached(std::span<const double> input, Workspace& ws) const {
+    if (input.size() != layers_.front()) {
+        throw std::invalid_argument("Mlp::forward: wrong input size");
+    }
+    const std::size_t num_layers = layers_.size();
+    ws.activations.resize(num_layers);
+    ws.activations[0].assign(input.begin(), input.end());
+    for (std::size_t l = 0; l + 1 < num_layers; ++l) {
+        const std::size_t in_dim = layers_[l];
+        const std::size_t out_dim = layers_[l + 1];
+        const double* w = params_.data() + weight_offset(l); // row-major out x in
+        const double* b = params_.data() + bias_offset(l);
+        const std::vector<double>& x = ws.activations[l];
+        std::vector<double>& y = ws.activations[l + 1];
+        y.assign(out_dim, 0.0);
+        const bool is_output = (l + 2 == num_layers);
+        for (std::size_t o = 0; o < out_dim; ++o) {
+            const double* row = w + o * in_dim;
+            double acc = b[o];
+            for (std::size_t i = 0; i < in_dim; ++i) {
+                acc += row[i] * x[i];
+            }
+            y[o] = is_output ? acc : std::tanh(acc);
+        }
+    }
+    return ws.activations.back();
+}
+
+void Mlp::backward(const Workspace& ws, std::span<const double> grad_output,
+                   std::span<double> grad_params, std::vector<double>* grad_input) const {
+    if (grad_output.size() != layers_.back()) {
+        throw std::invalid_argument("Mlp::backward: wrong grad_output size");
+    }
+    if (grad_params.size() != params_.size()) {
+        throw std::invalid_argument("Mlp::backward: wrong grad_params size");
+    }
+    if (ws.activations.size() != layers_.size()) {
+        throw std::invalid_argument("Mlp::backward: workspace not from forward_cached");
+    }
+    std::vector<double> delta(grad_output.begin(), grad_output.end());
+    for (std::size_t l = layers_.size() - 1; l-- > 0;) {
+        const std::size_t in_dim = layers_[l];
+        const std::size_t out_dim = layers_[l + 1];
+        const double* w = params_.data() + weight_offset(l);
+        double* gw = grad_params.data() + weight_offset(l);
+        double* gb = grad_params.data() + bias_offset(l);
+        const std::vector<double>& x = ws.activations[l];
+        const std::vector<double>& y = ws.activations[l + 1];
+        const bool is_output = (l + 2 == layers_.size());
+
+        // For hidden layers y = tanh(pre), so dpre = delta * (1 - y^2).
+        if (!is_output) {
+            for (std::size_t o = 0; o < out_dim; ++o) {
+                delta[o] *= 1.0 - y[o] * y[o];
+            }
+        }
+        for (std::size_t o = 0; o < out_dim; ++o) {
+            const double d = delta[o];
+            if (d == 0.0) {
+                continue;
+            }
+            gb[o] += d;
+            double* grow = gw + o * in_dim;
+            for (std::size_t i = 0; i < in_dim; ++i) {
+                grow[i] += d * x[i];
+            }
+        }
+        if (l > 0 || grad_input != nullptr) {
+            std::vector<double> next_delta(in_dim, 0.0);
+            for (std::size_t o = 0; o < out_dim; ++o) {
+                const double d = delta[o];
+                if (d == 0.0) {
+                    continue;
+                }
+                const double* row = w + o * in_dim;
+                for (std::size_t i = 0; i < in_dim; ++i) {
+                    next_delta[i] += d * row[i];
+                }
+            }
+            delta = std::move(next_delta);
+        }
+    }
+    if (grad_input != nullptr) {
+        *grad_input = std::move(delta);
+    }
+}
+
+std::span<double> Mlp::output_bias() noexcept {
+    const std::size_t last = layers_.size() - 2;
+    return std::span<double>(params_.data() + bias_offset(last), layers_.back());
+}
+
+} // namespace mflb::rl

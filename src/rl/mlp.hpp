@@ -1,0 +1,60 @@
+/// \file mlp.hpp
+/// Fully-connected network with tanh hidden activations and a linear output
+/// layer — the paper's policy/value architecture (Fig. 2 shows 256-256 tanh).
+/// Implements manual reverse-mode differentiation; parameters and gradients
+/// are flat vectors so a single Adam instance optimizes the whole model.
+#pragma once
+
+#include "support/rng.hpp"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mflb::rl {
+
+/// Multi-layer perceptron with tanh hidden units.
+class Mlp {
+public:
+    /// \param layer_sizes e.g. {8, 256, 256, 144}: input, hidden..., output.
+    /// Weights use Xavier-uniform init; final layer is scaled down by 0.01
+    /// (standard policy-head practice so the initial policy is near-uniform).
+    Mlp(std::vector<std::size_t> layer_sizes, Rng& rng, double output_scale = 0.01);
+
+    std::size_t input_dim() const noexcept { return layers_.front(); }
+    std::size_t output_dim() const noexcept { return layers_.back(); }
+    std::size_t parameter_count() const noexcept { return params_.size(); }
+    std::span<double> parameters() noexcept { return params_; }
+    std::span<const double> parameters() const noexcept { return params_; }
+    void set_parameters(std::span<const double> params);
+    const std::vector<std::size_t>& layer_sizes() const noexcept { return layers_; }
+
+    /// Scratch space reused across forward/backward calls; owning it outside
+    /// the network keeps the network const-thread-safe for rollouts.
+    struct Workspace {
+        std::vector<std::vector<double>> activations; ///< act[0] = input, act[L] = output.
+    };
+
+    /// Plain inference.
+    std::vector<double> forward(std::span<const double> input) const;
+    /// Forward pass that records activations for a later backward().
+    std::vector<double> forward_cached(std::span<const double> input, Workspace& ws) const;
+    /// Accumulates dLoss/dparams into `grad_params` (size parameter_count())
+    /// given dLoss/doutput; optionally also returns dLoss/dinput.
+    void backward(const Workspace& ws, std::span<const double> grad_output,
+                  std::span<double> grad_params, std::vector<double>* grad_input = nullptr) const;
+
+    /// Mutable view of the output layer's bias vector (size output_dim()).
+    /// Used to initialize policy heads (e.g. the log-std bias).
+    std::span<double> output_bias() noexcept;
+
+private:
+    std::size_t weight_offset(std::size_t layer) const noexcept;
+    std::size_t bias_offset(std::size_t layer) const noexcept;
+
+    std::vector<std::size_t> layers_;
+    std::vector<double> params_;
+    std::vector<std::size_t> offsets_; ///< per layer: [w_offset, b_offset]...
+};
+
+} // namespace mflb::rl

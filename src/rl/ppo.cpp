@@ -1,0 +1,204 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace mflb::rl {
+
+namespace {
+std::vector<std::size_t> value_layers(std::size_t obs_dim,
+                                      const std::vector<std::size_t>& hidden) {
+    std::vector<std::size_t> layers;
+    layers.push_back(obs_dim);
+    layers.insert(layers.end(), hidden.begin(), hidden.end());
+    layers.push_back(1);
+    return layers;
+}
+} // namespace
+
+PpoTrainer::PpoTrainer(Env& env, PpoConfig config, Rng rng)
+    : env_(env),
+      config_(config),
+      rng_(rng),
+      policy_(env.observation_dim(), env.action_dim(), config.hidden, rng_),
+      value_net_(value_layers(env.observation_dim(), config.hidden), rng_, 1.0),
+      policy_opt_(policy_.parameter_count(), config.learning_rate),
+      value_opt_(value_net_.parameter_count(), config.learning_rate),
+      kl_coeff_(config.kl_coeff) {
+    if (config_.train_batch_size == 0 || config_.minibatch_size == 0 || config_.num_epochs == 0) {
+        throw std::invalid_argument("PpoTrainer: batch sizes and epochs must be positive");
+    }
+    if (config_.initial_log_std != 0.0) {
+        policy_.set_initial_log_std(config_.initial_log_std);
+    }
+}
+
+void PpoTrainer::collect_batch(RolloutBuffer& buffer, PpoIterationStats& stats) {
+    buffer.clear();
+    double return_sum = 0.0;
+    std::size_t episodes = 0;
+    while (!buffer.full()) {
+        if (!episode_active_) {
+            current_obs_ = env_.reset(rng_);
+            episode_return_ = 0.0;
+            episode_active_ = true;
+        }
+        Transition t;
+        t.observation = current_obs_;
+        const GaussianPolicy::Sample sample = policy_.sample(current_obs_, rng_);
+        t.action = sample.action;
+        t.log_prob = sample.log_prob;
+        t.moments = policy_.moments(current_obs_);
+        t.value = value_net_.forward(current_obs_)[0];
+
+        const Env::StepResult step = env_.step(sample.action, rng_);
+        t.reward = step.reward;
+        t.terminal = step.done;
+        episode_return_ += step.reward;
+        current_obs_ = step.observation;
+        if (step.done) {
+            episode_active_ = false;
+            return_sum += episode_return_;
+            ++episodes;
+        }
+        buffer.add(std::move(t));
+    }
+    const double bootstrap =
+        episode_active_ ? value_net_.forward(current_obs_)[0] : 0.0;
+    buffer.compute_gae(config_.discount, config_.gae_lambda, bootstrap);
+    if (config_.normalize_advantages) {
+        buffer.normalize_advantages();
+    }
+    timesteps_total_ += buffer.size();
+    stats.timesteps_total = timesteps_total_;
+    stats.episodes_completed = episodes;
+    stats.mean_episode_return = episodes > 0 ? return_sum / static_cast<double>(episodes) : 0.0;
+}
+
+void PpoTrainer::optimize_batch(RolloutBuffer& buffer, PpoIterationStats& stats) {
+    const std::size_t n = buffer.size();
+    std::vector<double> policy_grad(policy_.parameter_count(), 0.0);
+    std::vector<double> value_grad(value_net_.parameter_count(), 0.0);
+    Mlp::Workspace policy_ws;
+    Mlp::Workspace value_ws;
+
+    double kl_sum = 0.0;
+    double policy_loss_sum = 0.0;
+    double value_loss_sum = 0.0;
+    double entropy_sum = 0.0;
+    std::size_t sample_count = 0;
+
+    for (std::size_t epoch = 0; epoch < config_.num_epochs; ++epoch) {
+        const std::vector<std::uint32_t> order = rng_.permutation(n);
+        for (std::size_t start = 0; start < n; start += config_.minibatch_size) {
+            const std::size_t end = std::min(n, start + config_.minibatch_size);
+            const double inv_batch = 1.0 / static_cast<double>(end - start);
+            std::fill(policy_grad.begin(), policy_grad.end(), 0.0);
+            std::fill(value_grad.begin(), value_grad.end(), 0.0);
+
+            for (std::size_t pos = start; pos < end; ++pos) {
+                const Transition& t = buffer[order[pos]];
+                const double advantage = buffer.advantage(order[pos]);
+                const double value_target = buffer.value_target(order[pos]);
+
+                // --- policy terms ---
+                const GaussianPolicy::Eval eval =
+                    policy_.evaluate(t.observation, t.action, policy_ws);
+                const double ratio = std::exp(eval.log_prob - t.log_prob);
+                const double clipped =
+                    std::clamp(ratio, 1.0 - config_.clip_param, 1.0 + config_.clip_param);
+                const double surrogate = std::min(ratio * advantage, clipped * advantage);
+                const double kl = GaussianPolicy::kl(t.moments, eval.moments);
+
+                // d(-surrogate)/d logp: active only when the unclipped branch
+                // is the binding one.
+                const bool unclipped_active = ratio * advantage <= clipped * advantage;
+                const double d_logp =
+                    unclipped_active ? -advantage * ratio * inv_batch : 0.0;
+                const double d_entropy = -config_.entropy_coeff * inv_batch;
+                const double d_kl = kl_coeff_ * inv_batch;
+                policy_.backward(policy_ws, eval, t.action, d_logp, d_entropy, d_kl, &t.moments,
+                                 policy_grad);
+
+                // --- value term (clipped squared error, RLlib-style) ---
+                const double value = value_net_.forward_cached(t.observation, value_ws)[0];
+                const double error = value - value_target;
+                const double sq = error * error;
+                double d_value = 0.0;
+                if (sq <= config_.vf_clip_param) {
+                    d_value = config_.vf_loss_coeff * 2.0 * error * inv_batch;
+                }
+                const std::array<double, 1> grad_out{d_value};
+                value_net_.backward(value_ws, grad_out, value_grad);
+
+                policy_loss_sum += -surrogate;
+                value_loss_sum += std::min(sq, config_.vf_clip_param);
+                entropy_sum += eval.entropy;
+                kl_sum += kl;
+                ++sample_count;
+            }
+            policy_opt_.step(policy_.network().parameters(), policy_grad,
+                             config_.max_grad_norm);
+            value_opt_.step(value_net_.parameters(), value_grad, config_.max_grad_norm);
+        }
+    }
+
+    const double inv = sample_count > 0 ? 1.0 / static_cast<double>(sample_count) : 0.0;
+    stats.mean_kl = kl_sum * inv;
+    stats.policy_loss = policy_loss_sum * inv;
+    stats.value_loss = value_loss_sum * inv;
+    stats.entropy = entropy_sum * inv;
+
+    // Adaptive KL coefficient (RLlib's update_kl rule).
+    if (stats.mean_kl > 2.0 * config_.kl_target) {
+        kl_coeff_ *= 1.5;
+    } else if (stats.mean_kl < 0.5 * config_.kl_target) {
+        kl_coeff_ *= 0.5;
+    }
+    stats.kl_coeff = kl_coeff_;
+}
+
+PpoIterationStats PpoTrainer::train_iteration() {
+    RolloutBuffer buffer(config_.train_batch_size);
+    PpoIterationStats stats;
+    collect_batch(buffer, stats);
+    optimize_batch(buffer, stats);
+    history_.push_back(stats);
+    return stats;
+}
+
+std::vector<PpoIterationStats> PpoTrainer::train(
+    std::size_t iterations, const std::function<void(const PpoIterationStats&)>& on_iteration) {
+    for (std::size_t i = 0; i < iterations; ++i) {
+        const PpoIterationStats stats = train_iteration();
+        if (on_iteration) {
+            on_iteration(stats);
+        }
+    }
+    return history_;
+}
+
+double PpoTrainer::evaluate(std::size_t episodes) {
+    double total = 0.0;
+    for (std::size_t e = 0; e < episodes; ++e) {
+        std::vector<double> obs = env_.reset(rng_);
+        double episode_return = 0.0;
+        while (true) {
+            const std::vector<double> action = policy_.mean_action(obs);
+            const Env::StepResult step = env_.step(action, rng_);
+            episode_return += step.reward;
+            if (step.done) {
+                break;
+            }
+            obs = step.observation;
+        }
+        total += episode_return;
+    }
+    // Evaluation interrupts any in-flight collection episode.
+    episode_active_ = false;
+    return total / static_cast<double>(episodes);
+}
+
+} // namespace mflb::rl

@@ -1,0 +1,98 @@
+/// \file ppo.hpp
+/// Proximal Policy Optimization (Schulman et al., 2017) with the RLlib-style
+/// combination the paper trains with: clipped surrogate objective *plus* an
+/// adaptive KL penalty, a clipped value-function loss, and minibatched SGD
+/// epochs over each on-policy batch. Defaults reproduce Table 2 exactly
+/// (γ = 0.99, λ_RL = 1, KL coeff 0.2, clip 0.3, lr 5e-5, batch 4000,
+/// minibatch 128, 30 epochs).
+#pragma once
+
+#include "rl/adam.hpp"
+#include "rl/env.hpp"
+#include "rl/gaussian_policy.hpp"
+#include "rl/rollout_buffer.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace mflb::rl {
+
+/// Hyperparameters; defaults are the paper's Table 2.
+struct PpoConfig {
+    double discount = 0.99;           ///< γ.
+    double gae_lambda = 1.0;          ///< λ_RL.
+    double kl_coeff = 0.2;            ///< β, adapted toward kl_target.
+    double kl_target = 0.01;          ///< RLlib default target KL.
+    double clip_param = 0.3;          ///< ε.
+    double learning_rate = 5e-5;      ///< lr.
+    std::size_t train_batch_size = 4000; ///< B_b environment steps per iteration.
+    std::size_t minibatch_size = 128;    ///< B_m.
+    std::size_t num_epochs = 30;         ///< T_b SGD passes per batch.
+    double vf_loss_coeff = 1.0;
+    double vf_clip_param = 10.0;      ///< clip on squared value error (RLlib).
+    double entropy_coeff = 0.0;
+    double max_grad_norm = 0.0;       ///< 0 disables global-norm clipping.
+    bool normalize_advantages = true;
+    std::vector<std::size_t> hidden = {256, 256}; ///< tanh layers (Fig. 2).
+    /// Initial exploration log-std of the Gaussian head (0 = network
+    /// default, sigma ~ 1). Negative values tighten exploration — useful for
+    /// high-dimensional decision-rule actions at small step budgets.
+    double initial_log_std = 0.0;
+};
+
+/// Per-iteration training diagnostics (one row of the Fig. 3 curve).
+struct PpoIterationStats {
+    std::size_t timesteps_total = 0;     ///< cumulative env steps.
+    double mean_episode_return = 0.0;    ///< over episodes completed this iter.
+    std::size_t episodes_completed = 0;
+    double mean_kl = 0.0;
+    double policy_loss = 0.0;
+    double value_loss = 0.0;
+    double entropy = 0.0;
+    double kl_coeff = 0.0;               ///< coefficient after adaptation.
+};
+
+/// Single-environment PPO trainer.
+class PpoTrainer {
+public:
+    PpoTrainer(Env& env, PpoConfig config, Rng rng);
+
+    /// Collects one on-policy batch and performs the SGD epochs.
+    PpoIterationStats train_iteration();
+    /// Convenience: runs `iterations` and returns the full history.
+    std::vector<PpoIterationStats> train(std::size_t iterations,
+                                         const std::function<void(const PpoIterationStats&)>&
+                                             on_iteration = nullptr);
+
+    const GaussianPolicy& policy() const noexcept { return policy_; }
+    GaussianPolicy& policy() noexcept { return policy_; }
+    const Mlp& value_network() const noexcept { return value_net_; }
+    const std::vector<PpoIterationStats>& history() const noexcept { return history_; }
+    double current_kl_coeff() const noexcept { return kl_coeff_; }
+
+    /// Mean undiscounted return of the deterministic (mean-action) policy
+    /// over `episodes` fresh episodes.
+    double evaluate(std::size_t episodes);
+
+private:
+    void collect_batch(RolloutBuffer& buffer, PpoIterationStats& stats);
+    void optimize_batch(RolloutBuffer& buffer, PpoIterationStats& stats);
+
+    Env& env_;
+    PpoConfig config_;
+    Rng rng_;
+    GaussianPolicy policy_;
+    Mlp value_net_;
+    Adam policy_opt_;
+    Adam value_opt_;
+    double kl_coeff_;
+    std::vector<PpoIterationStats> history_;
+    std::size_t timesteps_total_ = 0;
+
+    // Persistent episode state so batches can cut across episode boundaries.
+    std::vector<double> current_obs_;
+    bool episode_active_ = false;
+    double episode_return_ = 0.0;
+};
+
+} // namespace mflb::rl

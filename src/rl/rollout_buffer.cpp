@@ -1,0 +1,69 @@
+#include "rl/rollout_buffer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mflb::rl {
+
+RolloutBuffer::RolloutBuffer(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+        throw std::invalid_argument("RolloutBuffer: capacity must be positive");
+    }
+    transitions_.reserve(capacity);
+}
+
+void RolloutBuffer::clear() {
+    transitions_.clear();
+    advantages_.clear();
+    returns_.clear();
+}
+
+void RolloutBuffer::add(Transition transition) {
+    if (full()) {
+        throw std::logic_error("RolloutBuffer::add: buffer full");
+    }
+    transitions_.push_back(std::move(transition));
+}
+
+void RolloutBuffer::compute_gae(double discount, double gae_lambda, double bootstrap_value) {
+    const std::size_t n = transitions_.size();
+    advantages_.assign(n, 0.0);
+    returns_.assign(n, 0.0);
+    double advantage = 0.0;
+    double next_value = bootstrap_value;
+    for (std::size_t i = n; i-- > 0;) {
+        const Transition& t = transitions_[i];
+        if (t.terminal) {
+            next_value = 0.0;
+            advantage = 0.0;
+        }
+        const double delta = t.reward + discount * next_value - t.value;
+        advantage = delta + discount * gae_lambda * advantage;
+        advantages_[i] = advantage;
+        returns_[i] = advantage + t.value;
+        next_value = t.value;
+    }
+}
+
+void RolloutBuffer::normalize_advantages() noexcept {
+    const std::size_t n = advantages_.size();
+    if (n < 2) {
+        return;
+    }
+    double mean = 0.0;
+    for (double a : advantages_) {
+        mean += a;
+    }
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (double a : advantages_) {
+        var += (a - mean) * (a - mean);
+    }
+    var /= static_cast<double>(n);
+    const double stddev = std::sqrt(var) + 1e-8;
+    for (double& a : advantages_) {
+        a = (a - mean) / stddev;
+    }
+}
+
+} // namespace mflb::rl

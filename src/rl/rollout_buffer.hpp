@@ -1,0 +1,56 @@
+/// \file rollout_buffer.hpp
+/// On-policy trajectory storage with Generalized Advantage Estimation
+/// (Schulman et al., 2016). The paper trains with GAE λ_RL = 1 (Table 2),
+/// i.e. plain discounted-return advantages; the general λ implementation is
+/// kept for ablations.
+#pragma once
+
+#include "rl/gaussian_policy.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace mflb::rl {
+
+/// One environment transition, with the sampling distribution's moments
+/// recorded for the PPO KL penalty.
+struct Transition {
+    std::vector<double> observation;
+    std::vector<double> action;
+    double reward = 0.0;
+    double value = 0.0;    ///< V(s) under the critic at collection time.
+    double log_prob = 0.0; ///< log π_old(a|s).
+    bool terminal = false; ///< true if the episode ended at this step.
+    GaussianPolicy::Moments moments; ///< π_old moments at s.
+};
+
+/// Fixed-capacity on-policy buffer with GAE post-processing.
+class RolloutBuffer {
+public:
+    explicit RolloutBuffer(std::size_t capacity);
+
+    void clear();
+    bool full() const noexcept { return transitions_.size() >= capacity_; }
+    std::size_t size() const noexcept { return transitions_.size(); }
+    const Transition& operator[](std::size_t i) const { return transitions_[i]; }
+
+    void add(Transition transition);
+
+    /// Computes advantages and returns-to-go. `bootstrap_value` is V(s_T)
+    /// for a trajectory truncated (not terminated) at the buffer boundary.
+    void compute_gae(double discount, double gae_lambda, double bootstrap_value);
+
+    /// Standardizes advantages to zero mean / unit std (RLlib default).
+    void normalize_advantages() noexcept;
+
+    double advantage(std::size_t i) const { return advantages_[i]; }
+    double value_target(std::size_t i) const { return returns_[i]; }
+
+private:
+    std::size_t capacity_;
+    std::vector<Transition> transitions_;
+    std::vector<double> advantages_;
+    std::vector<double> returns_;
+};
+
+} // namespace mflb::rl

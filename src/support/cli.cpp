@@ -1,0 +1,118 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mflb {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {
+    flag("help", "false", "Print this help text");
+}
+
+CliParser& CliParser::flag(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+    flags_[name] = Flag{default_value, help, std::nullopt};
+    return *this;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
+                         usage().c_str());
+            return false;
+        }
+        arg = arg.substr(2);
+        std::string name = arg;
+        std::optional<std::string> value;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end()) {
+            std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(), usage().c_str());
+            return false;
+        }
+        if (!value) {
+            const bool is_bool_flag =
+                it->second.default_value == "true" || it->second.default_value == "false";
+            if (!is_bool_flag && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true"; // boolean-style flag
+            }
+        }
+        it->second.value = value;
+    }
+    if (get_bool("help")) {
+        std::fputs(usage().c_str(), stdout);
+        return false;
+    }
+    return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+        throw std::invalid_argument("unregistered flag: " + name);
+    }
+    return it->second.value.value_or(it->second.default_value);
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+    return std::stoll(get(name));
+}
+
+double CliParser::get_double(const std::string& name) const {
+    return std::stod(get(name));
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+    const std::string v = get(name);
+    return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> CliParser::get_int_list(const std::string& name) const {
+    std::vector<std::int64_t> values;
+    std::stringstream ss(get(name));
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+        if (!token.empty()) {
+            values.push_back(std::stoll(token));
+        }
+    }
+    return values;
+}
+
+std::vector<double> CliParser::get_double_list(const std::string& name) const {
+    std::vector<double> values;
+    std::stringstream ss(get(name));
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+        if (!token.empty()) {
+            values.push_back(std::stod(token));
+        }
+    }
+    return values;
+}
+
+bool CliParser::provided(const std::string& name) const {
+    auto it = flags_.find(name);
+    return it != flags_.end() && it->second.value.has_value();
+}
+
+std::string CliParser::usage() const {
+    std::ostringstream out;
+    out << description_ << "\n\nFlags:\n";
+    for (const auto& [name, f] : flags_) {
+        out << "  --" << name << " (default: " << f.default_value << ")\n      " << f.help
+            << "\n";
+    }
+    return out.str();
+}
+
+} // namespace mflb

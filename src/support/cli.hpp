@@ -1,0 +1,53 @@
+/// \file cli.hpp
+/// Tiny declarative command-line flag parser for the bench and example
+/// binaries. Supports `--name value`, `--name=value` and boolean `--name`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mflb {
+
+/// Declarative flag registry; register flags, then parse argv.
+class CliParser {
+public:
+    explicit CliParser(std::string program_description);
+
+    /// Registers a flag with a default value and help text. Returns *this
+    /// for chaining.
+    CliParser& flag(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+
+    /// Parses argv. Returns false (and prints usage) on `--help` or an
+    /// unknown/malformed flag.
+    bool parse(int argc, const char* const* argv);
+
+    std::string get(const std::string& name) const;
+    std::int64_t get_int(const std::string& name) const;
+    double get_double(const std::string& name) const;
+    bool get_bool(const std::string& name) const;
+    /// Parses a comma-separated list of integers, e.g. "100,200,400".
+    std::vector<std::int64_t> get_int_list(const std::string& name) const;
+    /// Parses a comma-separated list of doubles.
+    std::vector<double> get_double_list(const std::string& name) const;
+
+    /// True if the user supplied the flag explicitly (vs. default).
+    bool provided(const std::string& name) const;
+
+    std::string usage() const;
+
+private:
+    struct Flag {
+        std::string default_value;
+        std::string help;
+        std::optional<std::string> value;
+    };
+
+    std::string description_;
+    std::map<std::string, Flag> flags_;
+};
+
+} // namespace mflb

@@ -1,0 +1,49 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace mflb {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_log_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+    switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+    }
+    return "?";
+}
+} // namespace
+
+void set_log_level(LogLevel level) noexcept {
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+    if (level < log_level()) {
+        return;
+    }
+    using clock = std::chrono::system_clock;
+    const auto now = clock::now();
+    const auto secs = std::chrono::duration_cast<std::chrono::seconds>(now.time_since_epoch());
+    const auto millis =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch()) -
+        std::chrono::duration_cast<std::chrono::milliseconds>(secs);
+    std::lock_guard lock(g_log_mutex);
+    std::fprintf(stderr, "[%lld.%03lld %s] %s\n", static_cast<long long>(secs.count()),
+                 static_cast<long long>(millis.count()), level_name(level), message.c_str());
+}
+
+} // namespace mflb

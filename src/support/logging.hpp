@@ -1,0 +1,57 @@
+/// \file logging.hpp
+/// Leveled stderr logger with wall-clock timestamps. Benches log progress at
+/// Info; tests silence everything below Warn via set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mflb {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+    std::ostringstream out;
+    (out << ... << std::forward<Args>(args));
+    return out.str();
+}
+} // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+    if (log_level() <= LogLevel::Debug) {
+        log_message(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+    if (log_level() <= LogLevel::Info) {
+        log_message(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+    if (log_level() <= LogLevel::Warn) {
+        log_message(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+    if (log_level() <= LogLevel::Error) {
+        log_message(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+} // namespace mflb

@@ -1,0 +1,159 @@
+#include "support/serialization.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mflb {
+
+namespace {
+std::string format_double(double v) {
+    std::ostringstream out;
+    out << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+    return out.str();
+}
+
+std::string trim(const std::string& s) {
+    const auto begin = s.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) {
+        return {};
+    }
+    const auto end = s.find_last_not_of(" \t\r\n");
+    return s.substr(begin, end - begin + 1);
+}
+} // namespace
+
+void Archive::put(const std::string& key, double value) {
+    scalars_[key] = format_double(value);
+}
+
+void Archive::put(const std::string& key, std::int64_t value) {
+    scalars_[key] = std::to_string(value);
+}
+
+void Archive::put(const std::string& key, const std::string& value) {
+    scalars_[key] = value;
+}
+
+void Archive::put(const std::string& key, const std::vector<double>& values) {
+    vectors_[key] = values;
+}
+
+bool Archive::contains(const std::string& key) const {
+    return scalars_.count(key) > 0 || vectors_.count(key) > 0;
+}
+
+double Archive::get_double(const std::string& key) const {
+    auto it = scalars_.find(key);
+    if (it == scalars_.end()) {
+        throw std::invalid_argument("Archive: missing scalar key '" + key + "'");
+    }
+    return std::stod(it->second);
+}
+
+std::int64_t Archive::get_int(const std::string& key) const {
+    auto it = scalars_.find(key);
+    if (it == scalars_.end()) {
+        throw std::invalid_argument("Archive: missing scalar key '" + key + "'");
+    }
+    return std::stoll(it->second);
+}
+
+std::string Archive::get_string(const std::string& key) const {
+    auto it = scalars_.find(key);
+    if (it == scalars_.end()) {
+        throw std::invalid_argument("Archive: missing scalar key '" + key + "'");
+    }
+    return it->second;
+}
+
+std::vector<double> Archive::get_vector(const std::string& key) const {
+    auto it = vectors_.find(key);
+    if (it == vectors_.end()) {
+        throw std::invalid_argument("Archive: missing vector key '" + key + "'");
+    }
+    return it->second;
+}
+
+std::string Archive::to_string() const {
+    std::ostringstream out;
+    for (const auto& [key, value] : scalars_) {
+        out << key << " = " << value << '\n';
+    }
+    for (const auto& [key, values] : vectors_) {
+        out << key << " = [";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (i > 0) {
+                out << ", ";
+            }
+            out << format_double(values[i]);
+        }
+        out << "]\n";
+    }
+    return out.str();
+}
+
+Archive Archive::from_string(const std::string& text) {
+    Archive archive;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::string trimmed = trim(line);
+        if (trimmed.empty() || trimmed[0] == '#') {
+            continue;
+        }
+        const auto eq = trimmed.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument("Archive: missing '=' on line " + std::to_string(line_no));
+        }
+        const std::string key = trim(trimmed.substr(0, eq));
+        const std::string value = trim(trimmed.substr(eq + 1));
+        if (key.empty()) {
+            throw std::invalid_argument("Archive: empty key on line " + std::to_string(line_no));
+        }
+        if (!value.empty() && value.front() == '[') {
+            if (value.back() != ']') {
+                throw std::invalid_argument("Archive: unterminated vector on line " +
+                                            std::to_string(line_no));
+            }
+            std::vector<double> values;
+            std::stringstream items(value.substr(1, value.size() - 2));
+            std::string item;
+            while (std::getline(items, item, ',')) {
+                const std::string t = trim(item);
+                if (!t.empty()) {
+                    values.push_back(std::stod(t));
+                }
+            }
+            archive.vectors_[key] = std::move(values);
+        } else {
+            archive.scalars_[key] = value;
+        }
+    }
+    return archive;
+}
+
+bool Archive::save(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) {
+        return false;
+    }
+    file << to_string();
+    return static_cast<bool>(file);
+}
+
+Archive Archive::load(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) {
+        throw std::invalid_argument("Archive: cannot open '" + path + "'");
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return from_string(buffer.str());
+}
+
+} // namespace mflb

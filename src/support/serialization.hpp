@@ -1,0 +1,46 @@
+/// \file serialization.hpp
+/// Human-readable key/value archive used to persist trained policies and
+/// experiment configurations. The format is line-oriented:
+///
+///     key = scalar
+///     key = [v0, v1, ...]
+///
+/// Doubles round-trip exactly (hex-float free, max_digits10 precision), which
+/// is enough to reload a policy and reproduce evaluation numbers bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mflb {
+
+/// In-memory archive of named scalars and vectors.
+class Archive {
+public:
+    void put(const std::string& key, double value);
+    void put(const std::string& key, std::int64_t value);
+    void put(const std::string& key, const std::string& value);
+    void put(const std::string& key, const std::vector<double>& values);
+
+    bool contains(const std::string& key) const;
+    double get_double(const std::string& key) const;
+    std::int64_t get_int(const std::string& key) const;
+    std::string get_string(const std::string& key) const;
+    std::vector<double> get_vector(const std::string& key) const;
+
+    /// Serializes all entries in key order.
+    std::string to_string() const;
+    /// Parses the textual form; throws std::invalid_argument on bad syntax.
+    static Archive from_string(const std::string& text);
+
+    bool save(const std::string& path) const;
+    static Archive load(const std::string& path);
+
+private:
+    std::map<std::string, std::string> scalars_;
+    std::map<std::string, std::vector<double>> vectors_;
+};
+
+} // namespace mflb

@@ -1,0 +1,85 @@
+/// \file statistics.hpp
+/// Streaming statistics and confidence intervals for Monte Carlo estimates.
+///
+/// Every figure in the paper reports means with 95% confidence intervals over
+/// n = 100 independent simulations; `RunningStat` (Welford) accumulates the
+/// replications and `confidence_interval_95` turns them into the shaded
+/// regions / error bars of Figures 4-6.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mflb {
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+class RunningStat {
+public:
+    /// Adds one observation.
+    void add(double x) noexcept;
+    /// Merges another accumulator (parallel reduction; Chan et al.).
+    void merge(const RunningStat& other) noexcept;
+
+    std::size_t count() const noexcept { return count_; }
+    double mean() const noexcept { return mean_; }
+    /// Unbiased sample variance; 0 for fewer than two observations.
+    double variance() const noexcept;
+    double stddev() const noexcept;
+    /// Standard error of the mean; 0 for fewer than two observations.
+    double standard_error() const noexcept;
+    double min() const noexcept { return min_; }
+    double max() const noexcept { return max_; }
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Symmetric confidence half-width around the mean.
+struct ConfidenceInterval {
+    double mean = 0.0;
+    double half_width = 0.0;
+    std::size_t n = 0;
+
+    double lower() const noexcept { return mean - half_width; }
+    double upper() const noexcept { return mean + half_width; }
+};
+
+/// 95% CI using the Student-t critical value (normal for large n).
+ConfidenceInterval confidence_interval_95(const RunningStat& stat) noexcept;
+
+/// Two-sided Student-t critical value at 97.5% for `dof` degrees of freedom.
+/// Exact tabulated values for small dof, asymptotic 1.959964 beyond.
+double student_t_975(std::size_t dof) noexcept;
+
+/// Mean of a sample.
+double mean_of(std::span<const double> xs) noexcept;
+/// Unbiased sample variance.
+double variance_of(std::span<const double> xs) noexcept;
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x) noexcept;
+    std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+    std::size_t bins() const noexcept { return counts_.size(); }
+    std::size_t total() const noexcept { return total_; }
+    double bin_lower(std::size_t i) const noexcept;
+    /// Renders a compact ASCII bar chart (used by example binaries).
+    std::string ascii(std::size_t width = 40) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace mflb

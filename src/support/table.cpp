@@ -1,0 +1,98 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace mflb {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+    cells_.emplace_back();
+    return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+    if (cells_.empty()) {
+        row();
+    }
+    cells_.back().push_back(value);
+    return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return cell(out.str());
+}
+
+Table& Table::cell(std::int64_t value) {
+    return cell(std::to_string(value));
+}
+
+Table& Table::cell_ci(double mean, double half_width, int precision) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << mean << " +- " << half_width;
+    return cell(out.str());
+}
+
+std::string Table::to_text() const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& r : cells_) {
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+            widths[c] = std::max(widths[c], r[c].size());
+        }
+    }
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& r) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& v = c < r.size() ? r[c] : std::string{};
+            out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << v;
+        }
+        out << '\n';
+    };
+    emit_row(headers_);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        out << std::string(widths[c], '-') << "  ";
+    }
+    out << '\n';
+    for (const auto& r : cells_) {
+        emit_row(r);
+    }
+    return out.str();
+}
+
+std::string Table::to_csv() const {
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string>& r) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            if (c > 0) {
+                out << ',';
+            }
+            out << r[c];
+        }
+        out << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : cells_) {
+        emit(r);
+    }
+    return out.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) {
+        return false;
+    }
+    file << to_csv();
+    return static_cast<bool>(file);
+}
+
+} // namespace mflb

@@ -1,0 +1,39 @@
+/// \file table.hpp
+/// Aligned text tables and CSV export for the benchmark harness. Every bench
+/// binary prints the rows/series of the corresponding paper figure through
+/// this writer so output is uniform and machine-parsable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mflb {
+
+/// Column-aligned table accumulating string cells; renders as padded text or
+/// CSV. Numeric helpers format with fixed precision.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Starts a new row; subsequent cell() calls append to it.
+    Table& row();
+    Table& cell(const std::string& value);
+    Table& cell(double value, int precision = 4);
+    Table& cell(std::int64_t value);
+    /// Formats "mean ± half_width".
+    Table& cell_ci(double mean, double half_width, int precision = 3);
+
+    std::string to_text() const;
+    std::string to_csv() const;
+    /// Writes CSV to a file path; returns false on I/O failure.
+    bool write_csv(const std::string& path) const;
+
+    std::size_t rows() const noexcept { return cells_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> cells_;
+};
+
+} // namespace mflb

@@ -1,0 +1,95 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+
+namespace mflb {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        std::lock_guard lock(mutex_);
+        tasks_.push(std::move(task));
+        ++in_flight_;
+    }
+    task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (stopping_ && tasks_.empty()) {
+                return;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0) {
+                all_done_.notify_all();
+            }
+        }
+    }
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+    if (n == 0) {
+        return;
+    }
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    threads = std::min(threads, n);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            body(i);
+        }
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+            for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+                body(i);
+            }
+        });
+    }
+    for (auto& worker : workers) {
+        worker.join();
+    }
+}
+
+} // namespace mflb

@@ -1,0 +1,100 @@
+// Tests for the cross-entropy method optimizer.
+#include "rl/cem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mflb::rl {
+namespace {
+
+TEST(Cem, ValidatesConfig) {
+    CemConfig bad;
+    bad.elites = 0;
+    Rng rng(1);
+    const std::vector<double> x0{0.0};
+    const auto objective = [](std::span<const double>, Rng&) { return 0.0; };
+    EXPECT_THROW(cem_maximize(objective, x0, bad, rng), std::invalid_argument);
+    bad.elites = 100;
+    bad.population = 10;
+    EXPECT_THROW(cem_maximize(objective, x0, bad, rng), std::invalid_argument);
+}
+
+TEST(Cem, MaximizesSmoothQuadratic) {
+    const std::vector<double> target{2.0, -1.0, 0.5, 3.0};
+    const auto objective = [&](std::span<const double> x, Rng&) {
+        double loss = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            loss += (x[i] - target[i]) * (x[i] - target[i]);
+        }
+        return -loss;
+    };
+    CemConfig config;
+    config.generations = 60;
+    Rng rng(2);
+    const std::vector<double> x0(4, 0.0);
+    const auto result = cem_maximize(objective, x0, config, rng);
+    EXPECT_GT(result.best_score, -0.05);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_NEAR(result.best_parameters[i], target[i], 0.2);
+    }
+}
+
+TEST(Cem, HandlesNoisyObjective) {
+    // Noisy 1-D objective with optimum at 1.5.
+    const auto objective = [](std::span<const double> x, Rng& rng) {
+        return -(x[0] - 1.5) * (x[0] - 1.5) + 0.05 * rng.normal();
+    };
+    CemConfig config;
+    config.generations = 50;
+    Rng rng(3);
+    const std::vector<double> x0{-3.0};
+    const auto result = cem_maximize(objective, x0, config, rng);
+    EXPECT_NEAR(result.best_parameters[0], 1.5, 0.4);
+}
+
+TEST(Cem, HistoryIsMonotoneInBestScoreEnvelope) {
+    const auto objective = [](std::span<const double> x, Rng&) { return -x[0] * x[0]; };
+    CemConfig config;
+    config.generations = 20;
+    Rng rng(4);
+    const std::vector<double> x0{5.0};
+    const auto result = cem_maximize(objective, x0, config, rng);
+    ASSERT_EQ(result.history.size(), 20u);
+    // The running best (envelope) never decreases.
+    double best = -1e300;
+    for (const auto& g : result.history) {
+        best = std::max(best, g.best_score);
+        EXPECT_LE(g.elite_mean_score, g.best_score + 1e-12);
+        EXPECT_LE(g.population_mean_score, g.best_score + 1e-12);
+    }
+    EXPECT_GE(result.best_score, best - 1e-12);
+}
+
+TEST(Cem, NoiseFloorKeepsStdPositive) {
+    const auto objective = [](std::span<const double> x, Rng&) { return -x[0] * x[0]; };
+    CemConfig config;
+    config.generations = 100;
+    config.min_std = 0.05;
+    Rng rng(5);
+    const std::vector<double> x0{0.0};
+    const auto result = cem_maximize(objective, x0, config, rng);
+    EXPECT_GE(result.history.back().mean_std, 0.05 - 1e-12);
+}
+
+TEST(Cem, DeterministicGivenSeed) {
+    const auto objective = [](std::span<const double> x, Rng& rng) {
+        return -(x[0] - 2.0) * (x[0] - 2.0) + 0.01 * rng.normal();
+    };
+    CemConfig config;
+    config.generations = 10;
+    auto run = [&] {
+        Rng rng(42);
+        const std::vector<double> x0{0.0};
+        return cem_maximize(objective, x0, config, rng).best_score;
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+} // namespace
+} // namespace mflb::rl

@@ -1,0 +1,120 @@
+// Tests for decision rules h : Z^d -> P(U), eqs. (34)-(35) and the
+// parameterized families.
+#include "field/decision_rule.hpp"
+#include "math/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mflb {
+namespace {
+
+TEST(DecisionRule, DefaultIsUniform) {
+    const TupleSpace space(6, 2);
+    const DecisionRule rule(space);
+    EXPECT_TRUE(rule.is_valid());
+    for (std::size_t r = 0; r < rule.rows(); ++r) {
+        EXPECT_DOUBLE_EQ(rule.prob(r, 0), 0.5);
+        EXPECT_DOUBLE_EQ(rule.prob(r, 1), 0.5);
+    }
+}
+
+TEST(DecisionRule, MfJsqPutsMassOnShortest) {
+    const TupleSpace space(6, 2);
+    const DecisionRule jsq = DecisionRule::mf_jsq(space);
+    EXPECT_TRUE(jsq.is_valid());
+    // (z0=1, z1=4): all mass on coordinate 0.
+    const std::vector<int> t{1, 4};
+    const std::size_t idx = space.index_of(t);
+    EXPECT_DOUBLE_EQ(jsq.prob(idx, 0), 1.0);
+    EXPECT_DOUBLE_EQ(jsq.prob(idx, 1), 0.0);
+    // Ties split uniformly.
+    const std::vector<int> tie{3, 3};
+    const std::size_t tie_idx = space.index_of(tie);
+    EXPECT_DOUBLE_EQ(jsq.prob(tie_idx, 0), 0.5);
+    EXPECT_DOUBLE_EQ(jsq.prob(tie_idx, 1), 0.5);
+}
+
+TEST(DecisionRule, MfJsqThreeWayTies) {
+    const TupleSpace space(4, 3);
+    const DecisionRule jsq = DecisionRule::mf_jsq(space);
+    const std::vector<int> tie{2, 2, 2};
+    const std::size_t idx = space.index_of(tie);
+    for (int u = 0; u < 3; ++u) {
+        EXPECT_NEAR(jsq.prob(idx, u), 1.0 / 3.0, 1e-12);
+    }
+    const std::vector<int> partial{1, 3, 1};
+    const std::size_t pidx = space.index_of(partial);
+    EXPECT_DOUBLE_EQ(jsq.prob(pidx, 0), 0.5);
+    EXPECT_DOUBLE_EQ(jsq.prob(pidx, 1), 0.0);
+    EXPECT_DOUBLE_EQ(jsq.prob(pidx, 2), 0.5);
+}
+
+TEST(DecisionRule, GreedySoftmaxInterpolatesJsqAndRnd) {
+    const TupleSpace space(6, 2);
+    const DecisionRule rnd_like = DecisionRule::greedy_softmax(space, 0.0);
+    EXPECT_LT(rnd_like.max_abs_diff(DecisionRule::mf_rnd(space)), 1e-12);
+
+    const DecisionRule jsq_like = DecisionRule::greedy_softmax(space, 60.0);
+    EXPECT_LT(jsq_like.max_abs_diff(DecisionRule::mf_jsq(space)), 1e-9);
+
+    const DecisionRule middle = DecisionRule::greedy_softmax(space, 1.0);
+    const std::vector<int> t{0, 2};
+    const std::size_t idx = space.index_of(t);
+    EXPECT_GT(middle.prob(idx, 0), 0.5);
+    EXPECT_LT(middle.prob(idx, 0), 1.0);
+    EXPECT_THROW(DecisionRule::greedy_softmax(space, -1.0), std::invalid_argument);
+}
+
+TEST(DecisionRule, FromLogitsIsRowSoftmax) {
+    const TupleSpace space(2, 2);
+    std::vector<double> logits(space.size() * 2, 0.0);
+    logits[0] = std::log(3.0); // first row: (3, 1)/4
+    const DecisionRule rule = DecisionRule::from_logits(space, logits);
+    EXPECT_TRUE(rule.is_valid());
+    EXPECT_NEAR(rule.prob(0, 0), 0.75, 1e-12);
+    EXPECT_NEAR(rule.prob(1, 0), 0.5, 1e-12);
+    EXPECT_THROW(DecisionRule::from_logits(space, std::vector<double>(3, 0.0)),
+                 std::invalid_argument);
+}
+
+TEST(DecisionRule, FromProbabilitiesClampsAndRenormalizes) {
+    const TupleSpace space(2, 2);
+    std::vector<double> probs(space.size() * 2, 0.0);
+    probs[0] = -5.0; // clamped to 0
+    probs[1] = 2.0;
+    const DecisionRule rule = DecisionRule::from_probabilities(space, probs);
+    EXPECT_TRUE(rule.is_valid());
+    EXPECT_DOUBLE_EQ(rule.prob(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(rule.prob(0, 1), 1.0);
+    // All-zero row becomes uniform.
+    EXPECT_DOUBLE_EQ(rule.prob(1, 0), 0.5);
+}
+
+TEST(DecisionRule, SetRowValidation) {
+    const TupleSpace space(3, 2);
+    DecisionRule rule(space);
+    const std::vector<double> row{0.3, 0.7};
+    rule.set_row(4, row);
+    EXPECT_DOUBLE_EQ(rule.prob(4, 1), 0.7);
+    EXPECT_THROW(rule.set_row(0, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+// Property: every generated rule in the Boltzmann family is row-stochastic.
+class BoltzmannValidity : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoltzmannValidity, RowsAreStochastic) {
+    const TupleSpace space(6, 3);
+    const DecisionRule rule = DecisionRule::greedy_softmax(space, GetParam());
+    EXPECT_TRUE(rule.is_valid(1e-9));
+    for (std::size_t r = 0; r < rule.rows(); ++r) {
+        EXPECT_TRUE(is_probability_vector(rule.row(r), 1e-9));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, BoltzmannValidity,
+                         ::testing::Values(0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 25.0));
+
+} // namespace
+} // namespace mflb

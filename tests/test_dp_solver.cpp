@@ -1,0 +1,149 @@
+// Tests for the simplex grid and the value-iteration solver.
+#include "core/dp_solver.hpp"
+#include "core/evaluator.hpp"
+#include "math/simplex.hpp"
+#include "policies/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mflb {
+namespace {
+
+TEST(SimplexGrid, LatticeSizeIsBinomialCoefficient) {
+    EXPECT_EQ(SimplexGrid::lattice_size(2, 4), 5u);   // C(5,1)
+    EXPECT_EQ(SimplexGrid::lattice_size(3, 4), 15u);  // C(6,2)
+    EXPECT_EQ(SimplexGrid::lattice_size(6, 8), 1287u); // C(13,5)
+    const SimplexGrid grid(3, 4);
+    EXPECT_EQ(grid.size(), 15u);
+}
+
+TEST(SimplexGrid, PointsAreProbabilityVectors) {
+    const SimplexGrid grid(4, 5);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_TRUE(is_probability_vector(grid.point(i), 1e-12)) << "i=" << i;
+    }
+}
+
+TEST(SimplexGrid, ProjectionIsIdentityOnGridPoints) {
+    const SimplexGrid grid(5, 6);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(grid.project(grid.point(i)), i);
+    }
+}
+
+TEST(SimplexGrid, ProjectionIsCloseInL1) {
+    const SimplexGrid grid(6, 8);
+    Rng rng(1);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<double> weights(6);
+        for (double& w : weights) {
+            w = rng.uniform() + 1e-6;
+        }
+        const std::vector<double> nu = normalized(weights);
+        const std::size_t idx = grid.project(nu);
+        const double distortion = l1_distance(nu, grid.point(idx));
+        // Largest-remainder rounding distorts each coordinate by < 1/R.
+        EXPECT_LT(distortion, 6.0 / 8.0);
+        EXPECT_LT(distortion, 0.5); // typically much tighter
+    }
+}
+
+TEST(SimplexGrid, Validation) {
+    EXPECT_THROW(SimplexGrid(0, 4), std::invalid_argument);
+    EXPECT_THROW(SimplexGrid(3, 0), std::invalid_argument);
+    const SimplexGrid grid(3, 4);
+    EXPECT_THROW(grid.project(std::vector<double>{0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(DpSolver, ConvergesAndProducesSaneValues) {
+    MfcConfig config;
+    config.dt = 5.0;
+    config.horizon = 50;
+    DpConfig dp;
+    dp.resolution = 4; // tiny grid for speed: C(9,5) = 126 points
+    dp.betas = {0.0, 1.0, 1e6};
+    const auto [policy, stats] = solve_mfc_dp(config, dp);
+    EXPECT_GT(stats.sweeps, 10u);
+    EXPECT_LT(stats.final_residual, dp.tolerance + 1e-12);
+    EXPECT_EQ(stats.states, 126u * 2u);
+    EXPECT_EQ(stats.actions, 3u);
+    // Values are negative discounted drops, bounded by the all-drop rate.
+    const double bound = 2.0 * 0.9 * config.dt / (1.0 - config.discount);
+    for (std::size_t p = 0; p < policy.grid().size(); ++p) {
+        for (std::size_t l = 0; l < 2; ++l) {
+            EXPECT_LE(policy.value(p, l), 1e-9);
+            EXPECT_GE(policy.value(p, l), -bound);
+        }
+    }
+}
+
+TEST(DpSolver, GreedyPolicyBeatsBothBaselinesAtIntermediateDelay) {
+    MfcConfig config;
+    config.dt = 5.0;
+    config.horizon = 60;
+    DpConfig dp;
+    dp.resolution = 6; // C(11,5) = 462 points
+    const auto [policy, stats] = solve_mfc_dp(config, dp);
+
+    const TupleSpace space(config.queue.num_states(), config.d);
+    const std::size_t episodes = 30;
+    const EvaluationResult dp_eval = evaluate_mfc(config, policy, episodes, 77);
+    const EvaluationResult jsq = evaluate_mfc(config, make_jsq_policy(space), episodes, 77);
+    const EvaluationResult rnd = evaluate_mfc(config, make_rnd_policy(space), episodes, 77);
+    EXPECT_LT(dp_eval.total_drops.mean, jsq.total_drops.mean);
+    EXPECT_LT(dp_eval.total_drops.mean, rnd.total_drops.mean);
+}
+
+TEST(DpSolver, PolicyIsGreedyWithRespectToItsOwnValues) {
+    MfcConfig config;
+    config.dt = 5.0;
+    config.horizon = 30;
+    DpConfig dp;
+    dp.resolution = 4;
+    dp.betas = {0.0, 1e6};
+    const auto [policy, stats] = solve_mfc_dp(config, dp);
+    (void)stats;
+    // The returned action index at each state is one of the provided rules.
+    for (std::size_t p = 0; p < std::min<std::size_t>(policy.grid().size(), 20); ++p) {
+        for (std::size_t l = 0; l < 2; ++l) {
+            EXPECT_LT(policy.greedy_action(p, l), policy.num_actions());
+        }
+    }
+    // decide() projects and returns a valid rule.
+    Rng rng(3);
+    const std::vector<double> nu{0.35, 0.3, 0.15, 0.1, 0.06, 0.04};
+    const DecisionRule rule = policy.decide(nu, 0, rng);
+    EXPECT_TRUE(rule.is_valid());
+    EXPECT_THROW(policy.decide(nu, 5, rng), std::out_of_range);
+}
+
+TEST(DpSolver, GreedierActionsChosenAtSmallDelay) {
+    // At dt = 1 the DP policy should mostly pick high-beta (greedy) actions;
+    // at dt = 10 mostly low-beta ones. Measure the mean chosen beta index
+    // over the grid (weighted by nothing — uniform over grid points).
+    DpConfig dp;
+    dp.resolution = 4;
+    dp.betas = {0.0, 1.0, 1e6};
+    auto mean_action_index = [&](double dt) {
+        MfcConfig config;
+        config.dt = dt;
+        config.horizon = 30;
+        const auto [policy, stats] = solve_mfc_dp(config, dp);
+        (void)stats;
+        double total = 0.0;
+        std::size_t count = 0;
+        for (std::size_t p = 0; p < policy.grid().size(); ++p) {
+            for (std::size_t l = 0; l < 2; ++l) {
+                total += static_cast<double>(policy.greedy_action(p, l));
+                ++count;
+            }
+        }
+        return total / static_cast<double>(count);
+    };
+    EXPECT_GT(mean_action_index(1.0), mean_action_index(10.0));
+}
+
+} // namespace
+} // namespace mflb

@@ -1,0 +1,186 @@
+// Cross-validation of the three exponential-propagation methods: Padé
+// scaling-and-squaring, uniformization, and an RK4 ODE oracle.
+#include "math/expm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mflb {
+namespace {
+
+/// Birth-death transposed generator (columns sum to zero) extended with a
+/// drop-accounting row, exactly as the mean-field discretizer builds it.
+Matrix birth_death_extended(double arrival, double service, int buffer) {
+    const auto n = static_cast<std::size_t>(buffer + 2);
+    Matrix q(n, n);
+    for (int i = 1; i <= buffer; ++i) {
+        q(static_cast<std::size_t>(i), static_cast<std::size_t>(i - 1)) = arrival;
+        q(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(i)) = service;
+    }
+    for (int i = 0; i <= buffer; ++i) {
+        double out = 0.0;
+        if (i < buffer) {
+            out += arrival;
+        }
+        if (i > 0) {
+            out += service;
+        }
+        q(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = -out;
+    }
+    q(static_cast<std::size_t>(buffer + 1), static_cast<std::size_t>(buffer)) = arrival;
+    return q;
+}
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+    const Matrix z(4, 4);
+    const Matrix e = expm(z);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            EXPECT_NEAR(e(i, j), i == j ? 1.0 : 0.0, 1e-14);
+        }
+    }
+}
+
+TEST(Expm, DiagonalMatrix) {
+    const std::vector<double> d{-1.0, 0.5, 2.0};
+    const Matrix e = expm(Matrix::diagonal(d));
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_NEAR(e(i, i), std::exp(d[i]), 1e-12);
+    }
+    EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentMatrixClosedForm) {
+    // exp([[0,1],[0,0]]) = [[1,1],[0,1]]
+    const Matrix n{{0.0, 1.0}, {0.0, 0.0}};
+    const Matrix e = expm(n);
+    EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+    EXPECT_NEAR(e(0, 1), 1.0, 1e-14);
+    EXPECT_NEAR(e(1, 0), 0.0, 1e-14);
+    EXPECT_NEAR(e(1, 1), 1.0, 1e-14);
+}
+
+TEST(Expm, RotationMatrixClosedForm) {
+    // exp(theta * [[0,-1],[1,0]]) = rotation by theta.
+    const double theta = 0.7;
+    const Matrix g{{0.0, -theta}, {theta, 0.0}};
+    const Matrix e = expm(g);
+    EXPECT_NEAR(e(0, 0), std::cos(theta), 1e-12);
+    EXPECT_NEAR(e(0, 1), -std::sin(theta), 1e-12);
+    EXPECT_NEAR(e(1, 0), std::sin(theta), 1e-12);
+}
+
+TEST(Expm, LargeNormTriggersScalingAndStaysAccurate) {
+    // exp(a) for a = 30 * rotation generator: still a rotation.
+    const double theta = 30.0;
+    const Matrix g{{0.0, -theta}, {theta, 0.0}};
+    const Matrix e = expm(g);
+    EXPECT_NEAR(e(0, 0), std::cos(theta), 1e-9);
+    EXPECT_NEAR(e(1, 0), std::sin(theta), 1e-9);
+}
+
+TEST(Expm, SemigroupProperty) {
+    const Matrix a{{-0.5, 0.2, 0.1}, {0.3, -0.7, 0.0}, {0.2, 0.5, -0.1}};
+    const Matrix e1 = expm(a);
+    const Matrix e2 = expm(a * 2.0);
+    const Matrix e1sq = e1 * e1;
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_NEAR(e2(i, j), e1sq(i, j), 1e-12);
+        }
+    }
+}
+
+TEST(Expm, ThrowsOnNonSquare) {
+    EXPECT_THROW(expm(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Uniformization, MatchesPadeOnGeneratorAction) {
+    const Matrix q = birth_death_extended(0.9, 1.0, 5);
+    const double dt = 5.0;
+    std::vector<double> e0(q.rows(), 0.0);
+    e0[0] = 1.0;
+    const auto via_uniform = expm_uniformized_action(q, dt, e0);
+    const Matrix big = expm(q * dt);
+    const auto via_pade = big.multiply(e0);
+    ASSERT_EQ(via_uniform.size(), via_pade.size());
+    for (std::size_t i = 0; i < via_uniform.size(); ++i) {
+        EXPECT_NEAR(via_uniform[i], via_pade[i], 1e-10);
+    }
+}
+
+TEST(Uniformization, ZeroTimeIsIdentity) {
+    const Matrix q = birth_death_extended(1.0, 1.0, 3);
+    std::vector<double> v(q.rows(), 0.0);
+    v[2] = 1.0;
+    const auto out = expm_uniformized_action(q, 0.0, v);
+    EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(Uniformization, ProbabilityBlockStaysNonNegativeAndNormalized) {
+    const Matrix q = birth_death_extended(2.0, 0.5, 4);
+    std::vector<double> e0(q.rows(), 0.0);
+    e0[1] = 1.0;
+    const auto out = expm_uniformized_action(q, 10.0, e0);
+    double sum = 0.0;
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+        EXPECT_GE(out[i], -1e-12);
+        sum += out[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GE(out.back(), 0.0); // accumulated drops are non-negative
+}
+
+TEST(Uniformization, RejectsBadInput) {
+    const Matrix q = birth_death_extended(1.0, 1.0, 2);
+    std::vector<double> wrong(2, 0.0);
+    EXPECT_THROW(expm_uniformized_action(q, 1.0, wrong), std::invalid_argument);
+    std::vector<double> v(q.rows(), 0.0);
+    EXPECT_THROW(expm_uniformized_action(q, -1.0, v), std::invalid_argument);
+}
+
+TEST(Rk4Oracle, AgreesWithExpmOnSmoothProblem) {
+    const Matrix a{{-1.0, 0.3}, {0.2, -0.6}};
+    const std::vector<double> v{0.7, 0.3};
+    const auto via_rk4 = integrate_linear_ode_rk4(a, 2.0, v, 2000);
+    const auto via_expm = expm(a * 2.0).multiply(v);
+    EXPECT_NEAR(via_rk4[0], via_expm[0], 1e-9);
+    EXPECT_NEAR(via_rk4[1], via_expm[1], 1e-9);
+}
+
+// Property sweep over arrival/service/dt: the three methods agree on the
+// exact master-equation solution used by the discretizer.
+struct ExpmCase {
+    double arrival;
+    double service;
+    double dt;
+    int buffer;
+    int start;
+};
+
+class ExpmAgreement : public ::testing::TestWithParam<ExpmCase> {};
+
+TEST_P(ExpmAgreement, AllThreeMethodsAgree) {
+    const ExpmCase c = GetParam();
+    const Matrix q = birth_death_extended(c.arrival, c.service, c.buffer);
+    std::vector<double> e0(q.rows(), 0.0);
+    e0[static_cast<std::size_t>(c.start)] = 1.0;
+
+    const auto uniformized = expm_uniformized_action(q, c.dt, e0);
+    const auto pade = expm(q * c.dt).multiply(e0);
+    const auto rk4 = integrate_linear_ode_rk4(q, c.dt, e0, 4000);
+    for (std::size_t i = 0; i < e0.size(); ++i) {
+        EXPECT_NEAR(uniformized[i], pade[i], 1e-9) << "i=" << i;
+        EXPECT_NEAR(uniformized[i], rk4[i], 1e-6) << "i=" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExpmAgreement,
+    ::testing::Values(ExpmCase{0.6, 1.0, 1.0, 5, 0}, ExpmCase{0.9, 1.0, 5.0, 5, 0},
+                      ExpmCase{0.9, 1.0, 10.0, 5, 5}, ExpmCase{1.8, 1.0, 3.0, 5, 2},
+                      ExpmCase{0.1, 2.0, 7.0, 3, 3}, ExpmCase{3.0, 0.5, 2.0, 8, 4}));
+
+} // namespace
+} // namespace mflb

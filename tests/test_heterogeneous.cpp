@@ -1,0 +1,123 @@
+// Tests for the heterogeneous-server extension and the SED(d) rule.
+#include "queueing/heterogeneous.hpp"
+#include "support/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mflb {
+namespace {
+
+HeterogeneousConfig mixed_config() {
+    HeterogeneousConfig config;
+    config.service_rates.assign(20, 0.5);
+    for (std::size_t j = 10; j < 20; ++j) {
+        config.service_rates[j] = 1.5; // half slow, half fast
+    }
+    config.num_clients = 1000;
+    config.horizon = 20;
+    config.dt = 2.0;
+    return config;
+}
+
+TEST(HeteroPolicies, JsqPicksShortest) {
+    HeteroJsqPolicy jsq;
+    Rng rng(1);
+    const std::vector<int> states{3, 1, 2};
+    const std::vector<double> rates{1.0, 1.0, 1.0};
+    EXPECT_EQ(jsq.choose(states, rates, rng), 1);
+}
+
+TEST(HeteroPolicies, SedWeighsServiceRates) {
+    HeteroSedPolicy sed;
+    Rng rng(2);
+    // (3+1)/2.0 = 2.0 beats (1+1)/0.4 = 5.0: SED picks the longer but much
+    // faster queue, where JSQ would pick the shorter one.
+    const std::vector<int> states{3, 1};
+    const std::vector<double> rates{2.0, 0.4};
+    EXPECT_EQ(sed.choose(states, rates, rng), 0);
+    HeteroJsqPolicy jsq;
+    EXPECT_EQ(jsq.choose(states, rates, rng), 1);
+}
+
+TEST(HeteroPolicies, TieBreakingIsUniform) {
+    HeteroJsqPolicy jsq;
+    Rng rng(3);
+    const std::vector<int> states{2, 2};
+    const std::vector<double> rates{1.0, 1.0};
+    int first = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        first += jsq.choose(states, rates, rng) == 0 ? 1 : 0;
+    }
+    EXPECT_NEAR(first / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(HeteroPolicies, RndIsUniform) {
+    HeteroRndPolicy rnd;
+    Rng rng(4);
+    const std::vector<int> states{0, 5, 3};
+    const std::vector<double> rates{1.0, 1.0, 1.0};
+    std::vector<int> counts(3, 0);
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[static_cast<std::size_t>(rnd.choose(states, rates, rng))];
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(c / static_cast<double>(n), 1.0 / 3.0, 0.02);
+    }
+}
+
+TEST(HeterogeneousSystem, ValidatesConfig) {
+    HeterogeneousConfig bad = mixed_config();
+    bad.service_rates.clear();
+    EXPECT_THROW(HeterogeneousSystem{bad}, std::invalid_argument);
+    bad = mixed_config();
+    bad.service_rates[0] = 0.0;
+    EXPECT_THROW(HeterogeneousSystem{bad}, std::invalid_argument);
+    bad = mixed_config();
+    bad.horizon = 0;
+    EXPECT_THROW(HeterogeneousSystem{bad}, std::invalid_argument);
+}
+
+TEST(HeterogeneousSystem, EpisodeRunsToHorizon) {
+    HeterogeneousSystem system(mixed_config());
+    Rng rng(5);
+    system.reset(rng);
+    const HeteroRndPolicy rnd;
+    const auto stats = system.run_episode(rnd, rng);
+    EXPECT_TRUE(system.done());
+    EXPECT_GE(stats.total_drops_per_queue, 0.0);
+    EXPECT_GE(stats.mean_queue_length, 0.0);
+    EXPECT_THROW(system.step(rnd, rng), std::logic_error);
+}
+
+TEST(HeterogeneousSystem, SedBeatsJsqWithVeryUnevenServers) {
+    // With strongly heterogeneous rates and small delay, exploiting the
+    // rates (SED) should drop fewer packets than fill-only JSQ.
+    HeterogeneousConfig config = mixed_config();
+    config.dt = 1.0;
+    config.horizon = 60;
+    config.service_rates.assign(20, 0.2);
+    for (std::size_t j = 10; j < 20; ++j) {
+        config.service_rates[j] = 1.8;
+    }
+    RunningStat sed_drops, jsq_drops;
+    for (int rep = 0; rep < 25; ++rep) {
+        {
+            HeterogeneousSystem system(config);
+            Rng rng(100 + rep);
+            system.reset(rng);
+            sed_drops.add(system.run_episode(HeteroSedPolicy{}, rng).total_drops_per_queue);
+        }
+        {
+            HeterogeneousSystem system(config);
+            Rng rng(100 + rep);
+            system.reset(rng);
+            jsq_drops.add(system.run_episode(HeteroJsqPolicy{}, rng).total_drops_per_queue);
+        }
+    }
+    EXPECT_LT(sed_drops.mean(), jsq_drops.mean());
+}
+
+} // namespace
+} // namespace mflb

@@ -1,0 +1,156 @@
+// Tests for the dense matrix type and the LU linear solver.
+#include "math/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mflb {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+    EXPECT_THROW(m.at(2, 0), std::out_of_range);
+    EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+    const Matrix eye = Matrix::identity(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+        }
+    }
+    const std::vector<double> d{1.0, 2.0, 3.0};
+    const Matrix diag = Matrix::diagonal(d);
+    EXPECT_DOUBLE_EQ(diag(1, 1), 2.0);
+    EXPECT_DOUBLE_EQ(diag(0, 1), 0.0);
+}
+
+TEST(Matrix, ArithmeticOperations) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    const Matrix sum = a + b;
+    EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+    const Matrix diff = b - a;
+    EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+    const Matrix scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+    EXPECT_THROW(a + Matrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, ProductAgainstKnownResult) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    const Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+    EXPECT_THROW(a * Matrix(3, 2), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeNeutral) {
+    const Matrix a{{1.5, -2.0, 0.25}, {0.0, 3.0, 1.0}, {4.0, 0.5, -1.0}};
+    const Matrix eye = Matrix::identity(3);
+    EXPECT_TRUE(a * eye == a);
+    EXPECT_TRUE(eye * a == a);
+}
+
+TEST(Matrix, TransposeInvolution) {
+    const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    const Matrix at = a.transposed();
+    EXPECT_EQ(at.rows(), 3u);
+    EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+    EXPECT_TRUE(at.transposed() == a);
+}
+
+TEST(Matrix, VectorProducts) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const std::vector<double> x{1.0, -1.0};
+    const auto y = a.multiply(x);
+    EXPECT_DOUBLE_EQ(y[0], -1.0);
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+    const auto z = a.multiply_left(x);
+    EXPECT_DOUBLE_EQ(z[0], -2.0);
+    EXPECT_DOUBLE_EQ(z[1], -2.0);
+}
+
+TEST(Matrix, Norms) {
+    const Matrix a{{1.0, -2.0}, {-3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(a.norm_inf(), 7.0); // row 1: 3+4
+    EXPECT_DOUBLE_EQ(a.norm_1(), 6.0);   // col 1: 2+4
+    EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+}
+
+TEST(SolveLinear, RecoversKnownSolution) {
+    const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+    const std::vector<double> b{5.0, 10.0};
+    const auto x = solve_linear(a, b);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, MatrixRhsSolvesColumnwise) {
+    const Matrix a{{4.0, 1.0}, {2.0, 3.0}};
+    const Matrix b = Matrix::identity(2);
+    const Matrix inverse = solve_linear(a, b);
+    const Matrix check = a * inverse;
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            EXPECT_NEAR(check(i, j), i == j ? 1.0 : 0.0, 1e-12);
+        }
+    }
+}
+
+TEST(SolveLinear, PivotingHandlesZeroDiagonal) {
+    const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+    const std::vector<double> b{2.0, 3.0};
+    const auto x = solve_linear(a, b);
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, ThrowsOnSingular) {
+    const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+    const std::vector<double> b{1.0, 2.0};
+    EXPECT_THROW(solve_linear(a, b), std::invalid_argument);
+}
+
+// Property sweep: A * solve(A, b) == b for random well-conditioned systems.
+class SolveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveProperty, ResidualIsTiny) {
+    const int n = GetParam();
+    std::uint64_t seed = static_cast<std::uint64_t>(n) * 7919;
+    auto next_uniform = [&seed]() {
+        seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<double>(seed >> 11) * 0x1.0p-53 - 0.5;
+    };
+    Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            a(i, j) = next_uniform();
+        }
+        a(i, i) += static_cast<double>(n); // diagonal dominance
+    }
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (double& v : b) {
+        v = next_uniform();
+    }
+    const auto x = solve_linear(a, b);
+    const auto back = a.multiply(x);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        EXPECT_NEAR(back[i], b[i], 1e-10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveProperty, ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+} // namespace
+} // namespace mflb

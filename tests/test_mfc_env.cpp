@@ -1,0 +1,155 @@
+// Tests for the upper-level MFC MDP (eqs. 29-31).
+#include "field/mfc_env.hpp"
+#include "math/simplex.hpp"
+#include "policies/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mflb {
+namespace {
+
+MfcConfig small_config(double dt = 5.0, int horizon = 20) {
+    MfcConfig config;
+    config.dt = dt;
+    config.horizon = horizon;
+    return config;
+}
+
+TEST(MfcEnv, DefaultInitialDistributionIsAllEmpty) {
+    MfcEnv env(small_config());
+    Rng rng(1);
+    env.reset(rng);
+    EXPECT_DOUBLE_EQ(env.nu()[0], 1.0);
+    for (std::size_t z = 1; z < env.nu().size(); ++z) {
+        EXPECT_DOUBLE_EQ(env.nu()[z], 0.0);
+    }
+    EXPECT_EQ(env.time(), 0);
+    EXPECT_FALSE(env.done());
+}
+
+TEST(MfcEnv, ObservationLayout) {
+    MfcEnv env(small_config());
+    Rng rng(2);
+    env.reset(rng);
+    const auto obs = env.observation();
+    ASSERT_EQ(obs.size(), env.observation_dim());
+    ASSERT_EQ(obs.size(), 6u + 2u);
+    // One-hot lambda tail.
+    const double tail = obs[6] + obs[7];
+    EXPECT_DOUBLE_EQ(tail, 1.0);
+    EXPECT_TRUE(obs[6] == 1.0 || obs[7] == 1.0);
+}
+
+TEST(MfcEnv, EpisodeTerminatesAtHorizon) {
+    MfcEnv env(small_config(5.0, 7));
+    Rng rng(3);
+    env.reset(rng);
+    const DecisionRule h = DecisionRule::mf_rnd(env.tuple_space());
+    int steps = 0;
+    while (!env.done()) {
+        const auto outcome = env.step(h, rng);
+        ++steps;
+        EXPECT_EQ(outcome.done, env.done());
+    }
+    EXPECT_EQ(steps, 7);
+    EXPECT_THROW(env.step(h, rng), std::logic_error);
+}
+
+TEST(MfcEnv, RewardIsNegativeDrops) {
+    MfcEnv env(small_config());
+    Rng rng(4);
+    env.reset(rng);
+    const DecisionRule h = DecisionRule::mf_rnd(env.tuple_space());
+    for (int t = 0; t < 10; ++t) {
+        const auto outcome = env.step(h, rng);
+        EXPECT_DOUBLE_EQ(outcome.reward, -outcome.drops);
+        EXPECT_GE(outcome.drops, 0.0);
+    }
+}
+
+TEST(MfcEnv, NuStaysOnSimplexUnderRandomPolicies) {
+    MfcEnv env(small_config(10.0, 30));
+    Rng rng(5);
+    env.reset(rng);
+    std::vector<double> logits(env.tuple_space().size() * 2);
+    while (!env.done()) {
+        for (double& l : logits) {
+            l = rng.normal();
+        }
+        const DecisionRule h = DecisionRule::from_logits(env.tuple_space(), logits);
+        env.step(h, rng);
+        EXPECT_TRUE(is_probability_vector(env.nu(), 1e-8));
+    }
+}
+
+TEST(MfcEnv, ConditionedLambdaSequenceIsDeterministic) {
+    MfcConfig config = small_config(5.0, 5);
+    const std::vector<std::size_t> path{0, 1, 1, 0, 1};
+    MfcEnv env_a(config);
+    MfcEnv env_b(config);
+    env_a.reset_conditioned(path);
+    env_b.reset_conditioned(path);
+    Rng rng_a(6), rng_b(7); // different RNGs: dynamics must not consume them
+    const DecisionRule h = DecisionRule::mf_jsq(env_a.tuple_space());
+    while (!env_a.done()) {
+        EXPECT_EQ(env_a.lambda_state(), env_b.lambda_state());
+        const auto oa = env_a.step(h, rng_a);
+        const auto ob = env_b.step(h, rng_b);
+        EXPECT_DOUBLE_EQ(oa.drops, ob.drops);
+    }
+    for (std::size_t z = 0; z < env_a.nu().size(); ++z) {
+        EXPECT_DOUBLE_EQ(env_a.nu()[z], env_b.nu()[z]);
+    }
+}
+
+TEST(MfcEnv, ConditionedSequenceValidation) {
+    MfcEnv env(small_config());
+    EXPECT_THROW(env.reset_conditioned({}), std::invalid_argument);
+    EXPECT_THROW(env.reset_conditioned({0, 5}), std::invalid_argument);
+}
+
+TEST(MfcEnv, WrongTupleSpaceRejected) {
+    MfcEnv env(small_config());
+    Rng rng(8);
+    env.reset(rng);
+    const TupleSpace wrong(6, 3);
+    EXPECT_THROW(env.step(DecisionRule::mf_rnd(wrong), rng), std::invalid_argument);
+}
+
+TEST(MfcEnv, HorizonForTotalTimeRounding) {
+    EXPECT_EQ(MfcConfig::horizon_for_total_time(500.0, 1.0), 500);
+    EXPECT_EQ(MfcConfig::horizon_for_total_time(500.0, 3.0), 167);
+    EXPECT_EQ(MfcConfig::horizon_for_total_time(500.0, 7.0), 71);
+    EXPECT_EQ(MfcConfig::horizon_for_total_time(500.0, 10.0), 50);
+    EXPECT_EQ(MfcConfig::horizon_for_total_time(0.4, 1.0), 1); // at least one epoch
+}
+
+TEST(MfcEnv, RolloutReturnIsNegativeTotalDrops) {
+    MfcEnv env(small_config(5.0, 15));
+    Rng rng(9);
+    env.reset(rng);
+    const FixedRulePolicy rnd = make_rnd_policy(env.tuple_space());
+    const double ret = rollout_return(env, rnd, rng, /*discounted=*/false);
+    EXPECT_LE(ret, 0.0);
+    EXPECT_TRUE(env.done());
+}
+
+TEST(MfcEnv, HigherLoadDropsMore) {
+    // Same policy, conditioned on all-high vs all-low arrivals.
+    MfcConfig config = small_config(5.0, 20);
+    const DecisionRule h = DecisionRule::mf_rnd(TupleSpace(6, 2));
+    Rng rng(10);
+    auto total_drops = [&](std::size_t state) {
+        MfcEnv env(config);
+        env.reset_conditioned(std::vector<std::size_t>(20, state));
+        double total = 0.0;
+        while (!env.done()) {
+            total += env.step(h, rng).drops;
+        }
+        return total;
+    };
+    EXPECT_GT(total_drops(0), total_drops(1)); // λ_h = 0.9 > λ_l = 0.6
+}
+
+} // namespace
+} // namespace mflb

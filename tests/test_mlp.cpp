@@ -1,0 +1,181 @@
+// Gradient-check and shape tests for the MLP and Adam.
+#include "rl/adam.hpp"
+#include "rl/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mflb::rl {
+namespace {
+
+TEST(Mlp, ShapeValidation) {
+    Rng rng(1);
+    EXPECT_THROW(Mlp({4}, rng), std::invalid_argument);
+    EXPECT_THROW(Mlp({4, 0, 2}, rng), std::invalid_argument);
+    Mlp net({3, 8, 2}, rng);
+    EXPECT_EQ(net.input_dim(), 3u);
+    EXPECT_EQ(net.output_dim(), 2u);
+    EXPECT_EQ(net.parameter_count(), 3u * 8 + 8 + 8 * 2 + 2);
+    EXPECT_THROW(net.forward(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Mlp, DeterministicForward) {
+    Rng rng(2);
+    Mlp net({4, 16, 3}, rng);
+    const std::vector<double> x{0.1, -0.5, 0.3, 0.9};
+    const auto y1 = net.forward(x);
+    const auto y2 = net.forward(x);
+    ASSERT_EQ(y1.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+    }
+}
+
+TEST(Mlp, OutputScaleShrinksInitialOutputs) {
+    Rng rng1(3), rng2(3);
+    Mlp small({6, 32, 4}, rng1, 0.01);
+    Mlp large({6, 32, 4}, rng2, 1.0);
+    const std::vector<double> x{0.5, 0.5, 0.5, 0.5, 0.5, 0.5};
+    double small_norm = 0.0, large_norm = 0.0;
+    for (double v : small.forward(x)) {
+        small_norm += std::abs(v);
+    }
+    for (double v : large.forward(x)) {
+        large_norm += std::abs(v);
+    }
+    EXPECT_LT(small_norm, large_norm);
+}
+
+TEST(Mlp, GradientMatchesFiniteDifferences) {
+    Rng rng(4);
+    Mlp net({3, 8, 5, 2}, rng, 1.0);
+    const std::vector<double> x{0.2, -0.7, 0.5};
+    // Scalar loss: L = sum(w_i * y_i) with fixed weights.
+    const std::vector<double> loss_weights{1.3, -0.8};
+
+    Mlp::Workspace ws;
+    net.forward_cached(x, ws);
+    std::vector<double> analytic(net.parameter_count(), 0.0);
+    net.backward(ws, loss_weights, analytic);
+
+    auto loss_at = [&](const Mlp& m) {
+        const auto y = m.forward(x);
+        return loss_weights[0] * y[0] + loss_weights[1] * y[1];
+    };
+    const double eps = 1e-6;
+    Mlp probe = net;
+    std::vector<double> params(net.parameters().begin(), net.parameters().end());
+    for (std::size_t i = 0; i < params.size(); i += 7) { // sample every 7th
+        std::vector<double> bumped = params;
+        bumped[i] += eps;
+        probe.set_parameters(bumped);
+        const double up = loss_at(probe);
+        bumped[i] -= 2 * eps;
+        probe.set_parameters(bumped);
+        const double down = loss_at(probe);
+        const double numeric = (up - down) / (2 * eps);
+        EXPECT_NEAR(analytic[i], numeric, 1e-5 * std::max(1.0, std::abs(numeric)))
+            << "param " << i;
+    }
+}
+
+TEST(Mlp, GradInputMatchesFiniteDifferences) {
+    Rng rng(5);
+    Mlp net({4, 6, 1}, rng, 1.0);
+    const std::vector<double> x{0.3, 0.1, -0.2, 0.8};
+    Mlp::Workspace ws;
+    net.forward_cached(x, ws);
+    std::vector<double> grad_params(net.parameter_count(), 0.0);
+    std::vector<double> grad_input;
+    const std::vector<double> grad_out{1.0};
+    net.backward(ws, grad_out, grad_params, &grad_input);
+    ASSERT_EQ(grad_input.size(), 4u);
+    const double eps = 1e-6;
+    for (std::size_t i = 0; i < 4; ++i) {
+        std::vector<double> xp = x;
+        xp[i] += eps;
+        const double up = net.forward(xp)[0];
+        xp[i] -= 2 * eps;
+        const double down = net.forward(xp)[0];
+        EXPECT_NEAR(grad_input[i], (up - down) / (2 * eps), 1e-6);
+    }
+}
+
+TEST(Mlp, BackwardAccumulates) {
+    Rng rng(6);
+    Mlp net({2, 4, 1}, rng, 1.0);
+    const std::vector<double> x{0.5, -0.5};
+    Mlp::Workspace ws;
+    net.forward_cached(x, ws);
+    std::vector<double> grad_once(net.parameter_count(), 0.0);
+    const std::vector<double> g{1.0};
+    net.backward(ws, g, grad_once);
+    std::vector<double> grad_twice(net.parameter_count(), 0.0);
+    net.backward(ws, g, grad_twice);
+    net.backward(ws, g, grad_twice);
+    for (std::size_t i = 0; i < grad_once.size(); ++i) {
+        EXPECT_NEAR(grad_twice[i], 2.0 * grad_once[i], 1e-12);
+    }
+}
+
+TEST(Adam, MinimizesQuadratic) {
+    // f(p) = sum (p_i - target_i)^2
+    const std::vector<double> target{1.0, -2.0, 0.5};
+    std::vector<double> params{0.0, 0.0, 0.0};
+    Adam opt(3, 0.05);
+    for (int it = 0; it < 2000; ++it) {
+        std::vector<double> grads(3);
+        for (std::size_t i = 0; i < 3; ++i) {
+            grads[i] = 2.0 * (params[i] - target[i]);
+        }
+        opt.step(params, grads);
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_NEAR(params[i], target[i], 1e-3);
+    }
+    EXPECT_EQ(opt.updates(), 2000u);
+}
+
+TEST(Adam, GradientClippingLimitsStepSize) {
+    std::vector<double> params{0.0};
+    Adam opt(1, 1.0);
+    const std::vector<double> huge_grad{1e9};
+    opt.step(params, huge_grad, /*max_grad_norm=*/1.0);
+    // With clipping the first Adam step is bounded by lr (m_hat/sqrt(v_hat) ≈ 1).
+    EXPECT_LT(std::abs(params[0]), 1.5);
+}
+
+TEST(Adam, SizeMismatchThrows) {
+    Adam opt(2, 0.1);
+    std::vector<double> params{0.0, 0.0};
+    EXPECT_THROW(opt.step(params, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Mlp, TrainsXorWithAdam) {
+    // End-to-end sanity: a 2-8-1 tanh net learns XOR.
+    Rng rng(7);
+    Mlp net({2, 8, 1}, rng, 1.0);
+    Adam opt(net.parameter_count(), 0.02);
+    const double inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    const double targets[4] = {0, 1, 1, 0};
+    Mlp::Workspace ws;
+    std::vector<double> grads(net.parameter_count());
+    for (int epoch = 0; epoch < 3000; ++epoch) {
+        std::fill(grads.begin(), grads.end(), 0.0);
+        for (int k = 0; k < 4; ++k) {
+            const std::vector<double> x{inputs[k][0], inputs[k][1]};
+            const auto y = net.forward_cached(x, ws);
+            const std::vector<double> grad_out{2.0 * (y[0] - targets[k])};
+            net.backward(ws, grad_out, grads);
+        }
+        opt.step(net.parameters(), grads);
+    }
+    for (int k = 0; k < 4; ++k) {
+        const std::vector<double> x{inputs[k][0], inputs[k][1]};
+        EXPECT_NEAR(net.forward(x)[0], targets[k], 0.2) << "case " << k;
+    }
+}
+
+} // namespace
+} // namespace mflb::rl

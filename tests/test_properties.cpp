@@ -1,0 +1,232 @@
+// Cross-module property sweeps: randomized invariants that tie the whole
+// pipeline together. Each TEST_P instance draws seeded-random configurations
+// and checks conservation laws that must hold for *every* policy and state,
+// not just the curated cases of the per-module tests.
+#include "core/mflb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mflb {
+namespace {
+
+/// Deterministic random distribution over n bins from a seed.
+std::vector<double> random_distribution(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> weights(n);
+    for (double& w : weights) {
+        w = rng.uniform() + 1e-4;
+    }
+    return normalized(weights);
+}
+
+/// Deterministic random decision rule from a seed.
+DecisionRule random_rule(const TupleSpace& space, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> logits(space.size() * static_cast<std::size_t>(space.d()));
+    for (double& l : logits) {
+        l = rng.normal() * 2.0;
+    }
+    return DecisionRule::from_logits(space, logits);
+}
+
+// ---------------------------------------------------------------------------
+// Routing-flow conservation for arbitrary rules and distributions, d = 2, 3.
+
+struct FlowCase {
+    int d;
+    std::uint64_t seed;
+    double lambda;
+};
+
+class FlowConservation : public ::testing::TestWithParam<FlowCase> {};
+
+TEST_P(FlowConservation, PacketsNeitherCreatedNorLost) {
+    const auto [d, seed, lambda] = GetParam();
+    const TupleSpace space(6, d);
+    const std::vector<double> nu = random_distribution(6, seed);
+    const DecisionRule h = random_rule(space, seed + 1);
+    const ArrivalFlow flow = compute_arrival_flow(nu, h, lambda);
+
+    const double total =
+        std::accumulate(flow.inflow_by_state.begin(), flow.inflow_by_state.end(), 0.0);
+    EXPECT_NEAR(total, lambda, 1e-10);
+    // Per-queue rates reassemble the total: Σ_z ν(z)·λ(z) = λ.
+    double reassembled = 0.0;
+    for (std::size_t z = 0; z < nu.size(); ++z) {
+        reassembled += nu[z] * flow.rate_by_state[z];
+    }
+    EXPECT_NEAR(reassembled, lambda, 1e-10);
+    // The Theorem-1 bound λ(z) ≤ d·λ.
+    for (double rate : flow.rate_by_state) {
+        EXPECT_LE(rate, d * lambda + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FlowConservation,
+                         ::testing::Values(FlowCase{2, 10, 0.9}, FlowCase{2, 20, 0.6},
+                                           FlowCase{2, 30, 1.5}, FlowCase{3, 40, 0.9},
+                                           FlowCase{3, 50, 0.3}, FlowCase{3, 60, 2.0}));
+
+// ---------------------------------------------------------------------------
+// The exact discretizer preserves probability and never over-drops, for
+// arbitrary rules, loads, delays.
+
+struct StepPropertyCase {
+    double dt;
+    double lambda;
+    std::uint64_t seed;
+};
+
+class DiscretizerInvariants : public ::testing::TestWithParam<StepPropertyCase> {};
+
+TEST_P(DiscretizerInvariants, SimplexAndDropBounds) {
+    const auto [dt, lambda, seed] = GetParam();
+    const ExactDiscretization disc({5, 1.0}, dt);
+    const TupleSpace space(6, 2);
+    std::vector<double> nu = random_distribution(6, seed);
+    const DecisionRule h = random_rule(space, seed + 7);
+    for (int t = 0; t < 8; ++t) {
+        const MeanFieldStep step = disc.step(nu, h, lambda);
+        ASSERT_TRUE(is_probability_vector(step.nu_next, 1e-8));
+        ASSERT_GE(step.expected_drops, -1e-12);
+        // Cannot drop more than the entire offered traffic λ·dt per queue
+        // scaled by the worst-case rate concentration d·λ.
+        ASSERT_LE(step.expected_drops, 2.0 * lambda * dt + 1e-9);
+        nu = step.nu_next;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, DiscretizerInvariants,
+                         ::testing::Values(StepPropertyCase{1.0, 0.9, 1},
+                                           StepPropertyCase{2.5, 0.6, 2},
+                                           StepPropertyCase{5.0, 0.9, 3},
+                                           StepPropertyCase{5.0, 2.0, 4},
+                                           StepPropertyCase{10.0, 0.9, 5},
+                                           StepPropertyCase{10.0, 0.1, 6}));
+
+// ---------------------------------------------------------------------------
+// Finite-system rate conservation holds for every client model and random
+// rule: Σ_j λ^j = M·λ exactly.
+
+struct RateCase {
+    ClientModel model;
+    std::uint64_t seed;
+};
+
+class FiniteRateConservation : public ::testing::TestWithParam<RateCase> {};
+
+TEST_P(FiniteRateConservation, TotalRateIsMLambda) {
+    const auto [model, seed] = GetParam();
+    FiniteSystemConfig config;
+    config.num_queues = 40;
+    config.num_clients = 1600;
+    config.dt = 3.0;
+    config.horizon = 6;
+    config.client_model = model;
+    FiniteSystem system(config);
+    Rng rng(seed);
+    system.reset(rng);
+    const DecisionRule h = random_rule(system.tuple_space(), seed + 3);
+    // Scatter states first.
+    for (int t = 0; t < 3; ++t) {
+        system.step_with_rule(h, rng);
+    }
+    const auto rates = system.compute_queue_rates(h, rng);
+    const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+    EXPECT_NEAR(total, 40.0 * system.lambda_value(), 1e-9);
+    for (double r : rates) {
+        EXPECT_GE(r, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, FiniteRateConservation,
+                         ::testing::Values(RateCase{ClientModel::PerClient, 11},
+                                           RateCase{ClientModel::PerClient, 12},
+                                           RateCase{ClientModel::Aggregated, 13},
+                                           RateCase{ClientModel::Aggregated, 14},
+                                           RateCase{ClientModel::InfiniteClients, 15},
+                                           RateCase{ClientModel::InfiniteClients, 16}));
+
+// ---------------------------------------------------------------------------
+// Upper-level policy implementations always emit valid rules on random
+// observations.
+
+class PolicyValidity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicyValidity, AllPoliciesEmitRowStochasticRules) {
+    const std::uint64_t seed = GetParam();
+    const TupleSpace space(6, 2);
+    const std::vector<double> nu = random_distribution(6, seed);
+    Rng rng(seed);
+
+    std::vector<const UpperLevelPolicy*> policies;
+    const FixedRulePolicy jsq = make_jsq_policy(space);
+    const FixedRulePolicy rnd = make_rnd_policy(space);
+    const FixedRulePolicy soft = make_greedy_softmax_policy(space, 1.3);
+    TabularPolicy tabular(space, 2);
+    std::vector<double> params(tabular.parameter_count());
+    for (double& p : params) {
+        p = rng.normal();
+    }
+    tabular.set_parameters(params);
+    auto net = std::make_shared<rl::GaussianPolicy>(8, 72, std::vector<std::size_t>{16}, rng);
+    const NeuralUpperPolicy neural(space, 2, net);
+    policies = {&jsq, &rnd, &soft, &tabular, &neural};
+
+    for (const UpperLevelPolicy* policy : policies) {
+        for (std::size_t l = 0; l < 2; ++l) {
+            const DecisionRule rule = policy->decide(nu, l, rng);
+            EXPECT_TRUE(rule.is_valid(1e-9)) << policy->name() << " lambda=" << l;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyValidity, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// The heterogeneous model with one class must equal the homogeneous model
+// on random inputs (stronger than the single curated case).
+
+class HeteroReduction : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeteroReduction, SingleClassMatchesHomogeneous) {
+    const std::uint64_t seed = GetParam();
+    const ClassStateSpace hetero_space({{1.0, 1.0}}, 5);
+    const HeteroDiscretization hetero(hetero_space, 4.0);
+    const ExactDiscretization homo({5, 1.0}, 4.0);
+    const TupleSpace space(6, 2);
+    const std::vector<double> nu = random_distribution(6, seed);
+    const DecisionRule h = random_rule(space, seed + 9);
+    const MeanFieldStep a = hetero.step(nu, h, 0.85);
+    const MeanFieldStep b = homo.step(nu, h, 0.85);
+    for (std::size_t z = 0; z < 6; ++z) {
+        EXPECT_NEAR(a.nu_next[z], b.nu_next[z], 1e-12);
+    }
+    EXPECT_NEAR(a.expected_drops, b.expected_drops, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeteroReduction, ::testing::Values(21u, 22u, 23u, 24u));
+
+// ---------------------------------------------------------------------------
+// Simplex-grid projection is a contraction onto the lattice: projecting any
+// valid distribution twice equals projecting once, and the projected point
+// is within lattice spacing in l1.
+
+class GridProjection : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridProjection, IdempotentAndClose) {
+    const std::uint64_t seed = GetParam();
+    const SimplexGrid grid(6, 8);
+    const std::vector<double> nu = random_distribution(6, seed);
+    const std::size_t idx = grid.project(nu);
+    const std::span<const double> snapped = grid.point(idx);
+    EXPECT_EQ(grid.project(snapped), idx);
+    EXPECT_LT(l1_distance(nu, snapped), 6.0 / 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridProjection, ::testing::Values(31u, 32u, 33u, 34u, 35u));
+
+} // namespace
+} // namespace mflb

@@ -1,0 +1,265 @@
+// Tests for the Gaussian policy head and the GAE rollout buffer.
+#include "rl/gaussian_policy.hpp"
+#include "rl/rollout_buffer.hpp"
+#include "support/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mflb::rl {
+namespace {
+
+TEST(GaussianPolicy, MomentsShapeAndClamping) {
+    Rng rng(1);
+    GaussianPolicy policy(4, 3, {16}, rng);
+    EXPECT_EQ(policy.obs_dim(), 4u);
+    EXPECT_EQ(policy.action_dim(), 3u);
+    const std::vector<double> obs{0.1, 0.2, 0.3, 0.4};
+    const auto m = policy.moments(obs);
+    ASSERT_EQ(m.mean.size(), 3u);
+    ASSERT_EQ(m.log_std.size(), 3u);
+    for (double ls : m.log_std) {
+        EXPECT_GE(ls, GaussianPolicy::kMinLogStd);
+        EXPECT_LE(ls, GaussianPolicy::kMaxLogStd);
+    }
+}
+
+TEST(GaussianPolicy, SampleLogProbMatchesEvaluate) {
+    Rng rng(2);
+    GaussianPolicy policy(3, 2, {8, 8}, rng);
+    const std::vector<double> obs{0.5, -0.1, 0.7};
+    for (int rep = 0; rep < 20; ++rep) {
+        const auto sample = policy.sample(obs, rng);
+        Mlp::Workspace ws;
+        const auto eval = policy.evaluate(obs, sample.action, ws);
+        EXPECT_NEAR(sample.log_prob, eval.log_prob, 1e-10);
+    }
+}
+
+TEST(GaussianPolicy, LogProbIsCorrectDensity) {
+    // Against the closed form for a hand-built case: force mean/log_std by
+    // evaluating a 1-action policy and recomputing the density.
+    Rng rng(3);
+    GaussianPolicy policy(2, 1, {4}, rng);
+    const std::vector<double> obs{0.3, 0.6};
+    const auto m = policy.moments(obs);
+    const double action_value = m.mean[0] + 0.37;
+    Mlp::Workspace ws;
+    const auto eval = policy.evaluate(obs, std::vector<double>{action_value}, ws);
+    const double sigma = std::exp(m.log_std[0]);
+    const double z = (action_value - m.mean[0]) / sigma;
+    const double expected =
+        -0.5 * z * z - m.log_std[0] - 0.5 * std::log(2.0 * std::acos(-1.0));
+    EXPECT_NEAR(eval.log_prob, expected, 1e-10);
+    EXPECT_NEAR(eval.entropy, m.log_std[0] + 0.5 * (1.0 + std::log(2.0 * std::acos(-1.0))),
+                1e-10);
+}
+
+TEST(GaussianPolicy, SampleMomentsMatchDistribution) {
+    Rng rng(4);
+    GaussianPolicy policy(2, 2, {8}, rng);
+    const std::vector<double> obs{0.1, 0.9};
+    const auto m = policy.moments(obs);
+    RunningStat a0;
+    for (int i = 0; i < 20000; ++i) {
+        a0.add(policy.sample(obs, rng).action[0]);
+    }
+    EXPECT_NEAR(a0.mean(), m.mean[0], 5.0 * a0.standard_error());
+    EXPECT_NEAR(a0.stddev(), std::exp(m.log_std[0]), 0.05 * std::exp(m.log_std[0]) + 0.01);
+}
+
+TEST(GaussianPolicy, SetInitialLogStdControlsNoise) {
+    Rng rng(41);
+    GaussianPolicy policy(3, 2, {8}, rng);
+    policy.set_initial_log_std(-1.5);
+    const std::vector<double> obs{0.1, 0.2, 0.3};
+    const auto m = policy.moments(obs);
+    // The head weights are ~0.01-scaled, so the bias dominates.
+    EXPECT_NEAR(m.log_std[0], -1.5, 0.1);
+    EXPECT_NEAR(m.log_std[1], -1.5, 0.1);
+}
+
+TEST(GaussianPolicy, SetInitialMeanWarmStartsActions) {
+    Rng rng(43);
+    GaussianPolicy policy(3, 2, {8}, rng);
+    const std::vector<double> target{0.7, -2.0};
+    policy.set_initial_mean(target);
+    const std::vector<double> obs{0.5, 0.5, 0.5};
+    const auto mean = policy.mean_action(obs);
+    EXPECT_NEAR(mean[0], 0.7, 0.1);
+    EXPECT_NEAR(mean[1], -2.0, 0.1);
+    EXPECT_THROW(policy.set_initial_mean(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(GaussianPolicy, KlOfIdenticalIsZeroAndPositiveOtherwise) {
+    GaussianPolicy::Moments a{{0.0, 1.0}, {0.0, -1.0}};
+    EXPECT_NEAR(GaussianPolicy::kl(a, a), 0.0, 1e-12);
+    GaussianPolicy::Moments b{{0.5, 1.0}, {0.0, -1.0}};
+    EXPECT_GT(GaussianPolicy::kl(a, b), 0.0);
+    GaussianPolicy::Moments c{{0.0, 1.0}, {0.5, -1.0}};
+    EXPECT_GT(GaussianPolicy::kl(a, c), 0.0);
+}
+
+TEST(GaussianPolicy, BackwardMatchesFiniteDifferenceLogProb) {
+    Rng rng(5);
+    GaussianPolicy policy(3, 2, {6}, rng);
+    const std::vector<double> obs{0.2, -0.4, 0.9};
+    const std::vector<double> action{0.15, -0.3};
+
+    Mlp::Workspace ws;
+    const auto eval = policy.evaluate(obs, action, ws);
+    std::vector<double> analytic(policy.parameter_count(), 0.0);
+    policy.backward(ws, eval, action, /*c_logp=*/1.0, /*c_entropy=*/0.0, /*c_kl=*/0.0, nullptr,
+                    analytic);
+
+    GaussianPolicy probe = policy;
+    std::vector<double> params(policy.network().parameters().begin(),
+                               policy.network().parameters().end());
+    const double eps = 1e-6;
+    for (std::size_t i = 0; i < params.size(); i += 5) {
+        std::vector<double> bumped = params;
+        bumped[i] += eps;
+        probe.network().set_parameters(bumped);
+        Mlp::Workspace w1;
+        const double up = probe.evaluate(obs, action, w1).log_prob;
+        bumped[i] -= 2 * eps;
+        probe.network().set_parameters(bumped);
+        Mlp::Workspace w2;
+        const double down = probe.evaluate(obs, action, w2).log_prob;
+        const double numeric = (up - down) / (2 * eps);
+        EXPECT_NEAR(analytic[i], numeric, 1e-5 * std::max(1.0, std::abs(numeric)))
+            << "param " << i;
+    }
+}
+
+TEST(GaussianPolicy, BackwardMatchesFiniteDifferenceKl) {
+    Rng rng(6);
+    GaussianPolicy policy(2, 2, {6}, rng);
+    const std::vector<double> obs{0.4, 0.1};
+    const std::vector<double> action{0.0, 0.0};
+    const GaussianPolicy::Moments old = policy.moments(std::vector<double>{-0.2, 0.3});
+
+    Mlp::Workspace ws;
+    const auto eval = policy.evaluate(obs, action, ws);
+    std::vector<double> analytic(policy.parameter_count(), 0.0);
+    policy.backward(ws, eval, action, 0.0, 0.0, /*c_kl=*/1.0, &old, analytic);
+
+    GaussianPolicy probe = policy;
+    std::vector<double> params(policy.network().parameters().begin(),
+                               policy.network().parameters().end());
+    const double eps = 1e-6;
+    auto kl_at = [&](const std::vector<double>& p) {
+        probe.network().set_parameters(p);
+        return GaussianPolicy::kl(old, probe.moments(obs));
+    };
+    for (std::size_t i = 0; i < params.size(); i += 5) {
+        std::vector<double> bumped = params;
+        bumped[i] += eps;
+        const double up = kl_at(bumped);
+        bumped[i] -= 2 * eps;
+        const double down = kl_at(bumped);
+        const double numeric = (up - down) / (2 * eps);
+        EXPECT_NEAR(analytic[i], numeric, 1e-5 * std::max(1.0, std::abs(numeric)))
+            << "param " << i;
+    }
+}
+
+TEST(RolloutBuffer, GaeMatchesHandComputation) {
+    // Two-step episode, gamma=0.5, lambda=1: plain discounted advantages.
+    RolloutBuffer buffer(4);
+    Transition t1;
+    t1.reward = 1.0;
+    t1.value = 0.5;
+    Transition t2;
+    t2.reward = 2.0;
+    t2.value = 0.25;
+    t2.terminal = true;
+    buffer.add(t1);
+    buffer.add(t2);
+    buffer.compute_gae(0.5, 1.0, /*bootstrap=*/0.0);
+    // Returns: R2 = 2, R1 = 1 + 0.5*2 = 2. Advantages: A2 = 2-0.25, A1 = 2-0.5.
+    EXPECT_NEAR(buffer.value_target(1), 2.0, 1e-12);
+    EXPECT_NEAR(buffer.value_target(0), 2.0, 1e-12);
+    EXPECT_NEAR(buffer.advantage(1), 1.75, 1e-12);
+    EXPECT_NEAR(buffer.advantage(0), 1.5, 1e-12);
+}
+
+TEST(RolloutBuffer, GaeLambdaZeroIsTdError) {
+    RolloutBuffer buffer(3);
+    Transition t1;
+    t1.reward = 1.0;
+    t1.value = 0.3;
+    Transition t2;
+    t2.reward = 0.0;
+    t2.value = 0.7;
+    t2.terminal = true;
+    buffer.add(t1);
+    buffer.add(t2);
+    buffer.compute_gae(0.9, 0.0, 0.0);
+    EXPECT_NEAR(buffer.advantage(0), 1.0 + 0.9 * 0.7 - 0.3, 1e-12);
+    EXPECT_NEAR(buffer.advantage(1), 0.0 - 0.7, 1e-12);
+}
+
+TEST(RolloutBuffer, BootstrapUsedForTruncation) {
+    RolloutBuffer buffer(1);
+    Transition t;
+    t.reward = 1.0;
+    t.value = 0.0;
+    t.terminal = false; // truncated, not terminal
+    buffer.add(t);
+    buffer.compute_gae(1.0, 1.0, /*bootstrap=*/10.0);
+    EXPECT_NEAR(buffer.advantage(0), 11.0, 1e-12);
+}
+
+TEST(RolloutBuffer, TerminalResetsAccumulation) {
+    RolloutBuffer buffer(3);
+    Transition a;
+    a.reward = 5.0;
+    a.value = 0.0;
+    a.terminal = true;
+    Transition b;
+    b.reward = 1.0;
+    b.value = 0.0;
+    b.terminal = true;
+    buffer.add(a);
+    buffer.add(b);
+    buffer.compute_gae(0.9, 1.0, 0.0);
+    // Episode boundary: second episode's return must not leak into first.
+    EXPECT_NEAR(buffer.value_target(0), 5.0, 1e-12);
+    EXPECT_NEAR(buffer.value_target(1), 1.0, 1e-12);
+}
+
+TEST(RolloutBuffer, NormalizeAdvantagesZeroMeanUnitStd) {
+    RolloutBuffer buffer(8);
+    for (int i = 0; i < 8; ++i) {
+        Transition t;
+        t.reward = static_cast<double>(i);
+        t.value = 0.0;
+        t.terminal = true;
+        buffer.add(t);
+    }
+    buffer.compute_gae(1.0, 1.0, 0.0);
+    buffer.normalize_advantages();
+    double mean = 0.0, sq = 0.0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        mean += buffer.advantage(i);
+        sq += buffer.advantage(i) * buffer.advantage(i);
+    }
+    mean /= 8.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(std::sqrt(sq / 8.0), 1.0, 1e-6);
+}
+
+TEST(RolloutBuffer, CapacityEnforced) {
+    RolloutBuffer buffer(1);
+    buffer.add(Transition{});
+    EXPECT_TRUE(buffer.full());
+    EXPECT_THROW(buffer.add(Transition{}), std::logic_error);
+    buffer.clear();
+    EXPECT_EQ(buffer.size(), 0u);
+    EXPECT_THROW(RolloutBuffer(0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mflb::rl

@@ -1,0 +1,249 @@
+// Unit and statistical tests for the xoshiro256** RNG and its samplers.
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace mflb {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        equal += (a() == b()) ? 1 : 0;
+    }
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+    Rng parent(7);
+    Rng parent2(7);
+    Rng child_a = parent.split();
+    Rng child_a2 = parent2.split();
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(child_a(), child_a2());
+    }
+    // Child differs from a fresh parent's continued stream.
+    Rng parent3(7);
+    Rng child = parent3.split();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        equal += (child() == parent3()) ? 1 : 0;
+    }
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformBelowIsUnbiased) {
+    Rng rng(5);
+    std::vector<int> counts(7, 0);
+    const int n = 70000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[static_cast<std::size_t>(rng.uniform_below(7))];
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c), n / 7.0, 5.0 * std::sqrt(n / 7.0));
+    }
+}
+
+TEST(Rng, ExponentialMoments) {
+    Rng rng(11);
+    const double rate = 2.5;
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(rate);
+        ASSERT_GT(x, 0.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0 / rate, 0.01);
+    EXPECT_NEAR(var, 1.0 / (rate * rate), 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonSmallAndLargeMean) {
+    Rng rng(17);
+    for (const double mean : {0.3, 4.0, 80.0}) {
+        double sum = 0.0, sq = 0.0;
+        const int n = 50000;
+        for (int i = 0; i < n; ++i) {
+            const double x = static_cast<double>(rng.poisson(mean));
+            sum += x;
+            sq += x * x;
+        }
+        const double sample_mean = sum / n;
+        const double sample_var = sq / n - sample_mean * sample_mean;
+        EXPECT_NEAR(sample_mean, mean, 6.0 * std::sqrt(mean / n)) << "mean=" << mean;
+        EXPECT_NEAR(sample_var, mean, 0.1 * mean + 0.05) << "mean=" << mean;
+    }
+}
+
+TEST(Rng, PoissonZeroMean) {
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(rng.poisson(0.0), 0u);
+    }
+}
+
+TEST(Rng, BinomialMoments) {
+    Rng rng(23);
+    const std::uint64_t trials = 200;
+    const double p = 0.3;
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = static_cast<double>(rng.binomial(trials, p));
+        ASSERT_LE(x, static_cast<double>(trials));
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, trials * p, 0.5);
+    EXPECT_NEAR(var, trials * p * (1 - p), 2.5);
+}
+
+TEST(Rng, BinomialLargeMeanBtrsBranchMatchesExactPmf) {
+    // Chi-square-style check of the BTRS sampler: empirical frequencies of
+    // Binomial(100, 0.3) vs the exact pmf over a central window.
+    Rng rng(101);
+    const std::uint64_t n = 100;
+    const double p = 0.3;
+    const int reps = 200000;
+    std::vector<int> counts(101, 0);
+    for (int i = 0; i < reps; ++i) {
+        ++counts[static_cast<std::size_t>(rng.binomial(n, p))];
+    }
+    // pmf via logs to avoid overflow.
+    auto log_pmf = [&](int k) {
+        return std::lgamma(101.0) - std::lgamma(k + 1.0) - std::lgamma(101.0 - k) +
+               k * std::log(p) + (100.0 - k) * std::log(1 - p);
+    };
+    for (int k = 18; k <= 43; ++k) { // central window, pmf >= ~1e-3
+        const double expected = std::exp(log_pmf(k)) * reps;
+        const double tolerance = 5.0 * std::sqrt(expected) + 2.0;
+        EXPECT_NEAR(static_cast<double>(counts[static_cast<std::size_t>(k)]), expected,
+                    tolerance)
+            << "k=" << k;
+    }
+}
+
+TEST(Rng, BinomialHugeNIsFastAndAccurate) {
+    Rng rng(103);
+    const std::uint64_t n = 1000000;
+    const double p = 0.001;
+    double sum = 0.0, sq = 0.0;
+    const int reps = 20000;
+    for (int i = 0; i < reps; ++i) {
+        const double x = static_cast<double>(rng.binomial(n, p));
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / reps;
+    const double var = sq / reps - mean * mean;
+    EXPECT_NEAR(mean, 1000.0, 2.0);
+    EXPECT_NEAR(var, 999.0, 60.0);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+    Rng rng(29);
+    EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+    EXPECT_EQ(rng.binomial(10, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(10, 1.0), 10u);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+    Rng rng(31);
+    const std::vector<double> weights{1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    const int n = 60000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[rng.categorical(weights)];
+    }
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, MultinomialConservesTrialsAndMatchesMarginals) {
+    Rng rng(37);
+    const std::vector<double> p{0.2, 0.5, 0.25, 0.05};
+    const std::uint64_t n = 10000;
+    std::vector<double> totals(4, 0.0);
+    const int reps = 300;
+    for (int r = 0; r < reps; ++r) {
+        const auto counts = rng.multinomial(n, p);
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            sum += counts[i];
+            totals[i] += static_cast<double>(counts[i]);
+        }
+        ASSERT_EQ(sum, n);
+    }
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        EXPECT_NEAR(totals[i] / (reps * static_cast<double>(n)), p[i], 0.005);
+    }
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+    Rng rng(41);
+    const auto perm = rng.permutation(257);
+    std::vector<bool> seen(257, false);
+    for (std::uint32_t v : perm) {
+        ASSERT_LT(v, 257u);
+        ASSERT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(Rng, SplitMix64KnownSequenceIsStable) {
+    std::uint64_t state = 0;
+    const std::uint64_t first = splitmix64(state);
+    const std::uint64_t second = splitmix64(state);
+    EXPECT_NE(first, second);
+    std::uint64_t state2 = 0;
+    EXPECT_EQ(splitmix64(state2), first);
+}
+
+} // namespace
+} // namespace mflb

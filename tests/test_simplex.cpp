@@ -1,0 +1,103 @@
+// Tests for probability-simplex utilities.
+#include "math/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mflb {
+namespace {
+
+TEST(Simplex, IsProbabilityVector) {
+    EXPECT_TRUE(is_probability_vector(std::vector<double>{0.5, 0.5}));
+    EXPECT_TRUE(is_probability_vector(std::vector<double>{1.0}));
+    EXPECT_FALSE(is_probability_vector(std::vector<double>{0.5, 0.6}));
+    EXPECT_FALSE(is_probability_vector(std::vector<double>{-0.1, 1.1}));
+}
+
+TEST(Simplex, NormalizedSumsToOne) {
+    const auto p = normalized(std::vector<double>{2.0, 6.0});
+    EXPECT_DOUBLE_EQ(p[0], 0.25);
+    EXPECT_DOUBLE_EQ(p[1], 0.75);
+}
+
+TEST(Simplex, NormalizedZeroVectorBecomesUniform) {
+    const auto p = normalized(std::vector<double>{0.0, 0.0, 0.0, 0.0});
+    for (double v : p) {
+        EXPECT_DOUBLE_EQ(v, 0.25);
+    }
+}
+
+TEST(Simplex, SoftmaxMatchesHandComputation) {
+    const auto p = softmax(std::vector<double>{0.0, std::log(3.0)});
+    EXPECT_NEAR(p[0], 0.25, 1e-12);
+    EXPECT_NEAR(p[1], 0.75, 1e-12);
+}
+
+TEST(Simplex, SoftmaxIsShiftInvariantAndStable) {
+    const auto a = softmax(std::vector<double>{1.0, 2.0, 3.0});
+    const auto b = softmax(std::vector<double>{1001.0, 1002.0, 1003.0});
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_NEAR(a[i], b[i], 1e-12);
+    }
+    EXPECT_TRUE(is_probability_vector(a));
+}
+
+TEST(Simplex, SoftmaxTemperatureLimits) {
+    const std::vector<double> logits{0.0, 1.0, 0.5};
+    const auto cold = softmax(logits, 0.01);
+    EXPECT_GT(cold[1], 0.99);
+    const auto hot = softmax(logits, 100.0);
+    for (double v : hot) {
+        EXPECT_NEAR(v, 1.0 / 3.0, 0.01);
+    }
+}
+
+TEST(Simplex, L1Distance) {
+    const std::vector<double> p{0.5, 0.5};
+    const std::vector<double> q{0.25, 0.75};
+    EXPECT_DOUBLE_EQ(l1_distance(p, q), 0.5);
+    EXPECT_DOUBLE_EQ(l1_distance(p, p), 0.0);
+    // Mismatched lengths count the tail mass.
+    EXPECT_DOUBLE_EQ(l1_distance(std::vector<double>{1.0}, std::vector<double>{1.0, 0.5}), 0.5);
+}
+
+TEST(Simplex, EntropyBounds) {
+    EXPECT_DOUBLE_EQ(entropy(std::vector<double>{1.0, 0.0}), 0.0);
+    EXPECT_NEAR(entropy(std::vector<double>{0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+TEST(Simplex, KlDivergenceProperties) {
+    const std::vector<double> p{0.7, 0.3};
+    const std::vector<double> q{0.5, 0.5};
+    EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-12);
+    EXPECT_GT(kl_divergence(p, q), 0.0);
+}
+
+TEST(Simplex, ProjectionIsIdempotentAndValid) {
+    const std::vector<double> v{0.8, -0.3, 0.9, 0.2};
+    const auto p = project_to_simplex(v);
+    EXPECT_TRUE(is_probability_vector(p, 1e-9));
+    const auto pp = project_to_simplex(p);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        EXPECT_NEAR(p[i], pp[i], 1e-12);
+    }
+}
+
+TEST(Simplex, ProjectionKeepsPointsAlreadyOnSimplex) {
+    const std::vector<double> v{0.2, 0.3, 0.5};
+    const auto p = project_to_simplex(v);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        EXPECT_NEAR(p[i], v[i], 1e-12);
+    }
+}
+
+TEST(Simplex, ExpectationIsDotProduct) {
+    const std::vector<double> p{0.25, 0.75};
+    const std::vector<double> f{4.0, 8.0};
+    EXPECT_DOUBLE_EQ(expectation(p, f), 7.0);
+}
+
+} // namespace
+} // namespace mflb

@@ -1,0 +1,114 @@
+// Tests for exact sojourn-time tracking and the M/M/1/B oracles.
+#include "queueing/sojourn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mflb {
+namespace {
+
+TEST(JobTimestamps, FifoOrder) {
+    JobTimestamps jobs(5);
+    jobs.push(1.0);
+    jobs.push(2.5);
+    jobs.push(3.0);
+    EXPECT_EQ(jobs.size(), 3);
+    EXPECT_DOUBLE_EQ(jobs.pop(4.0), 3.0);  // job from t=1.0
+    EXPECT_DOUBLE_EQ(jobs.pop(4.0), 1.5);  // job from t=2.5
+    EXPECT_EQ(jobs.size(), 1);
+}
+
+TEST(JobTimestamps, WrapAroundRing) {
+    JobTimestamps jobs(2);
+    for (int round = 0; round < 10; ++round) {
+        jobs.push(round);
+        jobs.push(round + 0.5);
+        EXPECT_DOUBLE_EQ(jobs.pop(round + 1.0), 1.0);
+        EXPECT_DOUBLE_EQ(jobs.pop(round + 1.0), 0.5);
+    }
+}
+
+TEST(JobTimestamps, GuardsMisuse) {
+    JobTimestamps jobs(1);
+    EXPECT_THROW(jobs.pop(0.0), std::logic_error);
+    jobs.push(0.0);
+    EXPECT_THROW(JobTimestamps(0), std::invalid_argument);
+}
+
+TEST(Mm1bOracles, MatchHandValues) {
+    // rho = 1: stationary law uniform over 0..B.
+    EXPECT_NEAR(mm1b_blocking_probability(1.0, 1.0, 4), 0.2, 1e-12);
+    EXPECT_NEAR(mm1b_mean_length(1.0, 1.0, 4), 2.0, 1e-12);
+    // B = 1, rho = 1: pi = (1/2, 1/2); E[T] = E[L]/(lambda(1-P_B)) = 1.
+    EXPECT_NEAR(mm1b_mean_sojourn(1.0, 1.0, 1), 1.0, 1e-12);
+    EXPECT_THROW(mm1b_mean_length(0.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Mm1bOracles, LowLoadApproachesMm1) {
+    // At rho = 0.2, B = 20 the finite buffer barely matters: E[T] ≈
+    // 1/(mu - lambda) = 1.25.
+    EXPECT_NEAR(mm1b_mean_sojourn(0.2, 1.0, 20), 1.25, 1e-3);
+}
+
+TEST(SojournSimulation, ConservationAndSupport) {
+    Rng rng(1);
+    JobTimestamps jobs(5);
+    double t0 = 0.0;
+    for (int epoch = 0; epoch < 50; ++epoch) {
+        const int before = jobs.size();
+        const SojournEpochResult r =
+            simulate_queue_epoch_sojourn(jobs, t0, 0.9, 1.0, 5, 3.0, rng);
+        EXPECT_EQ(r.queue.final_state, jobs.size());
+        EXPECT_EQ(r.queue.final_state,
+                  before + static_cast<int>(r.queue.arrivals) -
+                      static_cast<int>(r.queue.services));
+        EXPECT_EQ(r.sojourn.count(), r.queue.services);
+        if (r.sojourn.count() > 0) {
+            EXPECT_GT(r.sojourn.min(), 0.0);
+        }
+        t0 += 3.0;
+    }
+}
+
+TEST(SojournSimulation, MatchesLittlesLawAtStationarity) {
+    // Long-run mean sojourn of an M/M/1/B queue vs the analytic oracle.
+    const double arrival = 0.8, service = 1.0;
+    const int buffer = 5;
+    Rng rng(2);
+    JobTimestamps jobs(buffer);
+    RunningStat sojourn;
+    double t0 = 0.0;
+    const double dt = 10.0;
+    // Warm up to stationarity first.
+    for (int epoch = 0; epoch < 50; ++epoch) {
+        simulate_queue_epoch_sojourn(jobs, t0, arrival, service, buffer, dt, rng);
+        t0 += dt;
+    }
+    for (int epoch = 0; epoch < 3000; ++epoch) {
+        const auto r = simulate_queue_epoch_sojourn(jobs, t0, arrival, service, buffer, dt, rng);
+        sojourn.merge(r.sojourn);
+        t0 += dt;
+    }
+    const double oracle = mm1b_mean_sojourn(arrival, service, buffer);
+    EXPECT_NEAR(sojourn.mean(), oracle, 6.0 * sojourn.standard_error() + 0.02);
+}
+
+TEST(SojournSimulation, HigherLoadLongerSojourn) {
+    auto mean_sojourn = [](double arrival) {
+        Rng rng(3);
+        JobTimestamps jobs(5);
+        RunningStat sojourn;
+        double t0 = 0.0;
+        for (int epoch = 0; epoch < 1500; ++epoch) {
+            sojourn.merge(
+                simulate_queue_epoch_sojourn(jobs, t0, arrival, 1.0, 5, 10.0, rng).sojourn);
+            t0 += 10.0;
+        }
+        return sojourn.mean();
+    };
+    EXPECT_LT(mean_sojourn(0.3), mean_sojourn(0.9));
+}
+
+} // namespace
+} // namespace mflb

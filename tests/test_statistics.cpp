@@ -1,0 +1,118 @@
+// Tests for Welford accumulation, merging, and confidence intervals.
+#include "support/statistics.hpp"
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mflb {
+namespace {
+
+TEST(RunningStat, MatchesNaiveMeanAndVariance) {
+    const std::vector<double> xs{1.0, 2.0, 4.5, -3.0, 0.25, 10.0};
+    RunningStat stat;
+    for (double x : xs) {
+        stat.add(x);
+    }
+    EXPECT_EQ(stat.count(), xs.size());
+    EXPECT_NEAR(stat.mean(), mean_of(xs), 1e-12);
+    EXPECT_NEAR(stat.variance(), variance_of(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(stat.min(), -3.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 10.0);
+}
+
+TEST(RunningStat, SingleObservationHasZeroVariance) {
+    RunningStat stat;
+    stat.add(5.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.standard_error(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+    RunningStat all, left, right;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(static_cast<double>(i)) * 3.0 + 1.0;
+        all.add(x);
+        (i < 20 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmptyIsNoop) {
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean_before = a.mean();
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+    b.merge(a);
+    EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(ConfidenceInterval, WidthScalesWithSampleSize) {
+    RunningStat small, big;
+    for (int i = 0; i < 10; ++i) {
+        small.add(i % 2 == 0 ? 1.0 : -1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        big.add(i % 2 == 0 ? 1.0 : -1.0);
+    }
+    const auto ci_small = confidence_interval_95(small);
+    const auto ci_big = confidence_interval_95(big);
+    EXPECT_GT(ci_small.half_width, ci_big.half_width);
+    EXPECT_NEAR(ci_big.mean, 0.0, 1e-12);
+    EXPECT_LE(ci_big.lower(), ci_big.mean);
+    EXPECT_GE(ci_big.upper(), ci_big.mean);
+}
+
+TEST(ConfidenceInterval, CoversTrueMeanApproximately) {
+    // Property: over repeated experiments, the 95% CI covers the true mean
+    // about 95% of the time (allow generous slack for 200 trials).
+    std::uint64_t seed = 12345;
+    int covered = 0;
+    const int trials = 200;
+    for (int trial = 0; trial < trials; ++trial) {
+        RunningStat stat;
+        for (int i = 0; i < 40; ++i) {
+            // Deterministic pseudo-random uniform in [0, 1) via splitmix64.
+            const double u =
+                static_cast<double>(splitmix64(seed) >> 11) * 0x1.0p-53;
+            stat.add(u);
+        }
+        const auto ci = confidence_interval_95(stat);
+        if (ci.lower() <= 0.5 && 0.5 <= ci.upper()) {
+            ++covered;
+        }
+    }
+    EXPECT_GE(covered, static_cast<int>(trials * 0.88));
+}
+
+TEST(StudentT, CriticalValuesDecreaseToNormal) {
+    EXPECT_GT(student_t_975(1), student_t_975(2));
+    EXPECT_GT(student_t_975(5), student_t_975(30));
+    EXPECT_NEAR(student_t_975(10000), 1.959964, 1e-6);
+}
+
+TEST(Histogram, BinsAndClamping) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0); // clamps to first bin
+    h.add(0.5);
+    h.add(9.99);
+    h.add(42.0); // clamps to last bin
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bin_count(0), 2u);
+    EXPECT_EQ(h.bin_count(4), 2u);
+    EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bin_lower(4), 8.0);
+    EXPECT_FALSE(h.ascii().empty());
+}
+
+} // namespace
+} // namespace mflb

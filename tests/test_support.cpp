@@ -1,0 +1,129 @@
+// Tests for CLI parsing, tables, serialization, logging, and the thread pool.
+#include "support/cli.hpp"
+#include "support/logging.hpp"
+#include "support/serialization.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace mflb {
+namespace {
+
+TEST(Cli, ParsesValuesAndDefaults) {
+    CliParser cli("test");
+    cli.flag("m", "100", "queues").flag("dt", "1.0", "delay").flag("fast", "false", "quick mode");
+    const char* argv[] = {"prog", "--m", "400", "--fast", "--dt=2.5"};
+    ASSERT_TRUE(cli.parse(5, argv));
+    EXPECT_EQ(cli.get_int("m"), 400);
+    EXPECT_DOUBLE_EQ(cli.get_double("dt"), 2.5);
+    EXPECT_TRUE(cli.get_bool("fast"));
+    EXPECT_TRUE(cli.provided("m"));
+    EXPECT_FALSE(cli.provided("help"));
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+    CliParser cli("test");
+    const char* argv[] = {"prog", "--nope", "1"};
+    EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, ParsesLists) {
+    CliParser cli("test");
+    cli.flag("ms", "100,200,400", "queue sizes").flag("dts", "1,2.5", "delays");
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    const auto ms = cli.get_int_list("ms");
+    ASSERT_EQ(ms.size(), 3u);
+    EXPECT_EQ(ms[2], 400);
+    const auto dts = cli.get_double_list("dts");
+    ASSERT_EQ(dts.size(), 2u);
+    EXPECT_DOUBLE_EQ(dts[1], 2.5);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+    CliParser cli("test");
+    const char* argv[] = {"prog", "--help"};
+    EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Table, TextAndCsvRendering) {
+    Table t({"a", "b"});
+    t.row().cell("x").cell(1.23456, 2);
+    t.row().cell(std::int64_t{7}).cell_ci(3.0, 0.5, 1);
+    const std::string text = t.to_text();
+    EXPECT_NE(text.find("1.23"), std::string::npos);
+    EXPECT_NE(text.find("3.0 +- 0.5"), std::string::npos);
+    const std::string csv = t.to_csv();
+    EXPECT_NE(csv.find("a,b"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Archive, RoundTripsScalarsAndVectors) {
+    Archive a;
+    a.put("alpha", 1.5);
+    a.put("count", std::int64_t{42});
+    a.put("name", std::string("mflb"));
+    a.put("params", std::vector<double>{0.1, -2.5e-7, 3.0});
+    const Archive b = Archive::from_string(a.to_string());
+    EXPECT_DOUBLE_EQ(b.get_double("alpha"), 1.5);
+    EXPECT_EQ(b.get_int("count"), 42);
+    EXPECT_EQ(b.get_string("name"), "mflb");
+    const auto params = b.get_vector("params");
+    ASSERT_EQ(params.size(), 3u);
+    EXPECT_DOUBLE_EQ(params[1], -2.5e-7);
+    EXPECT_TRUE(b.contains("alpha"));
+    EXPECT_FALSE(b.contains("missing"));
+}
+
+TEST(Archive, ThrowsOnMissingKeyAndBadSyntax) {
+    Archive a;
+    EXPECT_THROW(a.get_double("nope"), std::invalid_argument);
+    EXPECT_THROW(Archive::from_string("no equals sign"), std::invalid_argument);
+    EXPECT_THROW(Archive::from_string("k = [1, 2"), std::invalid_argument);
+}
+
+TEST(Archive, IgnoresCommentsAndBlankLines) {
+    const Archive a = Archive::from_string("# comment\n\nkey = 3\n");
+    EXPECT_EQ(a.get_int("key"), 3);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, CoversAllIndicesOnce) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelFor, ZeroAndSingleElement) {
+    int calls = 0;
+    parallel_for(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallel_for(1, [&](std::size_t) { ++calls; }, 8);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Logging, LevelFiltering) {
+    const LogLevel before = log_level();
+    set_log_level(LogLevel::Error);
+    EXPECT_EQ(log_level(), LogLevel::Error);
+    log_info("should be filtered");
+    set_log_level(before);
+}
+
+} // namespace
+} // namespace mflb

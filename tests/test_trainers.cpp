@@ -1,0 +1,103 @@
+// Tests for the training entry points: Boltzmann warm starts, the coarse
+// beta search, and common-random-number CEM training.
+#include "core/trainers.hpp"
+#include "core/evaluator.hpp"
+#include "policies/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mflb {
+namespace {
+
+MfcConfig config_for(double dt, int horizon) {
+    MfcConfig config;
+    config.dt = dt;
+    config.horizon = horizon;
+    return config;
+}
+
+TEST(BoltzmannParams, ReproduceGreedySoftmaxRule) {
+    const TupleSpace space(6, 2);
+    for (const double beta : {0.0, 0.7, 3.0}) {
+        const std::vector<double> params = boltzmann_initial_params(space, 2, beta);
+        TabularPolicy policy(space, 2);
+        policy.set_parameters(params);
+        const DecisionRule expected = DecisionRule::greedy_softmax(space, beta);
+        for (std::size_t s = 0; s < 2; ++s) {
+            EXPECT_LT(policy.rule_for(s).max_abs_diff(expected), 1e-12) << "beta=" << beta;
+        }
+    }
+}
+
+TEST(BoltzmannParams, SizeMatchesPolicy) {
+    const TupleSpace space(4, 3);
+    const std::vector<double> params = boltzmann_initial_params(space, 3, 1.0);
+    const TabularPolicy policy(space, 3);
+    EXPECT_EQ(params.size(), policy.parameter_count());
+}
+
+TEST(BestBeta, GreedyWinsAtSmallDelayUniformAtLarge) {
+    // The central crossover property: the optimal greediness decreases in dt.
+    const std::vector<double> betas{0.0, 1.0, 16.0};
+    const double beta_fresh = best_boltzmann_beta(config_for(1.0, 100), betas, 4, 3);
+    const double beta_stale = best_boltzmann_beta(config_for(10.0, 30), betas, 4, 3);
+    EXPECT_GE(beta_fresh, 16.0);
+    EXPECT_LE(beta_stale, 1.0);
+    EXPECT_GT(beta_fresh, beta_stale);
+}
+
+TEST(BestBeta, RejectsEmptyGrid) {
+    EXPECT_THROW(best_boltzmann_beta(config_for(1.0, 10), {}, 1, 1), std::invalid_argument);
+}
+
+TEST(CemTraining, CommonRandomNumbersIsDeterministic) {
+    const MfcConfig config = config_for(5.0, 15);
+    rl::CemConfig cem;
+    cem.population = 12;
+    cem.elites = 3;
+    cem.generations = 4;
+    const CemTrainingResult a = train_tabular_cem(config, cem, 2, 99);
+    const CemTrainingResult b = train_tabular_cem(config, cem, 2, 99);
+    EXPECT_DOUBLE_EQ(a.best_return, b.best_return);
+    for (std::size_t s = 0; s < 2; ++s) {
+        EXPECT_LT(a.policy.rule_for(s).max_abs_diff(b.policy.rule_for(s)), 1e-15);
+    }
+}
+
+TEST(CemTraining, WarmStartAtLeastAsGoodAsItsInit) {
+    // Starting from the best Boltzmann rule, CEM must return a policy no
+    // worse than that rule on the (deterministic, conditioned) objective.
+    const MfcConfig config = config_for(5.0, 20);
+    const TupleSpace space(config.queue.num_states(), config.d);
+    const std::vector<double> betas{0.0, 0.5, 1.0, 2.0, 4.0};
+    const double beta = best_boltzmann_beta(config, betas, 3, 7);
+    const std::vector<double> warm = boltzmann_initial_params(space, 2, beta);
+
+    rl::CemConfig cem;
+    cem.population = 16;
+    cem.elites = 4;
+    cem.generations = 8;
+    const CemTrainingResult trained = train_tabular_cem(
+        config, cem, 3, 7, RuleParameterization::Logits, true, &warm);
+
+    const EvaluationResult learned = evaluate_mfc(config, trained.policy, 30, 21);
+    const EvaluationResult init =
+        evaluate_mfc(config, make_greedy_softmax_policy(space, beta), 30, 21);
+    EXPECT_LE(learned.total_drops.mean,
+              init.total_drops.mean + init.total_drops.half_width + 0.2);
+}
+
+TEST(CemTraining, NonCrnPathStillWorks) {
+    const MfcConfig config = config_for(5.0, 10);
+    rl::CemConfig cem;
+    cem.population = 8;
+    cem.elites = 2;
+    cem.generations = 3;
+    const CemTrainingResult result = train_tabular_cem(
+        config, cem, 1, 5, RuleParameterization::Logits, /*common_random_numbers=*/false);
+    EXPECT_EQ(result.history.size(), 3u);
+    EXPECT_LE(result.best_return, 0.0);
+}
+
+} // namespace
+} // namespace mflb

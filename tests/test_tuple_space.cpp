@@ -1,0 +1,73 @@
+// Tests for the Z^d tuple enumeration.
+#include "field/tuple_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mflb {
+namespace {
+
+TEST(TupleSpace, SizeIsPower) {
+    EXPECT_EQ(TupleSpace(6, 2).size(), 36u);
+    EXPECT_EQ(TupleSpace(6, 1).size(), 6u);
+    EXPECT_EQ(TupleSpace(6, 3).size(), 216u);
+    EXPECT_EQ(TupleSpace(2, 10).size(), 1024u);
+}
+
+TEST(TupleSpace, RejectsBadArguments) {
+    EXPECT_THROW(TupleSpace(0, 2), std::invalid_argument);
+    EXPECT_THROW(TupleSpace(6, 0), std::invalid_argument);
+}
+
+TEST(TupleSpace, IndexDecodeRoundTrip) {
+    const TupleSpace space(6, 2);
+    std::vector<int> tuple(2);
+    for (std::size_t idx = 0; idx < space.size(); ++idx) {
+        space.decode(idx, tuple);
+        EXPECT_EQ(space.index_of(tuple), idx);
+    }
+}
+
+TEST(TupleSpace, CoordinateMatchesDecode) {
+    const TupleSpace space(4, 3);
+    std::vector<int> tuple(3);
+    for (std::size_t idx = 0; idx < space.size(); ++idx) {
+        space.decode(idx, tuple);
+        for (int k = 0; k < 3; ++k) {
+            EXPECT_EQ(space.coordinate(idx, k), tuple[static_cast<std::size_t>(k)]);
+        }
+    }
+}
+
+TEST(TupleSpace, FirstCoordinateVariesFastest) {
+    const TupleSpace space(6, 2);
+    const std::vector<int> t0{1, 0};
+    const std::vector<int> t1{0, 1};
+    EXPECT_EQ(space.index_of(t0), 1u);
+    EXPECT_EQ(space.index_of(t1), 6u);
+}
+
+TEST(TupleSpace, BoundsChecking) {
+    const TupleSpace space(6, 2);
+    const std::vector<int> bad_state{6, 0};
+    EXPECT_THROW(space.index_of(bad_state), std::out_of_range);
+    const std::vector<int> bad_arity{0};
+    EXPECT_THROW(space.index_of(bad_arity), std::invalid_argument);
+    std::vector<int> out(2);
+    EXPECT_THROW(space.decode(space.size(), out), std::out_of_range);
+}
+
+TEST(TupleSpace, TupleAtAllocates) {
+    const TupleSpace space(3, 2);
+    const auto t = space.tuple_at(5); // 5 = 2 + 1*3
+    EXPECT_EQ(t[0], 2);
+    EXPECT_EQ(t[1], 1);
+}
+
+TEST(TupleSpace, Equality) {
+    EXPECT_TRUE(TupleSpace(6, 2) == TupleSpace(6, 2));
+    EXPECT_FALSE(TupleSpace(6, 2) == TupleSpace(5, 2));
+    EXPECT_FALSE(TupleSpace(6, 2) == TupleSpace(6, 3));
+}
+
+} // namespace
+} // namespace mflb
