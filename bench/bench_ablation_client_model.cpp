@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
     cli.flag("dt", "5", "Synchronization delay");
     cli.flag("seed", "7", "Evaluation seed");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
     const std::size_t sims = full ? 50 : 10;

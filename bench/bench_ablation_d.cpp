@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
     cli.flag("dts", "1,5,10", "Delays to sweep");
     cli.flag("seed", "5", "Evaluation seed");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
     const std::size_t episodes = full ? 100 : 30;

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
     cli.flag("dt", "5", "Synchronization delay");
     cli.flag("seed", "6", "Training seed");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
     const double dt = cli.get_double("dt");

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
     cli.flag("dts", "1,5,10", "Delays to compare");
     cli.flag("seed", "8", "Seed");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
     const std::size_t episodes = full ? 100 : 30;

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
     cli.flag("fast-rate", "1.5", "Service rate of the fast class");
     cli.flag("seed", "10", "Seed");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
     const std::size_t episodes = full ? 100 : 30;

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
     cli.flag("dts", "1,3,5,10", "Delays to sweep");
     cli.flag("seed", "9", "Seed");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
     const int sims = full ? 50 : 12;

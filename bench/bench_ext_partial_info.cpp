@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
     cli.flag("ks", "2,5,20,0", "Histogram sample sizes (0 = exact H^M)");
     cli.flag("seed", "11", "Seed");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
     const std::size_t sims = full ? 50 : 12;

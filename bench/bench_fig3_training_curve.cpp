@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
              "Initialize the policy mean at the best Boltzmann rule (shows the "
              "pipeline surpassing JSQ(2) within the small default budget)");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
     const double dt = cli.get_double("dt");

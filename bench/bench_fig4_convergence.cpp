@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
     cli.flag("seed", "2", "Evaluation seed");
     cli.flag("csv", "", "Optional CSV output path");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
     const auto dts = cli.get_double_list("dts");

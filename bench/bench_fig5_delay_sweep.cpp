@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
     cli.flag("seed", "3", "Evaluation seed");
     cli.flag("csv", "", "Optional CSV output path");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
     std::vector<std::int64_t> ms = cli.get_int_list("ms");

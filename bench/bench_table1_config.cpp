@@ -8,7 +8,7 @@ int main(int argc, char** argv) {
     CliParser cli("bench_table1_config: reproduce Table 1 (system parameters)");
     cli.flag("full", "false", "No effect here; accepted for harness uniformity");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
 
     ExperimentConfig config;

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
     CliParser cli("bench_table2_ppo_config: reproduce Table 2 (PPO hyperparameters)");
     cli.flag("full", "false", "No effect here; accepted for harness uniformity");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
 
     const rl::PpoConfig config;

@@ -150,7 +150,7 @@ int main(int argc, char** argv) {
     cli.flag("out", "/tmp/mflb_policy.txt", "Output path for train mode");
     cli.flag("seed", "1", "Seed");
     if (!cli.parse(argc, argv)) {
-        return 0;
+        return cli.exit_code();
     }
     const std::string mode = cli.get("mode");
     if (mode == "train") {

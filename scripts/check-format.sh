@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Check (default) or fix (--fix) clang-format compliance.
+#
+# Only files *changed relative to the merge base with main* are considered, so
+# the hook never mass-reformats pre-existing code. Run from anywhere in the
+# repo.
+#
+# Usage:
+#   scripts/check-format.sh          # report violations, exit 1 if any
+#   scripts/check-format.sh --fix    # apply formatting in place
+#   scripts/check-format.sh --all    # consider every tracked C++ file
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel)"
+
+MODE=check
+SCOPE=changed
+for arg in "$@"; do
+    case "$arg" in
+        --fix) MODE=fix ;;
+        --all) SCOPE=all ;;
+        *) echo "usage: $0 [--fix] [--all]" >&2; exit 2 ;;
+    esac
+done
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+    echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT=... to override)" >&2
+    exit 2
+fi
+
+if [ "$SCOPE" = all ]; then
+    mapfile -t files < <(git ls-files -- '*.cpp' '*.hpp')
+else
+    base=$(git merge-base HEAD origin/main 2>/dev/null \
+        || git merge-base HEAD main 2>/dev/null \
+        || echo HEAD)
+    mapfile -t files < <(git diff --name-only --diff-filter=ACMR "$base" -- '*.cpp' '*.hpp')
+fi
+
+if [ "${#files[@]}" -eq 0 ]; then
+    echo "check-format: no C++ files to check"
+    exit 0
+fi
+
+if [ "$MODE" = fix ]; then
+    "$CLANG_FORMAT" -i "${files[@]}"
+    echo "check-format: formatted ${#files[@]} file(s)"
+    exit 0
+fi
+
+bad=0
+for f in "${files[@]}"; do
+    if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+        echo "needs formatting: $f"
+        bad=1
+    fi
+done
+if [ "$bad" -ne 0 ]; then
+    echo "check-format: run scripts/check-format.sh --fix" >&2
+    exit 1
+fi
+echo "check-format: ${#files[@]} file(s) clean"

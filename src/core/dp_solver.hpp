@@ -10,7 +10,8 @@
 /// transition ν' = proj_grid(T_ν(ν, λ, h)) and stage cost once per
 /// (point, λ, rule), and run value iteration to the discounted fixed point.
 /// The induced greedy policy is directly deployable as an UpperLevelPolicy
-/// and serves as an independent check on what CEM / PPO learn.
+/// and serves as an independent check on what CEM / PPO learn
+/// (bench/bench_ablation_solver.cpp runs the three-way comparison).
 #pragma once
 
 #include "field/mfc_env.hpp"

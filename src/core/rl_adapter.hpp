@@ -4,7 +4,10 @@
 /// to a row-stochastic decision rule either by per-row softmax (the paper's
 /// Gaussian-logits + "manual normalization" approach) or by clamping and
 /// renormalizing raw values (the Dirichlet-style simplex parameterization the
-/// paper reports as significantly worse — exposed for the ablation bench).
+/// paper reports as significantly worse — exposed for the ablation bench,
+/// bench/bench_ablation_parameterization.cpp).
+/// \see core/trainers.hpp for the Table 2 PPO pipeline built on this
+/// adapter.
 #pragma once
 
 #include "field/mfc_env.hpp"

@@ -1,8 +1,9 @@
 /// \file mmpp_fit.hpp
-/// Estimating the arrival modulation from observed traffic — the paper
-/// remarks that the modulation "could be estimated from a real system"; this
-/// module provides that estimator so the pipeline runs end-to-end from a
-/// traffic trace to a trained policy.
+/// Estimating the arrival modulation of eq. (1) — the Markov-modulated
+/// Poisson arrival rate λ_t — from observed traffic. The paper remarks that
+/// the modulation "could be estimated from a real system"; this module
+/// provides that estimator so the pipeline runs end-to-end from a traffic
+/// trace to a trained policy (see examples/trace_to_policy.cpp).
 ///
 /// Model: per decision epoch t, the total number of observed arrivals is
 ///     y_t ~ Poisson(M · λ_{s_t} · Δt),

@@ -1,9 +1,10 @@
 /// \file tuple_space.hpp
-/// The anonymous agent state space Z^d of the mean-field model: each client
-/// observes the (stale) states of d sampled queues, so its state is a tuple
-/// z̄ ∈ Z^d with Z = {0, ..., B}. This class provides a dense bijection
-/// between tuples and flat indices so decision rules h : Z^d -> P(U) can be
-/// stored as row-stochastic matrices.
+/// The anonymous agent state space Z^d of the mean-field model (Section 2.1:
+/// each client samples d queues per epoch and observes their stale
+/// snapshot states), so its state is a tuple z̄ ∈ Z^d with Z = {0, ..., B}.
+/// This class provides a dense bijection between tuples and flat indices so
+/// decision rules h : Z^d -> P(U) can be stored as row-stochastic matrices.
+/// \see field/decision_rule.hpp for the rules indexed by this space.
 #pragma once
 
 #include <cstddef>

@@ -3,6 +3,8 @@
 /// kernel and the neural-network layers. Generator matrices here are tiny
 /// ((B+2)x(B+2) with B = 5 by default) so a straightforward cache-friendly
 /// implementation with loop-order ikj multiplication is both simple and fast.
+/// \see math/expm.hpp, which exponentiates the extended generators of
+/// eq. (27) built on this type.
 #pragma once
 
 #include <cstddef>

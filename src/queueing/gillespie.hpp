@@ -1,9 +1,11 @@
 /// \file gillespie.hpp
 /// Exact stochastic simulation of one finite-buffer queue over a decision
-/// epoch. Within an epoch the paper's model freezes the arrival rate (clients
-/// routed on the stale snapshot), so each queue is an independent M/M/1/B
-/// birth-death CTMC; we sample exponential inter-event times exactly
-/// (Gillespie 1977), counting blocked arrivals as drops.
+/// epoch — the per-queue kernel of the Section 2.1 finite system. Within an
+/// epoch the paper's model freezes the arrival rate (clients routed on the
+/// stale snapshot), so each queue is an independent M/M/1/B birth-death
+/// CTMC; we sample exponential inter-event times exactly (Gillespie 1977),
+/// counting blocked arrivals as drops.
+/// \see field/transition.hpp for the matching deterministic mean-field step.
 #pragma once
 
 #include "support/rng.hpp"

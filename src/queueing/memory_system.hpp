@@ -5,7 +5,8 @@
 /// client also looks up the stale state of the queue it used last epoch and
 /// routes to the shortest of the d+1 candidates. Memory adds information at
 /// zero extra sampling cost, but under large Δt it can also reinforce
-/// herding onto the same queue — which this module lets us measure.
+/// herding onto the same queue — which this module lets us measure
+/// (bench/bench_ext_memory.cpp sweeps Δt on exactly this trade-off).
 #pragma once
 
 #include "field/arrival_process.hpp"

@@ -8,6 +8,7 @@
 /// timestamps of the jobs currently in each buffer; the Gillespie kernel
 /// variant below records every accepted arrival and completed service with
 /// exact event times.
+/// \see queueing/gillespie.hpp for the underlying epoch simulation.
 #pragma once
 
 #include "queueing/gillespie.hpp"

@@ -1,6 +1,8 @@
 /// \file adam.hpp
 /// Adam optimizer (Kingma & Ba, 2015) over a flat parameter vector, with
 /// optional global-norm gradient clipping as used by RLlib's PPO trainer.
+/// \see rl/ppo.hpp, whose Table 2 defaults set the learning rate consumed
+/// here.
 #pragma once
 
 #include <cstddef>

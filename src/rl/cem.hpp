@@ -4,7 +4,8 @@
 /// — it optimizes the *same* MFC objective J(π̃) as PPO but converges in
 /// seconds on the small decision-rule parameter space, which is what the
 /// benchmark harness uses at its default (CI-sized) budget. PPO remains the
-/// paper-faithful trainer (bench_fig3 runs it).
+/// paper-faithful trainer (bench_fig3 runs it, per Table 2).
+/// \see core/trainers.hpp for the entry points wrapping both.
 #pragma once
 
 #include "support/rng.hpp"

@@ -1,7 +1,8 @@
 /// \file env.hpp
-/// Generic episodic environment interface for the RL stack. The MFC MDP is
-/// exposed to PPO through an adapter implementing this interface (see
-/// core/rl_adapter.hpp); the RL library itself is agnostic of queuing.
+/// Generic episodic environment interface for the RL stack. The MFC MDP
+/// (Section 2.5) is exposed to PPO through an adapter implementing this
+/// interface (see core/rl_adapter.hpp); the RL library itself is agnostic of
+/// queuing, which keeps the rl/ layer reusable for future workloads.
 #pragma once
 
 #include "support/rng.hpp"

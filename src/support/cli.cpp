@@ -1,10 +1,93 @@
 #include "support/cli.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
 namespace mflb {
+
+namespace {
+
+void print_bad_value(const std::string& name, const std::string& value, const char* expected) {
+    std::fprintf(stderr, "invalid value for --%s: '%s' (expected %s)\n", name.c_str(),
+                 value.c_str(), expected);
+}
+
+[[noreturn]] void die_bad_value(const std::string& name, const std::string& value,
+                                const char* expected) {
+    print_bad_value(name, value, expected);
+    std::exit(2);
+}
+
+std::int64_t parse_int_or_die(const std::string& name, const std::string& value) {
+    try {
+        std::size_t pos = 0;
+        const std::int64_t parsed = std::stoll(value, &pos);
+        if (pos == value.size()) {
+            return parsed;
+        }
+    } catch (const std::exception&) {
+    }
+    die_bad_value(name, value, "an integer");
+}
+
+double parse_double_or_die(const std::string& name, const std::string& value) {
+    try {
+        std::size_t pos = 0;
+        const double parsed = std::stod(value, &pos);
+        if (pos == value.size()) {
+            return parsed;
+        }
+    } catch (const std::exception&) {
+    }
+    die_bad_value(name, value, "a number");
+}
+
+bool is_bool_token(const std::string& token) {
+    return token == "true" || token == "false" || token == "1" || token == "0" ||
+           token == "yes" || token == "no" || token == "on" || token == "off";
+}
+
+bool is_number(const std::string& s) {
+    try {
+        std::size_t pos = 0;
+        (void)std::stod(s, &pos);
+        return pos == s.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+bool is_number_list(const std::string& s) {
+    std::stringstream ss(s);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+        if (!token.empty() && !is_number(token)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Validates a provided value against the type the flag's default implies
+/// (bool / number / number list); defaults that fit none (paths, mode names,
+/// empty strings) stay unvalidated. Returns the expected-type description on
+/// mismatch, nullptr if the value is acceptable.
+const char* value_type_mismatch(const std::string& default_value, const std::string& value) {
+    if (default_value == "true" || default_value == "false") {
+        return is_bool_token(value) ? nullptr : "a boolean (true/false)";
+    }
+    if (is_number(default_value)) {
+        return is_number(value) ? nullptr : "a number";
+    }
+    if (default_value.find(',') != std::string::npos && is_number_list(default_value)) {
+        return is_number_list(value) ? nullptr : "a comma-separated list of numbers";
+    }
+    return nullptr;
+}
+
+} // namespace
 
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {
@@ -18,11 +101,13 @@ CliParser& CliParser::flag(const std::string& name, const std::string& default_v
 }
 
 bool CliParser::parse(int argc, const char* const* argv) {
+    parse_error_ = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0) {
             std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
                          usage().c_str());
+            parse_error_ = true;
             return false;
         }
         arg = arg.substr(2);
@@ -35,16 +120,34 @@ bool CliParser::parse(int argc, const char* const* argv) {
         auto it = flags_.find(name);
         if (it == flags_.end()) {
             std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(), usage().c_str());
+            parse_error_ = true;
             return false;
         }
         if (!value) {
             const bool is_bool_flag =
                 it->second.default_value == "true" || it->second.default_value == "false";
-            if (!is_bool_flag && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            if (is_bool_flag) {
+                // `--flag` alone means true; an explicit `--flag false` etc.
+                // consumes the value token.
+                if (i + 1 < argc && is_bool_token(argv[i + 1])) {
+                    value = argv[++i];
+                } else {
+                    value = "true";
+                }
+            } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
                 value = argv[++i];
             } else {
-                value = "true"; // boolean-style flag
+                std::fprintf(stderr, "flag --%s requires a value\n%s", name.c_str(),
+                             usage().c_str());
+                parse_error_ = true;
+                return false;
             }
+        }
+        if (const char* expected = value_type_mismatch(it->second.default_value, *value)) {
+            print_bad_value(name, *value, expected);
+            std::fputs(usage().c_str(), stderr);
+            parse_error_ = true;
+            return false;
         }
         it->second.value = value;
     }
@@ -64,11 +167,11 @@ std::string CliParser::get(const std::string& name) const {
 }
 
 std::int64_t CliParser::get_int(const std::string& name) const {
-    return std::stoll(get(name));
+    return parse_int_or_die(name, get(name));
 }
 
 double CliParser::get_double(const std::string& name) const {
-    return std::stod(get(name));
+    return parse_double_or_die(name, get(name));
 }
 
 bool CliParser::get_bool(const std::string& name) const {
@@ -82,7 +185,7 @@ std::vector<std::int64_t> CliParser::get_int_list(const std::string& name) const
     std::string token;
     while (std::getline(ss, token, ',')) {
         if (!token.empty()) {
-            values.push_back(std::stoll(token));
+            values.push_back(parse_int_or_die(name, token));
         }
     }
     return values;
@@ -94,7 +197,7 @@ std::vector<double> CliParser::get_double_list(const std::string& name) const {
     std::string token;
     while (std::getline(ss, token, ',')) {
         if (!token.empty()) {
-            values.push_back(std::stod(token));
+            values.push_back(parse_double_or_die(name, token));
         }
     }
     return values;

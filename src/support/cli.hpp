@@ -1,6 +1,8 @@
 /// \file cli.hpp
 /// Tiny declarative command-line flag parser for the bench and example
-/// binaries. Supports `--name value`, `--name=value` and boolean `--name`.
+/// binaries. Supports `--name value`, `--name=value` and boolean `--name`;
+/// every registered flag is listed by the auto-generated `--help`.
+/// \see support/table.hpp for the matching stdout table rendering.
 #pragma once
 
 #include <cstdint>
@@ -22,10 +24,23 @@ public:
                     const std::string& help);
 
     /// Parses argv. Returns false (and prints usage) on `--help` or an
-    /// unknown/malformed flag.
+    /// unknown/malformed flag; parse_error() distinguishes the two so
+    /// binaries can exit non-zero on misuse. Provided values are validated
+    /// against the shape the flag's default implies (bool, number, or
+    /// comma-separated number list), so non-numeric typos fail here; finer
+    /// mismatches (e.g. a float for an integer flag) fail at the typed
+    /// getter, which exits with the same code-2 diagnostic.
     bool parse(int argc, const char* const* argv);
 
+    /// True if the last parse() failed on bad input (as opposed to --help).
+    bool parse_error() const noexcept { return parse_error_; }
+
+    /// Process exit code after a failed parse(): 2 on misuse, 0 for --help.
+    int exit_code() const noexcept { return parse_error_ ? 2 : 0; }
+
     std::string get(const std::string& name) const;
+    /// Typed getters exit(2) with a diagnostic on malformed values, keeping
+    /// the misuse exit-code contract instead of aborting on an exception.
     std::int64_t get_int(const std::string& name) const;
     double get_double(const std::string& name) const;
     bool get_bool(const std::string& name) const;
@@ -48,6 +63,7 @@ private:
 
     std::string description_;
     std::map<std::string, Flag> flags_;
+    bool parse_error_ = false;
 };
 
 } // namespace mflb

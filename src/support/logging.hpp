@@ -1,6 +1,7 @@
 /// \file logging.hpp
 /// Leveled stderr logger with wall-clock timestamps. Benches log progress at
-/// Info; tests silence everything below Warn via set_level().
+/// Info; tests silence everything below Warn via set_level(). Kept on
+/// stderr so bench/example stdout stays machine-parseable result tables.
 #pragma once
 
 #include <sstream>

@@ -7,6 +7,8 @@
 /// derives statistically independent child streams, which is how the Monte
 /// Carlo sweep hands one generator to each replication (and each worker
 /// thread) without sharing state.
+/// \see core/evaluator.hpp, whose thread-count-independent results rest on
+/// this per-replication seeding contract.
 #pragma once
 
 #include <array>

@@ -6,7 +6,9 @@
 ///     key = [v0, v1, ...]
 ///
 /// Doubles round-trip exactly (hex-float free, max_digits10 precision), which
-/// is enough to reload a policy and reproduce evaluation numbers bit-for-bit.
+/// is enough to reload a policy and reproduce evaluation numbers bit-for-bit
+/// (the offline-train / online-deploy split of examples/train_and_deploy.cpp
+/// depends on this).
 #pragma once
 
 #include <cstdint>

@@ -6,6 +6,7 @@
 /// results are identical regardless of the number of worker threads. On a
 /// single-core host the pool degrades to near-serial execution with no
 /// change in results.
+/// \see support/rng.hpp for the split() contract that makes this safe.
 #pragma once
 
 #include <condition_variable>

@@ -29,6 +29,81 @@ TEST(Cli, RejectsUnknownFlag) {
     CliParser cli("test");
     const char* argv[] = {"prog", "--nope", "1"};
     EXPECT_FALSE(cli.parse(3, argv));
+    EXPECT_TRUE(cli.parse_error());
+}
+
+TEST(Cli, RejectsPositionalArgument) {
+    CliParser cli("test");
+    const char* argv[] = {"prog", "stray"};
+    EXPECT_FALSE(cli.parse(2, argv));
+    EXPECT_TRUE(cli.parse_error());
+    EXPECT_EQ(cli.exit_code(), 2);
+}
+
+TEST(Cli, RejectsMissingValueForNonBoolFlag) {
+    CliParser cli("test");
+    cli.flag("seed", "1", "seed").flag("fast", "false", "quick mode");
+    const char* at_end[] = {"prog", "--seed"};
+    EXPECT_FALSE(cli.parse(2, at_end));
+    EXPECT_TRUE(cli.parse_error());
+
+    CliParser cli2("test");
+    cli2.flag("seed", "1", "seed").flag("fast", "false", "quick mode");
+    const char* before_flag[] = {"prog", "--seed", "--fast"};
+    EXPECT_FALSE(cli2.parse(3, before_flag));
+    EXPECT_TRUE(cli2.parse_error());
+}
+
+TEST(Cli, BoolFlagConsumesExplicitValueToken) {
+    CliParser cli("test");
+    cli.flag("fast", "false", "quick mode").flag("seed", "1", "seed");
+    const char* argv[] = {"prog", "--fast", "false", "--seed", "7"};
+    ASSERT_TRUE(cli.parse(5, argv));
+    EXPECT_FALSE(cli.get_bool("fast"));
+    EXPECT_EQ(cli.get_int("seed"), 7);
+
+    CliParser cli2("test");
+    cli2.flag("fast", "false", "quick mode");
+    const char* bare[] = {"prog", "--fast"};
+    ASSERT_TRUE(cli2.parse(2, bare));
+    EXPECT_TRUE(cli2.get_bool("fast"));
+}
+
+TEST(Cli, RejectsValuesMismatchingDefaultImpliedType) {
+    CliParser cli("test");
+    cli.flag("seed", "1", "seed");
+    const char* bad_int[] = {"prog", "--seed", "abc"};
+    EXPECT_FALSE(cli.parse(3, bad_int));
+    EXPECT_TRUE(cli.parse_error());
+
+    CliParser cli2("test");
+    cli2.flag("dts", "1,3,5", "delays");
+    const char* bad_list[] = {"prog", "--dts", "1,x,3"};
+    EXPECT_FALSE(cli2.parse(3, bad_list));
+    EXPECT_TRUE(cli2.parse_error());
+
+    CliParser cli3("test");
+    cli3.flag("full", "false", "full run");
+    const char* bad_bool[] = {"prog", "--full=banana"};
+    EXPECT_FALSE(cli3.parse(2, bad_bool));
+    EXPECT_TRUE(cli3.parse_error());
+
+    CliParser cli4("test");
+    cli4.flag("dt", "5", "delay").flag("dts", "1,3,5", "delays");
+    const char* ok[] = {"prog", "--dt", "2.5", "--dts", "7"};
+    EXPECT_TRUE(cli4.parse(5, ok));
+    EXPECT_DOUBLE_EQ(cli4.get_double("dt"), 2.5);
+    ASSERT_EQ(cli4.get_int_list("dts").size(), 1u);
+}
+
+TEST(CliDeathTest, GetterBackstopExitsWithCode2OnUntypedFlag) {
+    // String-default flags are not validated at parse time; the typed
+    // getters remain a last-resort guard.
+    CliParser cli("test");
+    cli.flag("mode", "sweep", "mode");
+    const char* argv[] = {"prog", "--mode", "fast"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_EXIT(cli.get_int("mode"), ::testing::ExitedWithCode(2), "invalid value for --mode");
 }
 
 TEST(Cli, ParsesLists) {
@@ -48,6 +123,8 @@ TEST(Cli, HelpReturnsFalse) {
     CliParser cli("test");
     const char* argv[] = {"prog", "--help"};
     EXPECT_FALSE(cli.parse(2, argv));
+    EXPECT_FALSE(cli.parse_error());
+    EXPECT_EQ(cli.exit_code(), 0);
 }
 
 TEST(Table, TextAndCsvRendering) {
