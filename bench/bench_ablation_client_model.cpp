@@ -10,10 +10,10 @@
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_ablation_client_model: per-client vs aggregated vs infinite clients");
-    cli.flag("full", "false", "More replications");
-    cli.flag("m", "100", "Number of queues");
-    cli.flag("dt", "5", "Synchronization delay");
-    cli.flag("seed", "7", "Evaluation seed");
+    cli.flag_bool("full", false, "More replications");
+    cli.flag_int("m", 100, "Number of queues");
+    cli.flag_double("dt", 5, "Synchronization delay");
+    cli.flag_int("seed", 7, "Evaluation seed");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }

@@ -7,9 +7,9 @@
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_ablation_d: power-of-d ablation on the mean-field model");
-    cli.flag("full", "false", "More episodes per estimate");
-    cli.flag("dts", "1,5,10", "Delays to sweep");
-    cli.flag("seed", "5", "Evaluation seed");
+    cli.flag_bool("full", false, "More episodes per estimate");
+    cli.flag_double_list("dts", "1,5,10", "Delays to sweep");
+    cli.flag_int("seed", 5, "Evaluation seed");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }

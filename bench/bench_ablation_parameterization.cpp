@@ -9,9 +9,9 @@
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_ablation_parameterization: logits+softmax vs raw-simplex actions");
-    cli.flag("full", "false", "Larger search/training budget");
-    cli.flag("dt", "5", "Synchronization delay");
-    cli.flag("seed", "6", "Training seed");
+    cli.flag_bool("full", false, "Larger search/training budget");
+    cli.flag_double("dt", 5, "Synchronization delay");
+    cli.flag_int("seed", 6, "Training seed");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }

@@ -12,9 +12,9 @@
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_ablation_solver: DP vs CEM vs Boltzmann vs fixed baselines");
-    cli.flag("full", "false", "Finer DP grid and larger CEM budget");
-    cli.flag("dts", "1,5,10", "Delays to compare");
-    cli.flag("seed", "8", "Seed");
+    cli.flag_bool("full", false, "Finer DP grid and larger CEM budget");
+    cli.flag_double_list("dts", "1,5,10", "Delays to compare");
+    cli.flag_int("seed", 8, "Seed");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }

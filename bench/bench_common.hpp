@@ -8,12 +8,84 @@
 
 #include "core/mflb.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace mflb::bench {
+
+/// Machine-readable wall-clock timings: every bench that accepts `--json`
+/// appends one record per timed unit of work and writes a JSON array, so the
+/// perf trajectory can be tracked across PRs (bench_micro gets the same via
+/// google-benchmark's native --benchmark_format=json).
+class TimingLog {
+public:
+    explicit TimingLog(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+    void record(const std::string& label, double seconds) {
+        entries_.push_back({label, seconds});
+    }
+
+    std::string to_json() const {
+        std::string out = "[\n";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            char line[256];
+            std::snprintf(line, sizeof(line),
+                          "  {\"bench\": \"%s\", \"label\": \"%s\", \"seconds\": %.6f}%s\n",
+                          bench_.c_str(), entries_[i].label.c_str(), entries_[i].seconds,
+                          i + 1 < entries_.size() ? "," : "");
+            out += line;
+        }
+        out += "]\n";
+        return out;
+    }
+
+    /// Writes the JSON array to `path`; no-op on an empty path. Returns false
+    /// (with a diagnostic) if the file cannot be written.
+    bool write(const std::string& path) const {
+        if (path.empty()) {
+            return true;
+        }
+        std::FILE* file = std::fopen(path.c_str(), "w");
+        if (file == nullptr) {
+            std::fprintf(stderr, "[bench] cannot write timings to %s\n", path.c_str());
+            return false;
+        }
+        const std::string json = to_json();
+        std::fwrite(json.data(), 1, json.size(), file);
+        std::fclose(file);
+        return true;
+    }
+
+private:
+    struct Entry {
+        std::string label;
+        double seconds = 0.0;
+    };
+    std::string bench_;
+    std::vector<Entry> entries_;
+};
+
+/// Times one labeled unit of work into a TimingLog.
+class ScopedTimer {
+public:
+    ScopedTimer(TimingLog& log, std::string label)
+        : log_(log), label_(std::move(label)), start_(std::chrono::steady_clock::now()) {}
+    ~ScopedTimer() {
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        log_.record(label_, std::chrono::duration<double>(elapsed).count());
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    TimingLog& log_;
+    std::string label_;
+    std::chrono::steady_clock::time_point start_;
+};
 
 /// Standard CEM budget used to obtain the "MF" learned policy per Δt at the
 /// default bench scale. The optimized objective is the exact mean-field J.

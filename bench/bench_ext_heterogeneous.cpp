@@ -7,11 +7,11 @@
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_ext_heterogeneous: SED vs JSQ vs RND with two server classes");
-    cli.flag("full", "false", "More replications / larger finite systems");
-    cli.flag("dts", "1,3,5,10", "Delays to sweep");
-    cli.flag("slow-rate", "0.5", "Service rate of the slow class");
-    cli.flag("fast-rate", "1.5", "Service rate of the fast class");
-    cli.flag("seed", "10", "Seed");
+    cli.flag_bool("full", false, "More replications / larger finite systems");
+    cli.flag_double_list("dts", "1,3,5,10", "Delays to sweep");
+    cli.flag_double("slow-rate", 0.5, "Service rate of the slow class");
+    cli.flag_double("fast-rate", 1.5, "Service rate of the fast class");
+    cli.flag_int("seed", 10, "Seed");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }
@@ -56,29 +56,33 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", table.to_text().c_str());
 
-    // Mean-field vs finite cross-check at one configuration.
+    // Mean-field vs finite cross-check at one configuration: the registry's
+    // "heterogeneous" scenario, resized/re-rated per the flags.
     const double dt = 2.0;
     HeteroMfcEnv::Config mf_config{space, 2, dt, ArrivalProcess::constant(0.8), 50, 0.99};
     HeteroMfcEnv env(mf_config);
     Rng rng(1);
     env.reset(rng);
     const double limit = hetero_rollout_drops(env, sed, rng);
-    HeterogeneousConfig finite;
+    HeterogeneousConfig finite = *scenario_or_die("heterogeneous").heterogeneous;
     finite.dt = dt;
     finite.horizon = 50;
     finite.arrivals = ArrivalProcess::constant(0.8);
-    const std::size_t m = full ? 400 : 120;
+    const std::size_t m = full ? 400 : finite.service_rates.size();
     finite.num_clients = static_cast<std::uint64_t>(m) * 40;
     finite.service_rates.assign(m, cli.get_double("slow-rate"));
     for (std::size_t j = m / 2; j < m; ++j) {
         finite.service_rates[j] = cli.get_double("fast-rate");
     }
+    const std::vector<EpisodeStats> finite_stats = run_replications(
+        full ? 40 : 12, /*seed=*/3000, /*threads=*/0, [&](std::size_t, Rng& sim_rng) {
+            HeterogeneousSystem system(finite);
+            system.reset(sim_rng);
+            return system.run_episode(HeteroSedPolicy{}, sim_rng);
+        });
     RunningStat finite_drops;
-    for (int rep = 0; rep < (full ? 40 : 12); ++rep) {
-        HeterogeneousSystem system(finite);
-        Rng sim_rng(3000 + rep);
-        system.reset(sim_rng);
-        finite_drops.add(system.run_episode(HeteroSedPolicy{}, sim_rng).total_drops_per_queue);
+    for (const EpisodeStats& s : finite_stats) {
+        finite_drops.add(s.total_drops_per_queue);
     }
     const auto ci = confidence_interval_95(finite_drops);
     std::printf("\nmean-field vs finite cross-check (SED, dt=2, constant load 0.8):\n"

@@ -8,10 +8,10 @@
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_ext_memory: JSQ(d)+memory vs JSQ(d) vs RND under delays");
-    cli.flag("full", "false", "More replications");
-    cli.flag("m", "100", "Number of queues");
-    cli.flag("dts", "1,3,5,10", "Delays to sweep");
-    cli.flag("seed", "9", "Seed");
+    cli.flag_bool("full", false, "More replications");
+    cli.flag_int("m", 100, "Number of queues");
+    cli.flag_double_list("dts", "1,3,5,10", "Delays to sweep");
+    cli.flag_int("seed", 9, "Seed");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }
@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
 
     Table table({"dt", "JSQ(2)+mem", "JSQ(2)", "RND", "memory hit rate"});
     for (const double dt : cli.get_double_list("dts")) {
-        MemorySystemConfig config;
+        // Registry's "memory" scenario with (M, dt) overridden per cell.
+        MemorySystemConfig config = *scenario_or_die("memory").memory;
         config.num_queues = static_cast<std::size_t>(cli.get_int("m"));
         config.num_clients = config.num_queues * config.num_queues;
         config.dt = dt;

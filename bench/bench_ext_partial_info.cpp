@@ -10,22 +10,23 @@
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_ext_partial_info: sampled-histogram observations for the policy");
-    cli.flag("full", "false", "More replications and a finer DP grid");
-    cli.flag("dt", "5", "Synchronization delay");
-    cli.flag("m", "100", "Number of queues");
-    cli.flag("ks", "2,5,20,0", "Histogram sample sizes (0 = exact H^M)");
-    cli.flag("seed", "11", "Seed");
+    cli.flag_bool("full", false, "More replications and a finer DP grid");
+    cli.flag_double("dt", 5, "Synchronization delay");
+    cli.flag_int("m", 100, "Number of queues");
+    cli.flag_int_list("ks", "2,5,20,0", "Histogram sample sizes (0 = exact H^M)");
+    cli.flag_int("seed", 11, "Seed");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
     const std::size_t sims = full ? 50 : 12;
 
-    ExperimentConfig experiment;
+    // Registry's "partial-info" scenario; the K sweep overrides the sample
+    // size per row below.
+    ExperimentConfig experiment = scenario_or_die("partial-info").experiment;
     experiment.dt = cli.get_double("dt");
     experiment.num_queues = static_cast<std::size_t>(cli.get_int("m"));
     experiment.num_clients = experiment.num_queues * experiment.num_queues;
-    experiment.eval_total_time = 300.0;
 
     bench::print_header("Extension: partial information",
                         "nu-dependent DP policy fed a K-sample estimate of H^M", full);

@@ -13,12 +13,12 @@
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_fig3_training_curve: reproduce Figure 3 (PPO learning curve, dt=5)");
-    cli.flag("full", "false", "Use the paper-scale Table 2 configuration");
-    cli.flag("dt", "5", "Synchronization delay");
-    cli.flag("iterations", "25", "PPO training iterations at default budget");
-    cli.flag("horizon", "30", "Episode length (decision epochs) at default budget");
-    cli.flag("seed", "1", "Training seed");
-    cli.flag("warm-start", "false",
+    cli.flag_bool("full", false, "Use the paper-scale Table 2 configuration");
+    cli.flag_double("dt", 5, "Synchronization delay");
+    cli.flag_int("iterations", 25, "PPO training iterations at default budget");
+    cli.flag_int("horizon", 30, "Episode length (decision epochs) at default budget");
+    cli.flag_int("seed", 1, "Training seed");
+    cli.flag_bool("warm-start", false,
              "Initialize the policy mean at the best Boltzmann rule (shows the "
              "pipeline surpassing JSQ(2) within the small default budget)");
     if (!cli.parse(argc, argv)) {

@@ -8,12 +8,13 @@
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_fig4_convergence: reproduce Figure 4 (MF-NM -> MF-MFC as M grows)");
-    cli.flag("full", "false", "Paper-scale grid (M up to 1000, n=100 sims)");
-    cli.flag("dts", "1,3,5,7,10", "Delays to sweep");
-    cli.flag("ms", "", "Queue counts (default depends on --full)");
-    cli.flag("sims", "0", "Monte Carlo replications per cell (0 = budget default)");
-    cli.flag("seed", "2", "Evaluation seed");
+    cli.flag_bool("full", false, "Paper-scale grid (M up to 1000, n=100 sims)");
+    cli.flag_double_list("dts", "1,3,5,7,10", "Delays to sweep");
+    cli.flag_int_list("ms", "", "Queue counts (default depends on --full)");
+    cli.flag_int("sims", 0, "Monte Carlo replications per cell (0 = budget default)");
+    cli.flag_int("seed", 2, "Evaluation seed");
     cli.flag("csv", "", "Optional CSV output path");
+    cli.flag("json", "", "Optional JSON timings output path");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }
@@ -34,11 +35,12 @@ int main(int argc, char** argv) {
         "Average packet drops of the MF policy over M (N = M^2) vs the MFC limit value", full);
 
     bench::LearnedPolicyCache cache(full, 777);
+    bench::TimingLog timings("fig4_convergence");
     Table table({"dt", "M", "N", "MF-NM drops (finite)", "MF-MFC drops (limit)", "gap"});
     for (const double dt : dts) {
         const TabularPolicy& policy = cache.policy_for(dt);
 
-        ExperimentConfig experiment;
+        ExperimentConfig experiment = scenario_or_die("table1").experiment;
         experiment.dt = dt;
         const EvaluationResult limit =
             evaluate_mfc(experiment.mfc(/*eval_horizon_instead=*/true), policy,
@@ -47,6 +49,10 @@ int main(int argc, char** argv) {
         for (const std::int64_t m : ms) {
             experiment.num_queues = static_cast<std::size_t>(m);
             experiment.num_clients = static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(m);
+            char cell_label[64];
+            std::snprintf(cell_label, sizeof(cell_label), "dt=%.0f M=%lld", dt,
+                          static_cast<long long>(m));
+            const bench::ScopedTimer timer(timings, cell_label);
             const EvaluationResult finite = evaluate_finite(
                 experiment.finite_system(), policy, sims, cli.get_int("seed"));
             table.row()
@@ -65,5 +71,6 @@ int main(int argc, char** argv) {
     if (!cli.get("csv").empty()) {
         table.write_csv(cli.get("csv"));
     }
+    timings.write(cli.get("json"));
     return 0;
 }

@@ -10,12 +10,13 @@
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_fig5_delay_sweep: reproduce Figure 5 (MF vs JSQ(2) vs RND over dt)");
-    cli.flag("full", "false", "Paper-scale grid (M in {400,600,800,1000}, dt 1..10, n=100)");
-    cli.flag("ms", "", "Queue counts (default depends on --full)");
-    cli.flag("dts", "", "Delays (default depends on --full)");
-    cli.flag("sims", "0", "Monte Carlo replications per cell (0 = budget default)");
-    cli.flag("seed", "3", "Evaluation seed");
+    cli.flag_bool("full", false, "Paper-scale grid (M in {400,600,800,1000}, dt 1..10, n=100)");
+    cli.flag_int_list("ms", "", "Queue counts (default depends on --full)");
+    cli.flag_double_list("dts", "", "Delays (default depends on --full)");
+    cli.flag_int("sims", 0, "Monte Carlo replications per cell (0 = budget default)");
+    cli.flag_int("seed", 3, "Evaluation seed");
     cli.flag("csv", "", "Optional CSV output path");
+    cli.flag("json", "", "Optional JSON timings output path");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }
@@ -39,10 +40,12 @@ int main(int argc, char** argv) {
                         "Total packet drops vs dt for MF (learned), JSQ(2), RND; N = M^2", full);
 
     bench::LearnedPolicyCache cache(full, 1234);
+    bench::TimingLog timings("fig5_delay_sweep");
     Table table({"M", "dt", "MF-NM", "JSQ(2)", "RND", "winner"});
     for (const std::int64_t m : ms) {
         for (const double dt : dts) {
-            ExperimentConfig experiment;
+            // Figure 5 cell = the "delay-sweep" scenario with (M, dt) overridden.
+            ExperimentConfig experiment = scenario_or_die("delay-sweep").experiment;
             experiment.dt = dt;
             experiment.num_queues = static_cast<std::size_t>(m);
             experiment.num_clients =
@@ -50,6 +53,10 @@ int main(int argc, char** argv) {
             const TupleSpace space(experiment.queue.num_states(), experiment.d);
             const FiniteSystemConfig config = experiment.finite_system();
 
+            char cell_label[64];
+            std::snprintf(cell_label, sizeof(cell_label), "M=%lld dt=%.0f",
+                          static_cast<long long>(m), dt);
+            const bench::ScopedTimer timer(timings, cell_label);
             const EvaluationResult mf =
                 evaluate_finite(config, cache.policy_for(dt), sims, cli.get_int("seed"));
             const EvaluationResult jsq =
@@ -78,5 +85,6 @@ int main(int argc, char** argv) {
     if (!cli.get("csv").empty()) {
         table.write_csv(cli.get("csv"));
     }
+    timings.write(cli.get("json"));
     return 0;
 }

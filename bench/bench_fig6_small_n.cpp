@@ -9,13 +9,14 @@
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_fig6_small_n: reproduce Figure 6 (N = 1000 with M in {1000, 500})");
-    cli.flag("full", "false", "Paper-scale (dt 1..10, n=100 sims)");
-    cli.flag("n", "1000", "Number of clients");
-    cli.flag("ms", "1000,500", "Queue counts");
-    cli.flag("dts", "", "Delays (default depends on --full)");
-    cli.flag("sims", "0", "Monte Carlo replications per cell (0 = budget default)");
-    cli.flag("seed", "4", "Evaluation seed");
+    cli.flag_bool("full", false, "Paper-scale (dt 1..10, n=100 sims)");
+    cli.flag_int("n", 1000, "Number of clients");
+    cli.flag_int_list("ms", "1000,500", "Queue counts");
+    cli.flag_double_list("dts", "", "Delays (default depends on --full)");
+    cli.flag_int("sims", 0, "Monte Carlo replications per cell (0 = budget default)");
+    cli.flag_int("seed", 4, "Evaluation seed");
     cli.flag("csv", "", "Optional CSV output path");
+    cli.flag("json", "", "Optional JSON timings output path");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }
@@ -35,16 +36,22 @@ int main(int argc, char** argv) {
                         "Drops vs dt when N is NOT >> M (N = 1000; M = 1000 and M = 500)", full);
 
     bench::LearnedPolicyCache cache(full, 5150);
+    bench::TimingLog timings("fig6_small_n");
     Table table({"N", "M", "dt", "MF-NM", "JSQ(2)", "RND", "winner"});
     for (const std::int64_t m : ms) {
         for (const double dt : dts) {
-            ExperimentConfig experiment;
+            // Figure 6 cell = the "small-n" scenario with (M, N, dt) overridden.
+            ExperimentConfig experiment = scenario_or_die("small-n").experiment;
             experiment.dt = dt;
             experiment.num_queues = static_cast<std::size_t>(m);
             experiment.num_clients = static_cast<std::uint64_t>(cli.get_int("n"));
             const TupleSpace space(experiment.queue.num_states(), experiment.d);
             const FiniteSystemConfig config = experiment.finite_system();
 
+            char cell_label[64];
+            std::snprintf(cell_label, sizeof(cell_label), "M=%lld dt=%.0f",
+                          static_cast<long long>(m), dt);
+            const bench::ScopedTimer timer(timings, cell_label);
             const EvaluationResult mf =
                 evaluate_finite(config, cache.policy_for(dt), sims, cli.get_int("seed"));
             const EvaluationResult jsq =
@@ -73,5 +80,6 @@ int main(int argc, char** argv) {
     if (!cli.get("csv").empty()) {
         table.write_csv(cli.get("csv"));
     }
+    timings.write(cli.get("json"));
     return 0;
 }

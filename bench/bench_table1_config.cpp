@@ -1,17 +1,18 @@
 /// Reproduces Table 1 of the paper: the system parameters used in all
-/// experiments, as resolved by ExperimentConfig. Also validates the derived
-/// quantities (evaluation horizon per Δt, stationary offered load).
+/// experiments, as resolved by the "table1" entry of the scenario registry.
+/// Also validates the derived quantities (evaluation horizon per Δt,
+/// stationary offered load) and lists every registered scenario.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_table1_config: reproduce Table 1 (system parameters)");
-    cli.flag("full", "false", "No effect here; accepted for harness uniformity");
+    cli.flag_bool("full", false, "No effect here; accepted for harness uniformity");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }
 
-    ExperimentConfig config;
+    const ExperimentConfig config = scenario_or_die("table1").experiment;
     bench::print_header("Table 1", "System parameters used in the experiments",
                         cli.get_bool("full"));
     std::printf("%s\n", config.to_table().to_text().c_str());
@@ -30,5 +31,7 @@ int main(int argc, char** argv) {
     std::printf("%s", derived.to_text().c_str());
     std::printf("\nStationary arrival-rate distribution: pi_high = %.4f, pi_low = %.4f\n",
                 config.arrivals().stationary()[0], config.arrivals().stationary()[1]);
+    std::printf("\nRegistered scenarios (resolvable by name everywhere):\n%s",
+                scenario_list_text().c_str());
     return 0;
 }

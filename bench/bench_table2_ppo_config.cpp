@@ -18,7 +18,7 @@ void check(bool condition, const char* what) {
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("bench_table2_ppo_config: reproduce Table 2 (PPO hyperparameters)");
-    cli.flag("full", "false", "No effect here; accepted for harness uniformity");
+    cli.flag_bool("full", false, "No effect here; accepted for harness uniformity");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }

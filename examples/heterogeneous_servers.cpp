@@ -10,13 +10,11 @@
 int main() {
     using namespace mflb;
 
-    HeterogeneousConfig config;
-    config.buffer = 5;
-    config.d = 2;
-    config.dt = 2.0;
-    config.num_clients = 20000;
-    config.horizon = 100;
+    // Start from the registry's "heterogeneous" scenario, then reshape the
+    // fleet for this walkthrough's narrative:
     // 200 servers: 60% legacy (0.5 jobs/unit), 40% current-gen (1.75).
+    HeterogeneousConfig config = *scenario_or_die("heterogeneous").heterogeneous;
+    config.num_clients = 20000;
     config.service_rates.assign(200, 0.5);
     for (std::size_t j = 120; j < 200; ++j) {
         config.service_rates[j] = 1.75;

@@ -3,14 +3,18 @@
 ///
 ///   mflb_cli --mode train   --dt 5 --out /tmp/policy.txt
 ///   mflb_cli --mode eval    --dt 5 --policy /tmp/policy.txt --m 200
+///   mflb_cli --mode eval    --scenario small-n
 ///   mflb_cli --mode sweep   --dts 1,3,5,10 --m 100
 ///   mflb_cli --mode dp      --dt 5 --resolution 6
+///   mflb_cli --mode scenarios
 ///
 /// Modes:
-///   train  — CEM policy search on the mean-field MDP, save to --out.
-///   eval   — evaluate a saved policy (or baselines) on the finite system.
-///   sweep  — JSQ/RND/Boltzmann delay sweep table.
-///   dp     — discretized value-iteration solve and evaluation.
+///   train     — CEM policy search on the mean-field MDP, save to --out.
+///   eval      — evaluate a saved policy (or baselines) on the finite system;
+///               the baseline configuration resolves from --scenario.
+///   sweep     — JSQ/RND/Boltzmann delay sweep table.
+///   dp        — discretized value-iteration solve and evaluation.
+///   scenarios — list the named scenarios of the registry.
 #include "core/mflb.hpp"
 
 #include <cstdio>
@@ -48,12 +52,29 @@ int run_train(const CliParser& cli) {
 }
 
 int run_eval(const CliParser& cli) {
-    ExperimentConfig experiment;
-    experiment.dt = cli.get_double("dt");
-    experiment.num_queues = static_cast<std::size_t>(cli.get_int("m"));
-    experiment.num_clients = static_cast<std::uint64_t>(cli.get_int("n")) == 0
-                                 ? experiment.num_queues * experiment.num_queues
-                                 : static_cast<std::uint64_t>(cli.get_int("n"));
+    // Base parameters come from the scenario registry (--scenario, default
+    // table1); explicitly provided flags override the scenario's values.
+    const Scenario* scenario = find_scenario(cli.get("scenario"));
+    if (scenario == nullptr) {
+        std::fprintf(stderr, "unknown scenario '%s'; known scenarios:\n%s",
+                     cli.get("scenario").c_str(), scenario_list_text().c_str());
+        return 2;
+    }
+    ExperimentConfig experiment = scenario->experiment;
+    // The --dt default (5) applies to the table1 baseline; any other
+    // scenario keeps its own delay unless --dt is given explicitly. Keyed on
+    // the resolved name, so `--scenario table1` behaves exactly like the
+    // no-flag invocation.
+    if (cli.provided("dt") || scenario->name == "table1") {
+        experiment.dt = cli.get_double("dt");
+    }
+    if (cli.provided("m")) {
+        experiment.num_queues = static_cast<std::size_t>(cli.get_int("m"));
+        experiment.num_clients = experiment.num_queues * experiment.num_queues;
+    }
+    if (cli.provided("n") && cli.get_int("n") != 0) {
+        experiment.num_clients = static_cast<std::uint64_t>(cli.get_int("n"));
+    }
     const TupleSpace space(experiment.queue.num_states(), experiment.d);
     const std::size_t episodes = static_cast<std::size_t>(cli.get_int("episodes"));
 
@@ -136,19 +157,22 @@ int run_dp(const CliParser& cli) {
 int main(int argc, char** argv) {
     using namespace mflb;
     CliParser cli("mflb_cli: train / evaluate / sweep / dp-solve mean-field load balancers");
-    cli.flag("mode", "sweep", "One of: train, eval, sweep, dp");
-    cli.flag("dt", "5", "Synchronization delay");
-    cli.flag("dts", "1,3,5,10", "Delays for sweep mode");
-    cli.flag("m", "100", "Queues for eval mode");
-    cli.flag("n", "0", "Clients for eval mode (0 = M^2)");
-    cli.flag("horizon", "60", "Training/DP episode length (epochs)");
-    cli.flag("episodes", "15", "Evaluation episodes");
-    cli.flag("population", "32", "CEM population");
-    cli.flag("generations", "25", "CEM generations");
-    cli.flag("resolution", "6", "DP simplex-grid resolution");
+    cli.flag("mode", "sweep", "One of: train, eval, sweep, dp, scenarios");
+    cli.flag("scenario", "table1",
+             "Named scenario from the registry (see --mode scenarios) used as the "
+             "eval-mode baseline; other flags override its values");
+    cli.flag_double("dt", 5, "Synchronization delay");
+    cli.flag_double_list("dts", "1,3,5,10", "Delays for sweep mode");
+    cli.flag_int("m", 100, "Queues for eval mode (sets clients to M^2 unless --n is given)");
+    cli.flag_int("n", 0, "Clients for eval mode (0 = scenario's count, or M^2 with --m)");
+    cli.flag_int("horizon", 60, "Training/DP episode length (epochs)");
+    cli.flag_int("episodes", 15, "Evaluation episodes");
+    cli.flag_int("population", 32, "CEM population");
+    cli.flag_int("generations", 25, "CEM generations");
+    cli.flag_int("resolution", 6, "DP simplex-grid resolution");
     cli.flag("policy", "", "Path of a saved policy for eval mode");
     cli.flag("out", "/tmp/mflb_policy.txt", "Output path for train mode");
-    cli.flag("seed", "1", "Seed");
+    cli.flag_int("seed", 1, "Seed");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }
@@ -164,6 +188,10 @@ int main(int argc, char** argv) {
     }
     if (mode == "dp") {
         return run_dp(cli);
+    }
+    if (mode == "scenarios") {
+        std::printf("Registered scenarios:\n%s", scenario_list_text().c_str());
+        return 0;
     }
     std::fprintf(stderr, "unknown mode '%s'\n%s", mode.c_str(), cli.usage().c_str());
     return 1;

@@ -14,11 +14,10 @@
 int main() {
     using namespace mflb;
 
-    // 1. Configure the system (defaults are the paper's Table 1).
-    ExperimentConfig config;
+    // 1. Configure the system: resolve the paper's Table 1 baseline from the
+    //    scenario registry, then override the knobs this walkthrough varies.
+    ExperimentConfig config = scenario_or_die("table1").experiment;
     config.dt = 5.0;          // queue states are broadcast every 5 time units
-    config.num_queues = 100;  // M
-    config.num_clients = 10000; // N
     config.eval_total_time = 250.0;
 
     std::printf("System: M=%zu queues (buffer B=%d), N=%llu clients, dt=%.1f\n\n",

@@ -14,7 +14,7 @@ int main() {
     const double dt = 5.0;
 
     // --- 1. offline training on the mean-field MDP -------------------------
-    ExperimentConfig experiment;
+    ExperimentConfig experiment = scenario_or_die("table1").experiment;
     experiment.dt = dt;
     MfcConfig train_config = experiment.mfc(/*eval_horizon_instead=*/true);
     train_config.horizon = 60; // keep the example snappy

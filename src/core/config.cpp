@@ -35,6 +35,7 @@ FiniteSystemConfig ExperimentConfig::finite_system() const {
     config.horizon = eval_horizon();
     config.discount = discount;
     config.client_model = client_model;
+    config.histogram_sample_size = histogram_sample_size;
     return config;
 }
 

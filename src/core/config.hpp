@@ -33,6 +33,9 @@ struct ExperimentConfig {
     double eval_total_time = 500.0;   ///< T_e · Δt ≈ 500 time units.
     double discount = 0.99;           ///< γ (Table 2, used by both).
     ClientModel client_model = ClientModel::Aggregated;
+    /// Partial information (paper §2.1 remark): K sampled queues used to
+    /// estimate H^M for the upper-level policy; 0 = exact histogram.
+    std::size_t histogram_sample_size = 0;
 
     /// T_e = nearest integer to eval_total_time / Δt (paper, Section 4).
     int eval_horizon() const noexcept;

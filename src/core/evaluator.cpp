@@ -1,14 +1,8 @@
 #include "core/evaluator.hpp"
 
-#include "support/thread_pool.hpp"
-
-#include <mutex>
-
 namespace mflb {
 
-namespace {
-/// Pre-splits one RNG per replication so results are thread-count invariant.
-std::vector<Rng> split_rngs(std::uint64_t seed, std::size_t count) {
+std::vector<Rng> split_replication_rngs(std::uint64_t seed, std::size_t count) {
     Rng base(seed);
     std::vector<Rng> rngs;
     rngs.reserve(count);
@@ -17,6 +11,8 @@ std::vector<Rng> split_rngs(std::uint64_t seed, std::size_t count) {
     }
     return rngs;
 }
+
+namespace {
 
 MfcConfig mfc_from_finite(const FiniteSystemConfig& config) {
     MfcConfig mfc;
@@ -29,20 +25,17 @@ MfcConfig mfc_from_finite(const FiniteSystemConfig& config) {
     mfc.nu0 = config.nu0;
     return mfc;
 }
+
 } // namespace
 
 EvaluationResult evaluate_finite(const FiniteSystemConfig& config, const UpperLevelPolicy& policy,
                                  std::size_t episodes, std::uint64_t seed, std::size_t threads) {
-    std::vector<Rng> rngs = split_rngs(seed, episodes);
-    std::vector<EpisodeStats> stats(episodes);
-    parallel_for(
-        episodes,
-        [&](std::size_t i) {
+    const std::vector<EpisodeStats> stats =
+        run_replications(episodes, seed, threads, [&](std::size_t, Rng& rng) {
             FiniteSystem system(config);
-            system.reset(rngs[i]);
-            stats[i] = system.run_episode(policy, rngs[i]);
-        },
-        threads);
+            system.reset(rng);
+            return system.run_episode(policy, rng);
+        });
 
     RunningStat drops, ret, length, util;
     for (const EpisodeStats& s : stats) {
@@ -62,33 +55,29 @@ EvaluationResult evaluate_finite(const FiniteSystemConfig& config, const UpperLe
 
 EvaluationResult evaluate_mfc(const MfcConfig& config, const UpperLevelPolicy& policy,
                               std::size_t episodes, std::uint64_t seed, std::size_t threads) {
-    std::vector<Rng> rngs = split_rngs(seed, episodes);
-    std::vector<double> drops_by_episode(episodes, 0.0);
-    std::vector<double> return_by_episode(episodes, 0.0);
-    parallel_for(
-        episodes,
-        [&](std::size_t i) {
-            MfcEnv env(config);
-            env.reset(rngs[i]);
-            double total_drops = 0.0;
-            double discounted = 0.0;
-            double weight = 1.0;
-            while (!env.done()) {
-                const DecisionRule h = policy.decide(env.nu(), env.lambda_state(), rngs[i]);
-                const MfcEnv::Outcome outcome = env.step(h, rngs[i]);
-                total_drops += outcome.drops;
-                discounted += weight * outcome.reward;
-                weight *= config.discount;
-            }
-            drops_by_episode[i] = total_drops;
-            return_by_episode[i] = discounted;
-        },
-        threads);
+    struct MfcOutcome {
+        double drops = 0.0;
+        double discounted = 0.0;
+    };
+    const auto outcomes = run_replications(episodes, seed, threads, [&](std::size_t, Rng& rng) {
+        MfcEnv env(config);
+        env.reset(rng);
+        MfcOutcome outcome;
+        double weight = 1.0;
+        while (!env.done()) {
+            const DecisionRule h = policy.decide(env.nu(), env.lambda_state(), rng);
+            const MfcEnv::Outcome step = env.step(h, rng);
+            outcome.drops += step.drops;
+            outcome.discounted += weight * step.reward;
+            weight *= config.discount;
+        }
+        return outcome;
+    });
 
     RunningStat drops, ret;
-    for (std::size_t i = 0; i < episodes; ++i) {
-        drops.add(drops_by_episode[i]);
-        ret.add(return_by_episode[i]);
+    for (const MfcOutcome& o : outcomes) {
+        drops.add(o.drops);
+        ret.add(o.discounted);
     }
     EvaluationResult result;
     result.total_drops = confidence_interval_95(drops);
@@ -125,20 +114,16 @@ CoupledEvaluation evaluate_coupled(const FiniteSystemConfig& finite_config,
     }
 
     // Finite-system replications on the same path.
-    std::vector<Rng> rngs = split_rngs(seed, episodes);
-    std::vector<double> drops_by_episode(episodes, 0.0);
-    parallel_for(
-        episodes,
-        [&](std::size_t i) {
+    const std::vector<double> drops_by_episode =
+        run_replications(episodes, seed, threads, [&](std::size_t, Rng& rng) {
             FiniteSystem system(finite_config);
-            system.reset_conditioned(result.lambda_sequence, rngs[i]);
+            system.reset_conditioned(result.lambda_sequence, rng);
             double total = 0.0;
             while (!system.done()) {
-                total += system.step(policy, rngs[i]).drops_per_queue;
+                total += system.step(policy, rng).drops_per_queue;
             }
-            drops_by_episode[i] = total;
-        },
-        threads);
+            return total;
+        });
 
     RunningStat drops;
     for (double v : drops_by_episode) {

@@ -10,11 +10,33 @@
 #include "field/mfc_env.hpp"
 #include "queueing/finite_system.hpp"
 #include "support/statistics.hpp"
+#include "support/thread_pool.hpp"
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 namespace mflb {
+
+/// One deterministically split RNG per replication index, so Monte Carlo
+/// results are identical regardless of the thread count.
+std::vector<Rng> split_replication_rngs(std::uint64_t seed, std::size_t count);
+
+/// Generic parallel rollout driver — the single replication harness behind
+/// every evaluate_* entry point (and reusable by benches over any of the
+/// SystemBase simulators): runs `episodes` independent replications of
+/// `body(index, rng)` across `threads` workers (0 = all cores) and returns
+/// the per-replication results in index order.
+template <class Body>
+auto run_replications(std::size_t episodes, std::uint64_t seed, std::size_t threads,
+                      Body&& body) {
+    std::vector<Rng> rngs = split_replication_rngs(seed, episodes);
+    using Result = std::invoke_result_t<Body&, std::size_t, Rng&>;
+    std::vector<Result> results(episodes);
+    parallel_for(
+        episodes, [&](std::size_t i) { results[i] = body(i, rngs[i]); }, threads);
+    return results;
+}
 
 /// Aggregated outcome of repeated episode simulations.
 struct EvaluationResult {

@@ -24,6 +24,7 @@
 #include "core/evaluator.hpp"
 #include "core/neural_policy.hpp"
 #include "core/rl_adapter.hpp"
+#include "core/scenarios.hpp"
 #include "core/trainers.hpp"
 #include "field/arrival_flow.hpp"
 #include "field/arrival_process.hpp"
@@ -43,6 +44,7 @@
 #include "queueing/heterogeneous.hpp"
 #include "queueing/memory_system.hpp"
 #include "queueing/sojourn.hpp"
+#include "queueing/system_base.hpp"
 #include "rl/cem.hpp"
 #include "rl/ppo.hpp"
 #include "support/cli.hpp"

@@ -1,0 +1,122 @@
+#include "core/scenarios.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mflb {
+
+namespace {
+
+Scenario make_table1() {
+    Scenario s;
+    s.name = "table1";
+    s.summary = "Paper Table 1 baseline: M=100, N=10^4, B=5, d=2, two-level arrivals";
+    return s; // ExperimentConfig defaults *are* Table 1.
+}
+
+Scenario make_delay_sweep() {
+    Scenario s;
+    s.name = "delay-sweep";
+    s.summary = "Figure 5 delay sweep cell: M=400, N=M^2; caller sets dt in [1,10]";
+    s.experiment.num_queues = 400;
+    s.experiment.num_clients = 400ULL * 400ULL;
+    return s;
+}
+
+Scenario make_small_n() {
+    Scenario s;
+    s.name = "small-n";
+    s.summary = "Figure 6 ablation: N=1000 clients with M=1000 (violates N >> M)";
+    s.experiment.num_queues = 1000;
+    s.experiment.num_clients = 1000;
+    return s;
+}
+
+Scenario make_heterogeneous() {
+    Scenario s;
+    s.name = "heterogeneous";
+    s.summary = "Section 5 extension: half slow (0.5) / half fast (1.5) servers, SED vs JSQ";
+    HeterogeneousConfig hetero;
+    hetero.dt = 2.0;
+    hetero.horizon = 100;
+    hetero.num_clients = 120ULL * 40ULL;
+    hetero.service_rates.assign(120, 0.5);
+    for (std::size_t j = 60; j < 120; ++j) {
+        hetero.service_rates[j] = 1.5;
+    }
+    s.experiment.dt = hetero.dt;
+    s.experiment.num_queues = hetero.service_rates.size();
+    s.experiment.num_clients = hetero.num_clients;
+    s.heterogeneous = std::move(hetero);
+    return s;
+}
+
+Scenario make_memory() {
+    Scenario s;
+    s.name = "memory";
+    s.summary = "Power-of-d-with-memory extension ([3]): JSQ(2)+memory under stale snapshots";
+    MemorySystemConfig memory;
+    memory.num_queues = 100;
+    memory.num_clients = 100ULL * 100ULL;
+    memory.horizon = 100;
+    s.experiment.num_queues = memory.num_queues;
+    s.experiment.num_clients = memory.num_clients;
+    s.memory = std::move(memory);
+    return s;
+}
+
+Scenario make_partial_info() {
+    Scenario s;
+    s.name = "partial-info";
+    s.summary = "Paper §2.1 remark: policy observes a K-sample estimate of H^M (K=20)";
+    s.experiment.dt = 5.0;
+    s.experiment.eval_total_time = 300.0;
+    s.experiment.histogram_sample_size = 20;
+    return s;
+}
+
+std::vector<Scenario> build_registry() {
+    std::vector<Scenario> registry;
+    registry.push_back(make_table1());
+    registry.push_back(make_delay_sweep());
+    registry.push_back(make_small_n());
+    registry.push_back(make_heterogeneous());
+    registry.push_back(make_memory());
+    registry.push_back(make_partial_info());
+    return registry;
+}
+
+} // namespace
+
+const std::vector<Scenario>& scenario_registry() {
+    static const std::vector<Scenario> registry = build_registry();
+    return registry;
+}
+
+const Scenario* find_scenario(std::string_view name) {
+    for (const Scenario& scenario : scenario_registry()) {
+        if (scenario.name == name) {
+            return &scenario;
+        }
+    }
+    return nullptr;
+}
+
+const Scenario& scenario_or_die(std::string_view name) {
+    if (const Scenario* scenario = find_scenario(name)) {
+        return *scenario;
+    }
+    std::ostringstream message;
+    message << "unknown scenario '" << name << "'; known scenarios:\n" << scenario_list_text();
+    throw std::invalid_argument(message.str());
+}
+
+std::string scenario_list_text() {
+    std::ostringstream out;
+    for (const Scenario& scenario : scenario_registry()) {
+        out << "  " << scenario.name << " - " << scenario.summary << "\n";
+    }
+    return out.str();
+}
+
+} // namespace mflb

@@ -1,0 +1,52 @@
+/// \file scenarios.hpp
+/// Named, paper-anchored experiment scenarios — the single source of the
+/// workload configurations used across benches, examples, and mflb_cli.
+///
+/// Each registry entry bundles the Table-1-style system parameters
+/// (`ExperimentConfig`) with, where applicable, the extension configs of the
+/// heterogeneous-server and client-memory simulators. Callers resolve a
+/// scenario by name and then override the swept dimension (dt, M, ...), so a
+/// new workload is one registry entry instead of a new binary.
+///
+/// Adding a scenario: append one `Scenario` in `scenario_registry()`
+/// (src/core/scenarios.cpp) with a unique kebab-case name and a one-line
+/// summary naming the paper artifact or extension it anchors to; every entry
+/// is automatically covered by tests/test_scenarios.cpp (unique names,
+/// constructible systems) and listed by `mflb_cli --mode scenarios`.
+#pragma once
+
+#include "core/config.hpp"
+#include "queueing/heterogeneous.hpp"
+#include "queueing/memory_system.hpp"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mflb {
+
+/// One named workload: Table-1-style parameters plus optional extension
+/// configs for the simulators whose knobs ExperimentConfig does not cover.
+struct Scenario {
+    std::string name;    ///< unique kebab-case id, e.g. "table1".
+    std::string summary; ///< one line: which paper artifact / extension.
+    ExperimentConfig experiment;
+    std::optional<HeterogeneousConfig> heterogeneous;
+    std::optional<MemorySystemConfig> memory;
+};
+
+/// All registered scenarios, in presentation order.
+const std::vector<Scenario>& scenario_registry();
+
+/// Looks a scenario up by name; nullptr if unknown.
+const Scenario* find_scenario(std::string_view name);
+
+/// Looks a scenario up by name; throws std::invalid_argument naming the
+/// known scenarios if it does not exist.
+const Scenario& scenario_or_die(std::string_view name);
+
+/// "name - summary" lines for --help texts and the CLI listing.
+std::string scenario_list_text();
+
+} // namespace mflb

@@ -17,20 +17,21 @@ double tuple_probability(const TupleSpace& space, std::span<const double> nu, st
     return p;
 }
 
-ArrivalFlow compute_arrival_flow(std::span<const double> nu, const DecisionRule& h,
-                                 double lambda_total) {
+void compute_arrival_flow_into(std::span<const double> nu, const DecisionRule& h,
+                               double lambda_total, std::vector<int>& tuple_scratch,
+                               ArrivalFlow& out) {
     const TupleSpace& space = h.space();
     const auto num_z = static_cast<std::size_t>(space.num_states());
     if (nu.size() != num_z) {
         throw std::invalid_argument("compute_arrival_flow: nu size mismatch");
     }
-    ArrivalFlow flow;
-    flow.inflow_by_state.assign(num_z, 0.0);
+    out.inflow_by_state.assign(num_z, 0.0);
 
     // λ'(z) = λ Σ_{z̄} μ(z̄) Σ_u h(u|z̄) 1{z̄_u = z}. The tuple probability
     // μ(z̄) factorizes over coordinates, so we accumulate it on the fly.
     const int d = space.d();
-    std::vector<int> tuple(static_cast<std::size_t>(d));
+    tuple_scratch.resize(static_cast<std::size_t>(d));
+    std::vector<int>& tuple = tuple_scratch;
     for (std::size_t idx = 0; idx < space.size(); ++idx) {
         space.decode(idx, tuple);
         double mu = 1.0;
@@ -43,18 +44,25 @@ ArrivalFlow compute_arrival_flow(std::span<const double> nu, const DecisionRule&
         for (int u = 0; u < d; ++u) {
             const double weight = mu * h.prob(idx, u);
             if (weight > 0.0) {
-                flow.inflow_by_state[static_cast<std::size_t>(tuple[static_cast<std::size_t>(u)])] +=
+                out.inflow_by_state[static_cast<std::size_t>(tuple[static_cast<std::size_t>(u)])] +=
                     lambda_total * weight;
             }
         }
     }
 
-    flow.rate_by_state.assign(num_z, 0.0);
+    out.rate_by_state.assign(num_z, 0.0);
     for (std::size_t z = 0; z < num_z; ++z) {
         if (nu[z] > 0.0) {
-            flow.rate_by_state[z] = flow.inflow_by_state[z] / nu[z]; // eq. (19)
+            out.rate_by_state[z] = out.inflow_by_state[z] / nu[z]; // eq. (19)
         }
     }
+}
+
+ArrivalFlow compute_arrival_flow(std::span<const double> nu, const DecisionRule& h,
+                                 double lambda_total) {
+    ArrivalFlow flow;
+    std::vector<int> tuple;
+    compute_arrival_flow_into(nu, h, lambda_total, tuple, flow);
     return flow;
 }
 

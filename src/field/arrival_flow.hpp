@@ -32,6 +32,13 @@ struct ArrivalFlow {
 ArrivalFlow compute_arrival_flow(std::span<const double> nu, const DecisionRule& h,
                                  double lambda_total);
 
+/// Allocation-free variant for the simulation hot paths: writes into `out`
+/// (whose vectors are reused when already |Z|-sized) and borrows
+/// `tuple_scratch` as the d-length decode buffer.
+void compute_arrival_flow_into(std::span<const double> nu, const DecisionRule& h,
+                               double lambda_total, std::vector<int>& tuple_scratch,
+                               ArrivalFlow& out);
+
 /// Probability μ(z̄) = Π_k ν(z̄_k) of an agent observing tuple index `idx`.
 double tuple_probability(const TupleSpace& space, std::span<const double> nu, std::size_t idx);
 

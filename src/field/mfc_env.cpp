@@ -71,7 +71,8 @@ MfcEnv::Outcome MfcEnv::step(const DecisionRule& h, Rng& rng) {
     if (!(h.space() == space_)) {
         throw std::invalid_argument("MfcEnv::step: decision rule on wrong tuple space");
     }
-    const MeanFieldStep transition = disc_.step(nu_, h, lambda_value());
+    disc_.step(nu_, h, lambda_value(), step_buf_);
+    const MeanFieldStep& transition = step_buf_;
     nu_ = transition.nu_next;
     ++t_;
     if (conditioned_) {

@@ -90,6 +90,7 @@ private:
     ExactDiscretization disc_;
     TupleSpace space_;
     std::vector<double> nu_;
+    MeanFieldStep step_buf_; ///< reused across steps (allocation-free loop).
     std::size_t lambda_state_ = 0;
     int t_ = 0;
     std::optional<std::vector<std::size_t>> conditioned_;

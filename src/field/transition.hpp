@@ -11,10 +11,18 @@
 /// P^z(Δt) ∈ P(Z) and the expected drops D^z(Δt), from which the
 /// deterministic map ν_{t+1} = T_ν(ν_t, λ_t, h_t) (24) and the stage cost
 /// D_t (26) follow.
+///
+/// Hot-path invariant: the discretizer owns a cached workspace (generator,
+/// uniformization matrix, series buffers) that is rebuilt in place per
+/// arrival rate, so the into-variants of `step`/`step_with_rates` perform
+/// zero heap allocations in steady state (after the first step sized the
+/// output). Consequence: an ExactDiscretization instance must not be shared
+/// across threads; each rollout/solver owns its own (they all do).
 #pragma once
 
 #include "field/arrival_flow.hpp"
 #include "field/decision_rule.hpp"
+#include "math/expm.hpp"
 #include "math/matrix.hpp"
 
 #include <span>
@@ -49,12 +57,19 @@ public:
     /// Full mean-field step: routing (18)-(19) + master equation (20)-(28).
     MeanFieldStep step(std::span<const double> nu, const DecisionRule& h,
                        double lambda_total) const;
+    /// Allocation-free variant: writes into `out`, whose vectors are reused
+    /// once sized. `out` must not alias `nu`.
+    void step(std::span<const double> nu, const DecisionRule& h, double lambda_total,
+              MeanFieldStep& out) const;
 
     /// Same but with per-state arrival rates given directly (used by the
     /// finite-M, infinite-N system where rates come from the empirical
     /// histogram, and by tests).
     MeanFieldStep step_with_rates(std::span<const double> nu,
                                   std::span<const double> rate_by_state) const;
+    /// Allocation-free variant; `out` must not alias `nu`/`rate_by_state`.
+    void step_with_rates(std::span<const double> nu, std::span<const double> rate_by_state,
+                         MeanFieldStep& out) const;
 
     /// Transposed extended generator Q̄ of eq. (27) for one arrival rate:
     /// a (B+2)x(B+2) matrix; column space is [P(0..B), D].
@@ -69,8 +84,28 @@ public:
     double expected_queue_drops(int z0, double arrival_rate) const;
 
 private:
+    /// Rebuilds ws_.q as the extended generator for `arrival_rate`. The
+    /// sparsity pattern is fixed, so only the sub/super-diagonals, diagonal,
+    /// and drop row are overwritten — no allocation.
+    void build_generator(double arrival_rate) const;
+    /// Uniformized propagation exp(Q̄ Δt) e_{z0} into ws_.propagated via
+    /// math/expm.hpp's expm_uniformized_action_into (shared arithmetic).
+    void propagate_into(int z0, double arrival_rate) const;
+
+    /// Cached buffers reused across calls; mutable because the stepping API
+    /// is logically const. Instances are single-threaded by contract.
+    struct Workspace {
+        Matrix q;                       ///< extended generator (B+2)².
+        UniformizationWorkspace uni;    ///< uniformized matrix + series terms.
+        std::vector<double> e;          ///< basis vector e_{z0}.
+        std::vector<double> propagated; ///< [P^z(Δt); D^z(Δt)].
+        ArrivalFlow flow;               ///< routing buffers for step().
+        std::vector<int> tuple;         ///< tuple decode scratch.
+    };
+
     QueueParams params_;
     double dt_;
+    mutable Workspace ws_;
 };
 
 } // namespace mflb

@@ -1,7 +1,9 @@
 #include "math/expm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace mflb {
 
@@ -58,18 +60,31 @@ Matrix expm(const Matrix& a) {
 
 std::vector<double> expm_uniformized_action(const Matrix& a, double t, std::span<const double> v,
                                             double uniform_rate, double tol) {
+    UniformizationWorkspace ws;
+    std::vector<double> result(v.size(), 0.0);
+    expm_uniformized_action_into(a, t, v, ws, result, uniform_rate, tol);
+    return result;
+}
+
+void expm_uniformized_action_into(const Matrix& a, double t, std::span<const double> v,
+                                  UniformizationWorkspace& ws, std::span<double> out,
+                                  double uniform_rate, double tol) {
     if (a.rows() != a.cols()) {
         throw std::invalid_argument("expm_uniformized_action: matrix must be square");
     }
     if (v.size() != a.rows()) {
         throw std::invalid_argument("expm_uniformized_action: vector size mismatch");
     }
+    if (out.size() != v.size()) {
+        throw std::invalid_argument("expm_uniformized_action: output size mismatch");
+    }
     if (t < 0.0) {
         throw std::invalid_argument("expm_uniformized_action: t must be >= 0");
     }
     const std::size_t n = a.rows();
     if (t == 0.0 || n == 0) {
-        return std::vector<double>(v.begin(), v.end());
+        std::copy(v.begin(), v.end(), out.begin());
+        return;
     }
 
     double rate = uniform_rate;
@@ -78,16 +93,20 @@ std::vector<double> expm_uniformized_action(const Matrix& a, double t, std::span
             rate = std::max(rate, std::abs(a(i, i)));
         }
         if (rate == 0.0) {
-            return std::vector<double>(v.begin(), v.end());
+            std::copy(v.begin(), v.end(), out.begin());
+            return;
         }
         rate *= 1.0001; // strict domination avoids a zero diagonal in P
     }
 
-    // P = I + A / rate is (sub)stochastic by the generator property.
-    Matrix p = Matrix::identity(n);
+    // P = I + A / rate is (sub)stochastic by the generator property. Built
+    // in place in the workspace (full overwrite, so reuse is safe).
+    if (ws.p.rows() != n || ws.p.cols() != n) {
+        ws.p = Matrix(n, n);
+    }
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < n; ++j) {
-            p(i, j) += a(i, j) / rate;
+            ws.p(i, j) = (i == j ? 1.0 : 0.0) + a(i, j) / rate;
         }
     }
 
@@ -95,24 +114,25 @@ std::vector<double> expm_uniformized_action(const Matrix& a, double t, std::span
     // remaining Poisson tail mass (times a crude bound on ||P^k v||) is
     // below tol.
     const double mean = rate * t;
-    std::vector<double> term(v.begin(), v.end());
-    std::vector<double> result(n, 0.0);
+    ws.term.assign(v.begin(), v.end());
+    ws.next.assign(n, 0.0);
+    std::fill(out.begin(), out.end(), 0.0);
     double log_weight = -mean; // log of Pois pmf at k=0
     double tail_remaining = 1.0;
     const std::size_t max_terms = static_cast<std::size_t>(mean + 40.0 * std::sqrt(mean + 1.0)) + 64;
     for (std::size_t k = 0; k <= max_terms; ++k) {
         const double weight = std::exp(log_weight);
         for (std::size_t i = 0; i < n; ++i) {
-            result[i] += weight * term[i];
+            out[i] += weight * ws.term[i];
         }
         tail_remaining -= weight;
         if (tail_remaining < tol) {
             break;
         }
-        term = p.multiply(term);
+        ws.p.multiply_into(ws.term, ws.next);
+        std::swap(ws.term, ws.next);
         log_weight += std::log(mean) - std::log(static_cast<double>(k + 1));
     }
-    return result;
 }
 
 std::vector<double> integrate_linear_ode_rk4(const Matrix& a, double t, std::span<const double> v,

@@ -32,6 +32,22 @@ std::vector<double> expm_uniformized_action(const Matrix& a, double t,
                                             std::span<const double> v,
                                             double uniform_rate = 0.0, double tol = 1e-13);
 
+/// Reusable buffers for expm_uniformized_action_into (the uniformized matrix
+/// P and the two series terms). Sized on first use, reused afterwards.
+struct UniformizationWorkspace {
+    Matrix p;
+    std::vector<double> term;
+    std::vector<double> next;
+};
+
+/// Workspace variant of expm_uniformized_action with identical arithmetic:
+/// writes the result into `out` (sized like `v`, must not alias it) and
+/// performs zero heap allocations once `ws` is warm. This is the inner loop
+/// of the mean-field transition hot path (field/transition.hpp).
+void expm_uniformized_action_into(const Matrix& a, double t, std::span<const double> v,
+                                  UniformizationWorkspace& ws, std::span<double> out,
+                                  double uniform_rate = 0.0, double tol = 1e-13);
+
 /// Reference ODE integrator: integrates y' = A y over [0, t] with RK4 using
 /// `steps` uniform steps. Used only as an independent oracle in tests.
 std::vector<double> integrate_linear_ode_rk4(const Matrix& a, double t,

@@ -143,10 +143,18 @@ Matrix Matrix::transposed() const {
 }
 
 std::vector<double> Matrix::multiply(std::span<const double> x) const {
+    std::vector<double> y(rows_, 0.0);
+    multiply_into(x, y);
+    return y;
+}
+
+void Matrix::multiply_into(std::span<const double> x, std::span<double> y) const {
     if (x.size() != cols_) {
         throw std::invalid_argument("Matrix::multiply: size mismatch");
     }
-    std::vector<double> y(rows_, 0.0);
+    if (y.size() != rows_) {
+        throw std::invalid_argument("Matrix::multiply_into: output size mismatch");
+    }
     for (std::size_t i = 0; i < rows_; ++i) {
         const double* arow = data_.data() + i * cols_;
         double acc = 0.0;
@@ -155,7 +163,6 @@ std::vector<double> Matrix::multiply(std::span<const double> x) const {
         }
         y[i] = acc;
     }
-    return y;
 }
 
 std::vector<double> Matrix::multiply_left(std::span<const double> x) const {

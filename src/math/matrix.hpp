@@ -57,6 +57,9 @@ public:
     Matrix transposed() const;
     /// Matrix-vector product (x sized cols()).
     std::vector<double> multiply(std::span<const double> x) const;
+    /// Matrix-vector product into a caller-provided buffer (y sized rows());
+    /// allocation-free. `y` must not alias `x`.
+    void multiply_into(std::span<const double> x, std::span<double> y) const;
     /// Vector-matrix product (x sized rows()); i.e. x^T * A.
     std::vector<double> multiply_left(std::span<const double> x) const;
 

@@ -1,22 +1,16 @@
 #include "queueing/finite_system.hpp"
 
-#include "field/arrival_flow.hpp"
-
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace mflb {
 
 FiniteSystem::FiniteSystem(FiniteSystemConfig config)
-    : config_(std::move(config)), space_(config_.queue.num_states(), config_.d) {
-    if (config_.num_queues == 0) {
-        throw std::invalid_argument("FiniteSystem: need at least one queue");
-    }
+    : SystemBase(config.arrivals, config.dt, config.horizon, config.num_queues),
+      config_(std::move(config)), space_(config_.queue.num_states(), config_.d) {
     if (config_.num_clients == 0 && config_.client_model != ClientModel::InfiniteClients) {
         throw std::invalid_argument("FiniteSystem: need at least one client");
-    }
-    if (config_.horizon <= 0) {
-        throw std::invalid_argument("FiniteSystem: horizon must be positive");
     }
     if (config_.nu0.empty()) {
         config_.nu0.assign(static_cast<std::size_t>(config_.queue.num_states()), 0.0);
@@ -25,17 +19,28 @@ FiniteSystem::FiniteSystem(FiniteSystemConfig config)
     if (config_.nu0.size() != static_cast<std::size_t>(config_.queue.num_states())) {
         throw std::invalid_argument("FiniteSystem: nu0 size mismatch");
     }
-    queues_.assign(config_.num_queues, 0);
+    const auto num_z = static_cast<std::size_t>(config_.queue.num_states());
+    const auto d = static_cast<std::size_t>(config_.d);
+    const std::size_t m = config_.num_queues;
+    ws_.hist.assign(num_z, 0.0);
+    ws_.g.assign(d * num_z, 0.0);
+    ws_.tuple.assign(d, 0);
+    ws_.suffix.assign(d + 1, 1.0);
+    ws_.dest_p.assign(m, 0.0);
+    ws_.counts.assign(m, 0);
+    ws_.sampled.assign(d, 0);
+    ws_.states.assign(d, 0);
+    ws_.rates.assign(m, 0.0);
+    ws_.flow.inflow_by_state.assign(num_z, 0.0);
+    ws_.flow.rate_by_state.assign(num_z, 0.0);
 }
 
 void FiniteSystem::reset(Rng& rng) {
     for (int& z : queues_) {
         z = static_cast<int>(rng.categorical(config_.nu0));
     }
-    lambda_state_ = config_.arrivals.sample_initial(rng);
-    t_ = 0;
+    reset_base(rng);
     clock_ = 0.0;
-    conditioned_.reset();
     if (config_.track_sojourn) {
         jobs_.clear();
         jobs_.reserve(queues_.size());
@@ -52,21 +57,21 @@ void FiniteSystem::reset(Rng& rng) {
 }
 
 void FiniteSystem::reset_conditioned(std::vector<std::size_t> lambda_states, Rng& rng) {
-    if (lambda_states.empty()) {
-        throw std::invalid_argument("FiniteSystem: conditioned sequence must be non-empty");
-    }
     reset(rng);
-    t_ = 0;
-    lambda_state_ = lambda_states.front();
-    conditioned_ = std::move(lambda_states);
+    condition_on(std::move(lambda_states));
+}
+
+void FiniteSystem::fill_empirical(std::vector<double>& hist) const {
+    std::fill(hist.begin(), hist.end(), 0.0);
+    const double weight = 1.0 / static_cast<double>(queues_.size());
+    for (int z : queues_) {
+        hist[static_cast<std::size_t>(z)] += weight;
+    }
 }
 
 std::vector<double> FiniteSystem::empirical_distribution() const {
     std::vector<double> h(static_cast<std::size_t>(config_.queue.num_states()), 0.0);
-    const double weight = 1.0 / static_cast<double>(queues_.size());
-    for (int z : queues_) {
-        h[static_cast<std::size_t>(z)] += weight;
-    }
+    fill_empirical(h);
     return h;
 }
 
@@ -83,24 +88,27 @@ std::vector<double> FiniteSystem::observed_distribution(Rng& rng) const {
     return h;
 }
 
-std::vector<double> FiniteSystem::destination_probabilities(const DecisionRule& h) const {
+void FiniteSystem::destination_probabilities(const DecisionRule& h) const {
     // p(j) = (1/M) Σ_k g(k, z_j), where g(k, z) is the mean routing
     // probability of coordinate k when it shows state z and the other d-1
     // sampled queues are drawn from the empirical histogram H. This is the
     // exact law of one client's destination given the snapshot.
     const auto num_z = static_cast<std::size_t>(config_.queue.num_states());
     const int d = config_.d;
-    const std::vector<double> hist = empirical_distribution();
+    fill_empirical(ws_.hist);
+    const std::vector<double>& hist = ws_.hist;
 
     // g[k * num_z + z]
-    std::vector<double> g(static_cast<std::size_t>(d) * num_z, 0.0);
-    std::vector<int> tuple(static_cast<std::size_t>(d));
+    std::vector<double>& g = ws_.g;
+    std::fill(g.begin(), g.end(), 0.0);
+    std::vector<int>& tuple = ws_.tuple;
+    std::vector<double>& suffix = ws_.suffix;
+    suffix[static_cast<std::size_t>(d)] = 1.0;
     for (std::size_t idx = 0; idx < space_.size(); ++idx) {
         space_.decode(idx, tuple);
         // Per-coordinate leave-one-out weights Π_{i≠k} H(z̄_i), computed via
         // prefix/suffix products to stay O(d) per tuple.
         double prefix = 1.0;
-        std::vector<double> suffix(static_cast<std::size_t>(d) + 1, 1.0);
         for (int k = d - 1; k >= 0; --k) {
             suffix[static_cast<std::size_t>(k)] =
                 suffix[static_cast<std::size_t>(k) + 1] *
@@ -118,7 +126,7 @@ std::vector<double> FiniteSystem::destination_probabilities(const DecisionRule& 
     }
 
     const double inv_m = 1.0 / static_cast<double>(queues_.size());
-    std::vector<double> p(queues_.size(), 0.0);
+    std::vector<double>& p = ws_.dest_p;
     for (std::size_t j = 0; j < queues_.size(); ++j) {
         double total = 0.0;
         for (int k = 0; k < d; ++k) {
@@ -126,20 +134,20 @@ std::vector<double> FiniteSystem::destination_probabilities(const DecisionRule& 
         }
         p[j] = inv_m * total;
     }
-    return p;
 }
 
-std::vector<double> FiniteSystem::compute_queue_rates(const DecisionRule& h, Rng& rng) const {
+void FiniteSystem::compute_queue_rates_into(const DecisionRule& h, Rng& rng) const {
     const double lambda = lambda_value();
     const auto m = static_cast<double>(queues_.size());
-    std::vector<double> rates(queues_.size(), 0.0);
+    std::vector<double>& rates = ws_.rates;
 
     switch (config_.client_model) {
     case ClientModel::PerClient: {
         // Literal eq. (5): every client samples d queues and one choice.
-        std::vector<std::uint64_t> counts(queues_.size(), 0);
-        std::vector<int> sampled(static_cast<std::size_t>(config_.d));
-        std::vector<int> states(static_cast<std::size_t>(config_.d));
+        std::vector<std::uint64_t>& counts = ws_.counts;
+        std::fill(counts.begin(), counts.end(), 0);
+        std::vector<int>& sampled = ws_.sampled;
+        std::vector<int>& states = ws_.states;
         for (std::uint64_t i = 0; i < config_.num_clients; ++i) {
             for (int k = 0; k < config_.d; ++k) {
                 sampled[static_cast<std::size_t>(k)] =
@@ -155,29 +163,34 @@ std::vector<double> FiniteSystem::compute_queue_rates(const DecisionRule& h, Rng
         for (std::size_t j = 0; j < queues_.size(); ++j) {
             rates[j] = scale * static_cast<double>(counts[j]);
         }
-        return rates;
+        return;
     }
     case ClientModel::Aggregated: {
         // Client destinations are i.i.d. given the snapshot, so per-queue
         // counts are exactly Multinomial(N, p).
-        const std::vector<double> p = destination_probabilities(h);
-        const std::vector<std::uint64_t> counts = rng.multinomial(config_.num_clients, p);
+        destination_probabilities(h);
+        rng.multinomial(config_.num_clients, ws_.dest_p, ws_.counts);
         const double scale = m * lambda / static_cast<double>(config_.num_clients);
         for (std::size_t j = 0; j < queues_.size(); ++j) {
-            rates[j] = scale * static_cast<double>(counts[j]);
+            rates[j] = scale * static_cast<double>(ws_.counts[j]);
         }
-        return rates;
+        return;
     }
     case ClientModel::InfiniteClients: {
         // N → ∞: rates collapse to λ_t(H^M, z_j), Section 2.2 / Theorem 1.
-        const ArrivalFlow flow = compute_arrival_flow(empirical_distribution(), h, lambda);
+        fill_empirical(ws_.hist);
+        compute_arrival_flow_into(ws_.hist, h, lambda, ws_.tuple, ws_.flow);
         for (std::size_t j = 0; j < queues_.size(); ++j) {
-            rates[j] = flow.rate_by_state[static_cast<std::size_t>(queues_[j])];
+            rates[j] = ws_.flow.rate_by_state[static_cast<std::size_t>(queues_[j])];
         }
-        return rates;
+        return;
     }
     }
-    return rates;
+}
+
+std::vector<double> FiniteSystem::compute_queue_rates(const DecisionRule& h, Rng& rng) const {
+    compute_queue_rates_into(h, rng);
+    return ws_.rates;
 }
 
 EpochStats FiniteSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
@@ -187,7 +200,8 @@ EpochStats FiniteSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
     if (!(h.space() == space_)) {
         throw std::invalid_argument("FiniteSystem::step: decision rule on wrong tuple space");
     }
-    const std::vector<double> rates = compute_queue_rates(h, rng);
+    compute_queue_rates_into(h, rng);
+    const std::vector<double>& rates = ws_.rates;
 
     EpochStats stats;
     double area = 0.0;
@@ -223,51 +237,17 @@ EpochStats FiniteSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
     stats.mean_queue_length = area / m_dt;
     stats.server_utilization = busy / m_dt;
 
-    ++t_;
-    if (conditioned_) {
-        const auto next_idx = static_cast<std::size_t>(t_);
-        lambda_state_ = next_idx < conditioned_->size() ? (*conditioned_)[next_idx]
-                                                        : conditioned_->back();
-    } else {
-        lambda_state_ = config_.arrivals.step(lambda_state_, rng);
-    }
+    advance_epoch(rng);
     return stats;
 }
 
 EpochStats FiniteSystem::step(const UpperLevelPolicy& policy, Rng& rng) {
-    const DecisionRule h = policy.decide(observed_distribution(rng), lambda_state_, rng);
+    const DecisionRule h = policy.decide(observed_distribution(rng), lambda_state(), rng);
     return step_with_rule(h, rng);
 }
 
 EpisodeStats FiniteSystem::run_episode(const UpperLevelPolicy& policy, Rng& rng) {
-    EpisodeStats stats;
-    stats.drops_per_epoch.reserve(static_cast<std::size_t>(config_.horizon));
-    double discount = 1.0;
-    double length_sum = 0.0;
-    double util_sum = 0.0;
-    double sojourn_sum = 0.0;
-    while (!done()) {
-        const EpochStats epoch = step(policy, rng);
-        stats.total_drops_per_queue += epoch.drops_per_queue;
-        stats.discounted_return -= discount * epoch.drops_per_queue;
-        stats.dropped_packets += epoch.dropped_packets;
-        stats.accepted_packets += epoch.accepted_packets;
-        stats.drops_per_epoch.push_back(epoch.drops_per_queue);
-        length_sum += epoch.mean_queue_length;
-        util_sum += epoch.server_utilization;
-        sojourn_sum += epoch.mean_sojourn * static_cast<double>(epoch.completed_jobs);
-        stats.completed_jobs += epoch.completed_jobs;
-        discount *= config_.discount;
-    }
-    const auto epochs = static_cast<double>(stats.drops_per_epoch.size());
-    if (epochs > 0) {
-        stats.mean_queue_length = length_sum / epochs;
-        stats.server_utilization = util_sum / epochs;
-    }
-    if (stats.completed_jobs > 0) {
-        stats.mean_sojourn = sojourn_sum / static_cast<double>(stats.completed_jobs);
-    }
-    return stats;
+    return run_episode_loop(config_.discount, [&] { return step(policy, rng); });
 }
 
 } // namespace mflb

@@ -16,17 +16,27 @@
 ///  - `InfiniteClients`  — the N → ∞ intermediate system of Section 2.2:
 ///    per-queue rates become the deterministic λ_t(H^M, z_j) of the proof of
 ///    Theorem 1, while queues remain stochastic.
+///
+/// Built on `SystemBase` (λ-chain, episode loop, stats accumulation); this
+/// class contributes only the per-epoch routing/queue kernel. The kernel is
+/// allocation-free in steady state: every per-step buffer (the g table,
+/// tuple decode, prefix/suffix products, destination probabilities, client
+/// counts, and rate vector) lives in a workspace sized at construction, so
+/// `step_with_rule` performs zero heap allocations after the first step.
+/// Consequence: a FiniteSystem instance must not be shared across threads
+/// (the Monte Carlo harness gives each replication its own instance).
 #pragma once
 
+#include "field/arrival_flow.hpp"
 #include "field/arrival_process.hpp"
 #include "field/mfc_env.hpp"
 #include "field/transition.hpp"
 #include "queueing/gillespie.hpp"
 #include "queueing/sojourn.hpp"
+#include "queueing/system_base.hpp"
 #include "support/rng.hpp"
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 namespace mflb {
@@ -58,35 +68,8 @@ struct FiniteSystemConfig {
     std::size_t histogram_sample_size = 0;
 };
 
-/// Statistics of a single decision epoch, aggregated over all M queues.
-struct EpochStats {
-    double drops_per_queue = 0.0;        ///< D_t^{N,M} of eq. (6).
-    std::uint64_t dropped_packets = 0;   ///< raw count across queues.
-    std::uint64_t accepted_packets = 0;  ///< arrivals that entered a buffer.
-    std::uint64_t served_packets = 0;    ///< completed services.
-    double mean_queue_length = 0.0;      ///< time-average over the epoch.
-    double server_utilization = 0.0;     ///< busy-time fraction.
-    double mean_sojourn = 0.0;           ///< mean sojourn of jobs completed
-                                         ///< this epoch (track_sojourn only).
-    std::uint64_t completed_jobs = 0;    ///< sojourn sample count.
-};
-
-/// Episode-level summary; `total_drops_per_queue` is the quantity plotted in
-/// Figures 4-6 ("average/total packet drops" per queue over ≈500 time units).
-struct EpisodeStats {
-    double total_drops_per_queue = 0.0;
-    double discounted_return = 0.0; ///< -Σ_t γ^t D_t.
-    std::uint64_t dropped_packets = 0;
-    std::uint64_t accepted_packets = 0;
-    double mean_queue_length = 0.0; ///< averaged over epochs.
-    double server_utilization = 0.0;
-    double mean_sojourn = 0.0;      ///< job-weighted mean sojourn (track_sojourn).
-    std::uint64_t completed_jobs = 0;
-    std::vector<double> drops_per_epoch;
-};
-
 /// Exact simulator of the finite (or infinite-client) queuing system.
-class FiniteSystem {
+class FiniteSystem : public SystemBase {
 public:
     explicit FiniteSystem(FiniteSystemConfig config);
 
@@ -97,12 +80,6 @@ public:
     void reset(Rng& rng);
     /// Like reset but with a fixed λ-state sequence (Theorem 1 conditioning).
     void reset_conditioned(std::vector<std::size_t> lambda_states, Rng& rng);
-
-    bool done() const noexcept { return t_ >= config_.horizon; }
-    int time() const noexcept { return t_; }
-    std::size_t lambda_state() const noexcept { return lambda_state_; }
-    double lambda_value() const { return config_.arrivals.level(lambda_state_); }
-    const std::vector<int>& queue_states() const noexcept { return queues_; }
 
     /// Empirical distribution H_t^M over Z, eq. (2).
     std::vector<double> empirical_distribution() const;
@@ -115,6 +92,7 @@ public:
     /// simulate all queues for Δt, advance λ.
     EpochStats step(const UpperLevelPolicy& policy, Rng& rng);
     /// Same with an explicit decision rule (skips the policy query).
+    /// Allocation-free in steady state (see file comment).
     EpochStats step_with_rule(const DecisionRule& h, Rng& rng);
 
     /// Runs a full episode from reset state; accumulates per-epoch stats.
@@ -125,16 +103,34 @@ public:
     std::vector<double> compute_queue_rates(const DecisionRule& h, Rng& rng) const;
 
 private:
-    std::vector<double> destination_probabilities(const DecisionRule& h) const;
+    /// Reusable per-step buffers; sizes are fixed at construction so the
+    /// step path never touches the heap. Mutable because the const
+    /// rate-computation helpers (exposed for tests) share them; instances
+    /// are single-threaded by contract.
+    struct Workspace {
+        std::vector<double> hist;          ///< H_t^M over Z.
+        std::vector<double> g;             ///< g[k * |Z| + z] routing table.
+        std::vector<int> tuple;            ///< tuple decode buffer (d).
+        std::vector<double> suffix;        ///< suffix products (d + 1).
+        std::vector<double> dest_p;        ///< per-queue destination law (M).
+        std::vector<std::uint64_t> counts; ///< per-queue client counts (M).
+        std::vector<int> sampled;          ///< per-client sampled queues (d).
+        std::vector<int> states;           ///< their snapshot states (d).
+        std::vector<double> rates;         ///< per-queue arrival rates (M).
+        ArrivalFlow flow;                  ///< InfiniteClients rate buffers.
+    };
+
+    void fill_empirical(std::vector<double>& hist) const;
+    /// Fills ws_.dest_p with the exact per-client destination law.
+    void destination_probabilities(const DecisionRule& h) const;
+    /// Fills ws_.rates with the per-queue arrival rates of eq. (5).
+    void compute_queue_rates_into(const DecisionRule& h, Rng& rng) const;
 
     FiniteSystemConfig config_;
     TupleSpace space_;
-    std::vector<int> queues_;
     std::vector<JobTimestamps> jobs_; ///< per-queue FIFO timestamps (sojourn mode).
     double clock_ = 0.0;              ///< absolute simulation time (sojourn mode).
-    std::size_t lambda_state_ = 0;
-    int t_ = 0;
-    std::optional<std::vector<std::size_t>> conditioned_;
+    mutable Workspace ws_;
 };
 
 } // namespace mflb

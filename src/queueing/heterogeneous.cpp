@@ -6,19 +6,22 @@
 namespace mflb {
 
 namespace {
-/// Uniformly samples one index among those minimizing `score`.
-int argmin_with_uniform_ties(std::span<const double> score, Rng& rng) {
-    double best = score[0];
-    for (double s : score) {
-        best = std::min(best, s);
+/// Uniformly samples one index among those minimizing `score(i)`, i in
+/// [0, n). Computes scores on the fly (no per-call buffer): the spans are
+/// tiny (d entries) and this runs once per client per epoch.
+template <class ScoreFn>
+int argmin_with_uniform_ties(std::size_t n, ScoreFn&& score, Rng& rng) {
+    double best = score(0);
+    for (std::size_t i = 1; i < n; ++i) {
+        best = std::min(best, score(i));
     }
     int ties = 0;
-    for (double s : score) {
-        ties += (s == best) ? 1 : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ties += (score(i) == best) ? 1 : 0;
     }
     std::uint64_t pick = rng.uniform_below(static_cast<std::uint64_t>(ties));
-    for (std::size_t i = 0; i < score.size(); ++i) {
-        if (score[i] == best) {
+    for (std::size_t i = 0; i < n; ++i) {
+        if (score(i) == best) {
             if (pick == 0) {
                 return static_cast<int>(i);
             }
@@ -31,20 +34,15 @@ int argmin_with_uniform_ties(std::span<const double> score, Rng& rng) {
 
 int HeteroJsqPolicy::choose(std::span<const int> states, std::span<const double> /*rates*/,
                             Rng& rng) const {
-    std::vector<double> score(states.size());
-    for (std::size_t i = 0; i < states.size(); ++i) {
-        score[i] = static_cast<double>(states[i]);
-    }
-    return argmin_with_uniform_ties(score, rng);
+    return argmin_with_uniform_ties(
+        states.size(), [&](std::size_t i) { return static_cast<double>(states[i]); }, rng);
 }
 
 int HeteroSedPolicy::choose(std::span<const int> states, std::span<const double> rates,
                             Rng& rng) const {
-    std::vector<double> score(states.size());
-    for (std::size_t i = 0; i < states.size(); ++i) {
-        score[i] = (static_cast<double>(states[i]) + 1.0) / rates[i];
-    }
-    return argmin_with_uniform_ties(score, rng);
+    return argmin_with_uniform_ties(
+        states.size(),
+        [&](std::size_t i) { return (static_cast<double>(states[i]) + 1.0) / rates[i]; }, rng);
 }
 
 int HeteroRndPolicy::choose(std::span<const int> states, std::span<const double> /*rates*/,
@@ -53,82 +51,77 @@ int HeteroRndPolicy::choose(std::span<const int> states, std::span<const double>
 }
 
 HeterogeneousSystem::HeterogeneousSystem(HeterogeneousConfig config)
-    : config_(std::move(config)) {
-    if (config_.service_rates.empty()) {
-        throw std::invalid_argument("HeterogeneousSystem: need at least one queue");
-    }
+    : SystemBase(config.arrivals, config.dt, config.horizon, config.service_rates.size()),
+      config_(std::move(config)) {
     for (double rate : config_.service_rates) {
         if (rate <= 0.0) {
             throw std::invalid_argument("HeterogeneousSystem: service rates must be positive");
         }
     }
-    if (config_.buffer < 1 || config_.d < 1 || config_.horizon < 1) {
+    if (config_.buffer < 1 || config_.d < 1) {
         throw std::invalid_argument("HeterogeneousSystem: bad configuration");
     }
-    queues_.assign(config_.service_rates.size(), 0);
+    counts_.assign(config_.service_rates.size(), 0);
+    sampled_.assign(static_cast<std::size_t>(config_.d), 0);
+    states_.assign(static_cast<std::size_t>(config_.d), 0);
+    rates_.assign(static_cast<std::size_t>(config_.d), 0.0);
 }
 
 void HeterogeneousSystem::reset(Rng& rng) {
     std::fill(queues_.begin(), queues_.end(), 0);
-    lambda_state_ = config_.arrivals.sample_initial(rng);
-    t_ = 0;
-    length_sum_ = 0.0;
-    total_drops_ = 0;
+    reset_base(rng);
 }
 
-double HeterogeneousSystem::step(const HeteroClientPolicy& policy, Rng& rng) {
+EpochStats HeterogeneousSystem::step(const HeteroClientPolicy& policy, Rng& rng) {
     if (done()) {
         throw std::logic_error("HeterogeneousSystem::step: episode finished");
     }
     const std::size_t m = queues_.size();
-    const double lambda = config_.arrivals.level(lambda_state_);
+    const double lambda = lambda_value();
 
     // Route every client on the stale snapshot.
-    std::vector<std::uint64_t> counts(m, 0);
-    std::vector<int> sampled(static_cast<std::size_t>(config_.d));
-    std::vector<int> states(static_cast<std::size_t>(config_.d));
-    std::vector<double> rates(static_cast<std::size_t>(config_.d));
+    std::fill(counts_.begin(), counts_.end(), 0);
     for (std::uint64_t i = 0; i < config_.num_clients; ++i) {
         for (int k = 0; k < config_.d; ++k) {
             const auto j = static_cast<std::size_t>(rng.uniform_below(m));
-            sampled[static_cast<std::size_t>(k)] = static_cast<int>(j);
-            states[static_cast<std::size_t>(k)] = queues_[j];
-            rates[static_cast<std::size_t>(k)] = config_.service_rates[j];
+            sampled_[static_cast<std::size_t>(k)] = static_cast<int>(j);
+            states_[static_cast<std::size_t>(k)] = queues_[j];
+            rates_[static_cast<std::size_t>(k)] = config_.service_rates[j];
         }
-        const int u = policy.choose(states, rates, rng);
-        ++counts[static_cast<std::size_t>(sampled[static_cast<std::size_t>(u)])];
+        const int u = policy.choose(states_, rates_, rng);
+        ++counts_[static_cast<std::size_t>(sampled_[static_cast<std::size_t>(u)])];
     }
 
     // Simulate all queues at their frozen arrival rates.
     const double scale =
         static_cast<double>(m) * lambda / static_cast<double>(config_.num_clients);
-    std::uint64_t drops = 0;
+    EpochStats stats;
     double area = 0.0;
+    double busy = 0.0;
     for (std::size_t j = 0; j < m; ++j) {
         const QueueEpochResult r =
-            simulate_queue_epoch(queues_[j], scale * static_cast<double>(counts[j]),
+            simulate_queue_epoch(queues_[j], scale * static_cast<double>(counts_[j]),
                                  config_.service_rates[j], config_.buffer, config_.dt, rng);
         queues_[j] = r.final_state;
-        drops += r.drops;
+        stats.dropped_packets += r.drops;
+        stats.accepted_packets += r.arrivals;
+        stats.served_packets += r.services;
         area += r.queue_length_area;
+        busy += r.busy_time;
     }
 
-    total_drops_ += drops;
-    length_sum_ += area / (static_cast<double>(m) * config_.dt);
-    ++t_;
-    lambda_state_ = config_.arrivals.step(lambda_state_, rng);
-    return static_cast<double>(drops) / static_cast<double>(m);
+    const double m_dt = static_cast<double>(m) * config_.dt;
+    stats.drops_per_queue =
+        static_cast<double>(stats.dropped_packets) / static_cast<double>(m);
+    stats.mean_queue_length = area / m_dt;
+    stats.server_utilization = busy / m_dt;
+    advance_epoch(rng);
+    return stats;
 }
 
 HeterogeneousEpisodeStats HeterogeneousSystem::run_episode(const HeteroClientPolicy& policy,
                                                            Rng& rng) {
-    HeterogeneousEpisodeStats stats;
-    while (!done()) {
-        stats.total_drops_per_queue += step(policy, rng);
-    }
-    stats.dropped_packets = total_drops_;
-    stats.mean_queue_length = t_ > 0 ? length_sum_ / static_cast<double>(t_) : 0.0;
-    return stats;
+    return run_episode_loop(/*discount=*/1.0, [&] { return step(policy, rng); });
 }
 
 } // namespace mflb

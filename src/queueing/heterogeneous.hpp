@@ -6,11 +6,16 @@
 /// and RND are included for comparison. This module simulates clients
 /// literally (per-client), since destination laws now depend on the joint
 /// (state, rate) of each sampled queue.
+///
+/// Built on `SystemBase` (λ-chain, episode loop, stats accumulation); only
+/// the per-epoch routing kernel lives here, and its per-step buffers are
+/// preallocated so stepping never touches the heap.
 #pragma once
 
 #include "field/arrival_process.hpp"
 #include "field/transition.hpp"
 #include "queueing/gillespie.hpp"
+#include "queueing/system_base.hpp"
 #include "support/rng.hpp"
 
 #include <cstdint>
@@ -66,35 +71,30 @@ struct HeterogeneousConfig {
     int horizon = 100;
 };
 
-/// Episode outcome for the heterogeneous system.
-struct HeterogeneousEpisodeStats {
-    double total_drops_per_queue = 0.0;
-    std::uint64_t dropped_packets = 0;
-    double mean_queue_length = 0.0;
-};
+/// Episode outcome for the heterogeneous system — the shared episode summary
+/// (discounting is not applied here: discounted_return = -total drops).
+using HeterogeneousEpisodeStats = EpisodeStats;
 
 /// Finite heterogeneous system with stale synchronized snapshots, mirroring
 /// the homogeneous FiniteSystem but with per-queue service rates.
-class HeterogeneousSystem {
+class HeterogeneousSystem : public SystemBase {
 public:
     explicit HeterogeneousSystem(HeterogeneousConfig config);
 
     const HeterogeneousConfig& config() const noexcept { return config_; }
     void reset(Rng& rng);
-    bool done() const noexcept { return t_ >= config_.horizon; }
-    const std::vector<int>& queue_states() const noexcept { return queues_; }
 
     /// One synchronized epoch under the given client rule.
-    double step(const HeteroClientPolicy& policy, Rng& rng);
+    EpochStats step(const HeteroClientPolicy& policy, Rng& rng);
     HeterogeneousEpisodeStats run_episode(const HeteroClientPolicy& policy, Rng& rng);
 
 private:
     HeterogeneousConfig config_;
-    std::vector<int> queues_;
-    std::size_t lambda_state_ = 0;
-    int t_ = 0;
-    double length_sum_ = 0.0;
-    std::uint64_t total_drops_ = 0;
+    // Per-step buffers, preallocated (see file comment).
+    std::vector<std::uint64_t> counts_;
+    std::vector<int> sampled_;
+    std::vector<int> states_;
+    std::vector<double> rates_;
 };
 
 } // namespace mflb

@@ -7,14 +7,17 @@
 /// zero extra sampling cost, but under large Δt it can also reinforce
 /// herding onto the same queue — which this module lets us measure
 /// (bench/bench_ext_memory.cpp sweeps Δt on exactly this trade-off).
+///
+/// Built on `SystemBase` (λ-chain, episode loop, stats accumulation); only
+/// the per-epoch routing kernel and the per-client memory vector live here.
 #pragma once
 
 #include "field/arrival_process.hpp"
 #include "queueing/gillespie.hpp"
+#include "queueing/system_base.hpp"
 #include "support/rng.hpp"
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 namespace mflb {
@@ -38,10 +41,9 @@ struct MemorySystemConfig {
     int horizon = 100;
 };
 
-/// Episode statistics of the memory simulator.
-struct MemoryEpisodeStats {
-    double total_drops_per_queue = 0.0;
-    std::uint64_t dropped_packets = 0;
+/// Episode statistics of the memory simulator: the shared episode summary
+/// plus the herding diagnostic.
+struct MemoryEpisodeStats : EpisodeStats {
     /// Fraction of routing decisions that picked the remembered queue
     /// (0 for disciplines without memory) — a direct herding diagnostic.
     double memory_hit_rate = 0.0;
@@ -50,27 +52,25 @@ struct MemoryEpisodeStats {
 /// Finite system where clients carry one remembered queue index across
 /// epochs. Clients are simulated literally (memory is per-client state, so
 /// the multinomial aggregation of FiniteSystem does not apply).
-class MemorySystem {
+class MemorySystem : public SystemBase {
 public:
     explicit MemorySystem(MemorySystemConfig config);
 
     const MemorySystemConfig& config() const noexcept { return config_; }
     void reset(Rng& rng);
-    bool done() const noexcept { return t_ >= config_.horizon; }
 
     /// One synchronized epoch under the given discipline.
-    double step(MemoryDiscipline discipline, Rng& rng);
+    EpochStats step(MemoryDiscipline discipline, Rng& rng);
     MemoryEpisodeStats run_episode(MemoryDiscipline discipline, Rng& rng);
 
 private:
     MemorySystemConfig config_;
-    std::vector<int> queues_;
     std::vector<std::int32_t> memory_; ///< last-used queue per client; -1 = none.
-    std::size_t lambda_state_ = 0;
-    int t_ = 0;
-    std::uint64_t total_drops_ = 0;
     std::uint64_t memory_hits_ = 0;
     std::uint64_t decisions_ = 0;
+    // Per-step buffers, preallocated.
+    std::vector<std::uint64_t> counts_;
+    std::vector<std::size_t> sampled_;
 };
 
 } // namespace mflb

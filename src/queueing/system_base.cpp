@@ -1,0 +1,82 @@
+#include "queueing/system_base.hpp"
+
+#include <stdexcept>
+
+namespace mflb {
+
+EpisodeAccumulator::EpisodeAccumulator(double discount, std::size_t epochs_hint)
+    : gamma_(discount) {
+    stats_.drops_per_epoch.reserve(epochs_hint);
+}
+
+void EpisodeAccumulator::add(const EpochStats& epoch) {
+    stats_.total_drops_per_queue += epoch.drops_per_queue;
+    stats_.discounted_return -= weight_ * epoch.drops_per_queue;
+    stats_.dropped_packets += epoch.dropped_packets;
+    stats_.accepted_packets += epoch.accepted_packets;
+    stats_.drops_per_epoch.push_back(epoch.drops_per_queue);
+    length_sum_ += epoch.mean_queue_length;
+    util_sum_ += epoch.server_utilization;
+    sojourn_sum_ += epoch.mean_sojourn * static_cast<double>(epoch.completed_jobs);
+    stats_.completed_jobs += epoch.completed_jobs;
+    weight_ *= gamma_;
+}
+
+EpisodeStats EpisodeAccumulator::finish() {
+    const auto epochs = static_cast<double>(stats_.drops_per_epoch.size());
+    if (epochs > 0) {
+        stats_.mean_queue_length = length_sum_ / epochs;
+        stats_.server_utilization = util_sum_ / epochs;
+    }
+    if (stats_.completed_jobs > 0) {
+        stats_.mean_sojourn = sojourn_sum_ / static_cast<double>(stats_.completed_jobs);
+    }
+    return std::move(stats_);
+}
+
+SystemBase::SystemBase(ArrivalProcess arrivals, double dt, int horizon, std::size_t num_queues)
+    : arrivals_(std::move(arrivals)), dt_(dt), horizon_(horizon) {
+    if (num_queues == 0) {
+        throw std::invalid_argument("SystemBase: need at least one queue");
+    }
+    if (dt_ <= 0.0) {
+        throw std::invalid_argument("SystemBase: dt must be positive");
+    }
+    if (horizon_ < 1) {
+        throw std::invalid_argument("SystemBase: horizon must be positive");
+    }
+    queues_.assign(num_queues, 0);
+}
+
+void SystemBase::reset_base(Rng& rng) {
+    lambda_state_ = arrivals_.sample_initial(rng);
+    t_ = 0;
+    conditioned_.reset();
+}
+
+void SystemBase::condition_on(std::vector<std::size_t> lambda_states) {
+    if (lambda_states.empty()) {
+        throw std::invalid_argument("SystemBase: conditioned sequence must be non-empty");
+    }
+    for (std::size_t s : lambda_states) {
+        if (s >= arrivals_.num_states()) {
+            throw std::invalid_argument("SystemBase: conditioned state out of range");
+        }
+    }
+    t_ = 0;
+    lambda_state_ = lambda_states.front();
+    conditioned_ = std::move(lambda_states);
+}
+
+void SystemBase::advance_epoch(Rng& rng) {
+    ++t_;
+    if (conditioned_) {
+        const auto next_idx = static_cast<std::size_t>(t_);
+        lambda_state_ = next_idx < conditioned_->size() ? (*conditioned_)[next_idx]
+                                                        : conditioned_->back();
+    } else {
+        lambda_state_ = arrivals_.step(lambda_state_, rng);
+    }
+}
+
+} // namespace mflb

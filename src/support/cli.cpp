@@ -49,6 +49,16 @@ bool is_bool_token(const std::string& token) {
            token == "yes" || token == "no" || token == "on" || token == "off";
 }
 
+bool is_integer(const std::string& s) {
+    try {
+        std::size_t pos = 0;
+        (void)std::stoll(s, &pos);
+        return pos == s.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
 bool is_number(const std::string& s) {
     try {
         std::size_t pos = 0;
@@ -59,45 +69,122 @@ bool is_number(const std::string& s) {
     }
 }
 
-bool is_number_list(const std::string& s) {
+template <class Pred>
+bool is_list_of(const std::string& s, Pred&& element_ok) {
     std::stringstream ss(s);
     std::string token;
     while (std::getline(ss, token, ',')) {
-        if (!token.empty() && !is_number(token)) {
+        if (!token.empty() && !element_ok(token)) {
             return false;
         }
     }
     return true;
 }
 
-/// Validates a provided value against the type the flag's default implies
-/// (bool / number / number list); defaults that fit none (paths, mode names,
-/// empty strings) stay unvalidated. Returns the expected-type description on
+/// Validates a provided value against the flag's declared type. String flags
+/// fall back to the historical shape inference from the default (bool /
+/// number / number list); defaults that fit none (paths, mode names, empty
+/// strings) stay unvalidated. Returns the expected-type description on
 /// mismatch, nullptr if the value is acceptable.
-const char* value_type_mismatch(const std::string& default_value, const std::string& value) {
+const char* value_type_mismatch(FlagType type, const std::string& default_value,
+                                const std::string& value) {
+    switch (type) {
+    case FlagType::Bool:
+        return is_bool_token(value) ? nullptr : "a boolean (true/false)";
+    case FlagType::Int:
+        return is_integer(value) ? nullptr : "an integer";
+    case FlagType::Double:
+        return is_number(value) ? nullptr : "a number";
+    case FlagType::IntList:
+        return is_list_of(value, is_integer) ? nullptr : "a comma-separated list of integers";
+    case FlagType::DoubleList:
+        return is_list_of(value, is_number) ? nullptr : "a comma-separated list of numbers";
+    case FlagType::String:
+        break;
+    }
     if (default_value == "true" || default_value == "false") {
         return is_bool_token(value) ? nullptr : "a boolean (true/false)";
     }
     if (is_number(default_value)) {
         return is_number(value) ? nullptr : "a number";
     }
-    if (default_value.find(',') != std::string::npos && is_number_list(default_value)) {
-        return is_number_list(value) ? nullptr : "a comma-separated list of numbers";
+    if (default_value.find(',') != std::string::npos && is_list_of(default_value, is_number)) {
+        return is_list_of(value, is_number) ? nullptr : "a comma-separated list of numbers";
     }
     return nullptr;
+}
+
+const char* type_tag(FlagType type) {
+    switch (type) {
+    case FlagType::Bool:
+        return "bool";
+    case FlagType::Int:
+        return "int";
+    case FlagType::Double:
+        return "number";
+    case FlagType::IntList:
+        return "int list";
+    case FlagType::DoubleList:
+        return "number list";
+    case FlagType::String:
+        break;
+    }
+    return "string";
+}
+
+std::string format_double_default(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%g", value);
+    return buffer;
 }
 
 } // namespace
 
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {
-    flag("help", "false", "Print this help text");
+    flag_bool("help", false, "Print this help text");
+}
+
+CliParser& CliParser::register_flag(const std::string& name, std::string default_value,
+                                    const std::string& help, FlagType type) {
+    flags_[name] = Flag{std::move(default_value), help, type, std::nullopt};
+    return *this;
 }
 
 CliParser& CliParser::flag(const std::string& name, const std::string& default_value,
                            const std::string& help) {
-    flags_[name] = Flag{default_value, help, std::nullopt};
-    return *this;
+    return register_flag(name, default_value, help, FlagType::String);
+}
+
+CliParser& CliParser::flag_bool(const std::string& name, bool default_value,
+                                const std::string& help) {
+    return register_flag(name, default_value ? "true" : "false", help, FlagType::Bool);
+}
+
+CliParser& CliParser::flag_int(const std::string& name, std::int64_t default_value,
+                               const std::string& help) {
+    return register_flag(name, std::to_string(default_value), help, FlagType::Int);
+}
+
+CliParser& CliParser::flag_double(const std::string& name, double default_value,
+                                  const std::string& help) {
+    return register_flag(name, format_double_default(default_value), help, FlagType::Double);
+}
+
+CliParser& CliParser::flag_int_list(const std::string& name, const std::string& default_value,
+                                    const std::string& help) {
+    if (!is_list_of(default_value, is_integer)) {
+        throw std::invalid_argument("flag_int_list: malformed default for --" + name);
+    }
+    return register_flag(name, default_value, help, FlagType::IntList);
+}
+
+CliParser& CliParser::flag_double_list(const std::string& name, const std::string& default_value,
+                                       const std::string& help) {
+    if (!is_list_of(default_value, is_number)) {
+        throw std::invalid_argument("flag_double_list: malformed default for --" + name);
+    }
+    return register_flag(name, default_value, help, FlagType::DoubleList);
 }
 
 bool CliParser::parse(int argc, const char* const* argv) {
@@ -125,7 +212,9 @@ bool CliParser::parse(int argc, const char* const* argv) {
         }
         if (!value) {
             const bool is_bool_flag =
-                it->second.default_value == "true" || it->second.default_value == "false";
+                it->second.type == FlagType::Bool ||
+                (it->second.type == FlagType::String &&
+                 (it->second.default_value == "true" || it->second.default_value == "false"));
             if (is_bool_flag) {
                 // `--flag` alone means true; an explicit `--flag false` etc.
                 // consumes the value token.
@@ -143,7 +232,8 @@ bool CliParser::parse(int argc, const char* const* argv) {
                 return false;
             }
         }
-        if (const char* expected = value_type_mismatch(it->second.default_value, *value)) {
+        if (const char* expected =
+                value_type_mismatch(it->second.type, it->second.default_value, *value)) {
             print_bad_value(name, *value, expected);
             std::fputs(usage().c_str(), stderr);
             parse_error_ = true;
@@ -212,7 +302,8 @@ std::string CliParser::usage() const {
     std::ostringstream out;
     out << description_ << "\n\nFlags:\n";
     for (const auto& [name, f] : flags_) {
-        out << "  --" << name << " (default: " << f.default_value << ")\n      " << f.help
+        out << "  --" << name << " <" << type_tag(f.type) << "> (default: "
+            << (f.default_value.empty() ? "\"\"" : f.default_value) << ")\n      " << f.help
             << "\n";
     }
     return out.str();

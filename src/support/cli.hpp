@@ -2,6 +2,14 @@
 /// Tiny declarative command-line flag parser for the bench and example
 /// binaries. Supports `--name value`, `--name=value` and boolean `--name`;
 /// every registered flag is listed by the auto-generated `--help`.
+///
+/// Flags carry an explicit type chosen at registration (`flag_int`,
+/// `flag_double`, `flag_bool`, `flag_int_list`, `flag_double_list`), so
+/// provided values are validated at parse time — an integer flag rejects
+/// `2.5` right away instead of relying on the typed-getter backstop. The
+/// string `flag()` remains for paths and mode names (and, for backward
+/// compatibility, still infers bool/number validation from the shape of its
+/// default).
 /// \see support/table.hpp for the matching stdout table rendering.
 #pragma once
 
@@ -13,23 +21,44 @@
 
 namespace mflb {
 
+/// Value type of a registered flag; drives parse-time validation.
+enum class FlagType {
+    String,     ///< free-form (paths, mode names); shape-inferred validation.
+    Bool,       ///< true/false/1/0/yes/no/on/off; bare `--flag` means true.
+    Int,        ///< integer; rejects floats and non-numeric tokens.
+    Double,     ///< real number.
+    IntList,    ///< comma-separated integers, e.g. "100,200,400".
+    DoubleList, ///< comma-separated reals, e.g. "1,2.5,10".
+};
+
 /// Declarative flag registry; register flags, then parse argv.
 class CliParser {
 public:
     explicit CliParser(std::string program_description);
 
-    /// Registers a flag with a default value and help text. Returns *this
-    /// for chaining.
+    /// Registers a string flag with a default value and help text. Returns
+    /// *this for chaining.
     CliParser& flag(const std::string& name, const std::string& default_value,
                     const std::string& help);
+    /// Typed registrations: values are validated against the declared type
+    /// during parse(), not only at the typed getter.
+    CliParser& flag_bool(const std::string& name, bool default_value, const std::string& help);
+    CliParser& flag_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help);
+    CliParser& flag_double(const std::string& name, double default_value,
+                           const std::string& help);
+    /// List defaults are given in their textual form (e.g. "1,3,5"; "" = empty).
+    CliParser& flag_int_list(const std::string& name, const std::string& default_value,
+                             const std::string& help);
+    CliParser& flag_double_list(const std::string& name, const std::string& default_value,
+                                const std::string& help);
 
     /// Parses argv. Returns false (and prints usage) on `--help` or an
     /// unknown/malformed flag; parse_error() distinguishes the two so
     /// binaries can exit non-zero on misuse. Provided values are validated
-    /// against the shape the flag's default implies (bool, number, or
-    /// comma-separated number list), so non-numeric typos fail here; finer
-    /// mismatches (e.g. a float for an integer flag) fail at the typed
-    /// getter, which exits with the same code-2 diagnostic.
+    /// against the flag's declared type (or, for string flags, the shape the
+    /// default implies), so mismatches — including a float passed to an
+    /// integer flag — fail here with a diagnostic.
     bool parse(int argc, const char* const* argv);
 
     /// True if the last parse() failed on bad input (as opposed to --help).
@@ -40,7 +69,8 @@ public:
 
     std::string get(const std::string& name) const;
     /// Typed getters exit(2) with a diagnostic on malformed values, keeping
-    /// the misuse exit-code contract instead of aborting on an exception.
+    /// the misuse exit-code contract instead of aborting on an exception
+    /// (the backstop for string-typed flags read as numbers).
     std::int64_t get_int(const std::string& name) const;
     double get_double(const std::string& name) const;
     bool get_bool(const std::string& name) const;
@@ -58,8 +88,12 @@ private:
     struct Flag {
         std::string default_value;
         std::string help;
+        FlagType type = FlagType::String;
         std::optional<std::string> value;
     };
+
+    CliParser& register_flag(const std::string& name, std::string default_value,
+                             const std::string& help, FlagType type);
 
     std::string description_;
     std::map<std::string, Flag> flags_;

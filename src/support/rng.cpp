@@ -216,6 +216,13 @@ std::size_t Rng::categorical(std::span<const double> weights) noexcept {
 
 std::vector<std::uint64_t> Rng::multinomial(std::uint64_t n, std::span<const double> probs) noexcept {
     std::vector<std::uint64_t> counts(probs.size(), 0);
+    multinomial(n, probs, counts);
+    return counts;
+}
+
+void Rng::multinomial(std::uint64_t n, std::span<const double> probs,
+                      std::span<std::uint64_t> counts) noexcept {
+    std::fill(counts.begin(), counts.end(), 0);
     double remaining_mass = 1.0;
     std::uint64_t remaining_trials = n;
     for (std::size_t i = 0; i + 1 < probs.size() && remaining_trials > 0; ++i) {
@@ -229,7 +236,6 @@ std::vector<std::uint64_t> Rng::multinomial(std::uint64_t n, std::span<const dou
     if (!probs.empty()) {
         counts.back() += remaining_trials;
     }
-    return counts;
 }
 
 std::vector<std::uint32_t> Rng::permutation(std::size_t n) noexcept {

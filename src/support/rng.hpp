@@ -66,6 +66,10 @@ public:
     /// Multinomial sample: distributes n trials over `probs` (which must sum
     /// to ~1) by sequential conditional binomials. O(probs.size()).
     std::vector<std::uint64_t> multinomial(std::uint64_t n, std::span<const double> probs) noexcept;
+    /// Allocation-free variant writing into `counts` (same size as `probs`);
+    /// used by the simulation hot paths.
+    void multinomial(std::uint64_t n, std::span<const double> probs,
+                     std::span<std::uint64_t> counts) noexcept;
 
     /// Fisher-Yates shuffle of an index permutation [0, n).
     std::vector<std::uint32_t> permutation(std::size_t n) noexcept;

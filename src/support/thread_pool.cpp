@@ -1,6 +1,7 @@
 #include "support/thread_pool.hpp"
 
 #include <atomic>
+#include <exception>
 
 namespace mflb {
 
@@ -78,17 +79,37 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
         return;
     }
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) {
         workers.emplace_back([&] {
             for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-                body(i);
+                if (failed.load(std::memory_order_relaxed)) {
+                    return;
+                }
+                try {
+                    body(i);
+                } catch (...) {
+                    {
+                        std::lock_guard lock(error_mutex);
+                        if (!first_error) {
+                            first_error = std::current_exception();
+                        }
+                    }
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
             }
         });
     }
     for (auto& worker : workers) {
         worker.join();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
     }
 }
 

@@ -49,8 +49,11 @@ private:
 };
 
 /// Runs body(i) for i in [0, n), distributed over `threads` workers
-/// (0 = hardware concurrency). Exceptions inside `body` are fatal by design:
-/// simulation kernels are expected to be noexcept.
+/// (0 = hardware concurrency). If `body` throws, the first exception is
+/// captured, remaining un-started indices are skipped, and the exception is
+/// rethrown on the calling thread once all workers have joined — so a
+/// throwing replication surfaces as a normal exception instead of
+/// std::terminate. Indices already in flight still run to completion.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 

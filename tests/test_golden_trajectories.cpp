@@ -1,0 +1,182 @@
+// Golden determinism tests: for fixed seeds, the unified-simulation-core
+// refactor must reproduce the episode statistics of the pre-refactor (seed)
+// implementations bit for bit. The constants below were recorded by running
+// the seed implementation (commit 565c5b6) with exactly these configurations
+// and printing every field at %.17g, which round-trips doubles exactly.
+//
+// If one of these tests fails, the λ-chain draw order, the per-epoch kernels,
+// the episode accumulation arithmetic, or the uniformization arithmetic
+// changed — all of which silently invalidate every experiment that cites
+// earlier numbers. Do not update the constants unless the change is an
+// intentional, documented semantics change.
+#include "core/mflb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mflb {
+namespace {
+
+TEST(GoldenTrajectories, FiniteSystemAggregatedJsq) {
+    FiniteSystemConfig config;
+    config.dt = 2.0;
+    config.num_queues = 32;
+    config.num_clients = 1024;
+    config.horizon = 25;
+    FiniteSystem system(config);
+    const FixedRulePolicy jsq = make_jsq_policy(system.tuple_space());
+    Rng rng(42);
+    system.reset(rng);
+    const EpisodeStats stats = system.run_episode(jsq, rng);
+    EXPECT_EQ(stats.total_drops_per_queue, 0.875);
+    EXPECT_EQ(stats.discounted_return, -0.76428769636375038);
+    EXPECT_EQ(stats.dropped_packets, 28u);
+    EXPECT_EQ(stats.accepted_packets, 1190u);
+    EXPECT_EQ(stats.mean_queue_length, 1.4836709609789158);
+    EXPECT_EQ(stats.server_utilization, 0.68429241238798344);
+    EXPECT_EQ(stats.drops_per_epoch.size(), 25u);
+}
+
+TEST(GoldenTrajectories, FiniteSystemPerClientRnd) {
+    FiniteSystemConfig config;
+    config.dt = 3.0;
+    config.num_queues = 16;
+    config.num_clients = 200;
+    config.horizon = 10;
+    config.client_model = ClientModel::PerClient;
+    FiniteSystem system(config);
+    const FixedRulePolicy rnd = make_rnd_policy(system.tuple_space());
+    Rng rng(7);
+    system.reset(rng);
+    const EpisodeStats stats = system.run_episode(rnd, rng);
+    EXPECT_EQ(stats.total_drops_per_queue, 2.0);
+    EXPECT_EQ(stats.discounted_return, -1.918138342388084);
+    EXPECT_EQ(stats.dropped_packets, 32u);
+    EXPECT_EQ(stats.accepted_packets, 345u);
+    EXPECT_EQ(stats.mean_queue_length, 1.8213789813900392);
+    EXPECT_EQ(stats.server_utilization, 0.69627632740769607);
+}
+
+TEST(GoldenTrajectories, FiniteSystemInfiniteClientsSojournSampledHistogram) {
+    FiniteSystemConfig config;
+    config.dt = 2.0;
+    config.num_queues = 20;
+    config.horizon = 12;
+    config.client_model = ClientModel::InfiniteClients;
+    config.track_sojourn = true;
+    config.histogram_sample_size = 8;
+    FiniteSystem system(config);
+    const FixedRulePolicy jsq = make_jsq_policy(system.tuple_space());
+    Rng rng(11);
+    system.reset(rng);
+    const EpisodeStats stats = system.run_episode(jsq, rng);
+    EXPECT_EQ(stats.total_drops_per_queue, 0.70000000000000007);
+    EXPECT_EQ(stats.discounted_return, -0.64604749813255746);
+    EXPECT_EQ(stats.dropped_packets, 14u);
+    EXPECT_EQ(stats.accepted_packets, 395u);
+    EXPECT_EQ(stats.mean_queue_length, 1.8009749698492543);
+    EXPECT_EQ(stats.server_utilization, 0.74497660532051346);
+    EXPECT_EQ(stats.mean_sojourn, 2.1016641979868171);
+    EXPECT_EQ(stats.completed_jobs, 358u);
+}
+
+TEST(GoldenTrajectories, FiniteSystemConditionedLambdaReplay) {
+    FiniteSystemConfig config;
+    config.dt = 2.0;
+    config.num_queues = 24;
+    config.num_clients = 576;
+    config.horizon = 8;
+    FiniteSystem system(config);
+    const FixedRulePolicy jsq = make_jsq_policy(system.tuple_space());
+    Rng rng(13);
+    system.reset_conditioned({0, 1, 1, 0, 1, 0, 0, 1}, rng);
+    const EpisodeStats stats = system.run_episode(jsq, rng);
+    EXPECT_EQ(stats.total_drops_per_queue, 0.25);
+    EXPECT_EQ(stats.discounted_return, -0.23816793535424996);
+    EXPECT_EQ(stats.dropped_packets, 6u);
+    EXPECT_EQ(stats.accepted_packets, 276u);
+    EXPECT_EQ(stats.mean_queue_length, 1.0851601332071785);
+    EXPECT_EQ(stats.server_utilization, 0.5906059864217259);
+}
+
+TEST(GoldenTrajectories, HeterogeneousSystemSedAndJsq) {
+    HeterogeneousConfig config;
+    config.dt = 2.0;
+    config.num_clients = 600;
+    config.horizon = 15;
+    config.service_rates.assign(24, 0.5);
+    for (std::size_t j = 12; j < 24; ++j) {
+        config.service_rates[j] = 1.5;
+    }
+    {
+        HeterogeneousSystem system(config);
+        Rng rng(7);
+        system.reset(rng);
+        const HeterogeneousEpisodeStats stats = system.run_episode(HeteroSedPolicy{}, rng);
+        EXPECT_EQ(stats.total_drops_per_queue, 0.125);
+        EXPECT_EQ(stats.dropped_packets, 3u);
+        EXPECT_EQ(stats.mean_queue_length, 0.94291979141716764);
+    }
+    {
+        HeterogeneousSystem system(config);
+        Rng rng(7);
+        system.reset(rng);
+        const HeterogeneousEpisodeStats stats = system.run_episode(HeteroJsqPolicy{}, rng);
+        EXPECT_EQ(stats.total_drops_per_queue, 0.41666666666666669);
+        EXPECT_EQ(stats.dropped_packets, 10u);
+        EXPECT_EQ(stats.mean_queue_length, 1.8354116982129844);
+    }
+}
+
+TEST(GoldenTrajectories, MemorySystemAllDisciplines) {
+    MemorySystemConfig config;
+    config.dt = 3.0;
+    config.num_queues = 20;
+    config.num_clients = 400;
+    config.horizon = 12;
+    const auto run = [&](MemoryDiscipline discipline) {
+        MemorySystem system(config);
+        Rng rng(9);
+        system.reset(rng);
+        return system.run_episode(discipline, rng);
+    };
+    const MemoryEpisodeStats with_memory = run(MemoryDiscipline::JsqDMemory);
+    EXPECT_EQ(with_memory.total_drops_per_queue, 3.1000000000000005);
+    EXPECT_EQ(with_memory.dropped_packets, 62u);
+    EXPECT_EQ(with_memory.memory_hit_rate, 0.15229166666666666);
+    const MemoryEpisodeStats jsq = run(MemoryDiscipline::JsqD);
+    EXPECT_EQ(jsq.total_drops_per_queue, 2.5000000000000004);
+    EXPECT_EQ(jsq.dropped_packets, 50u);
+    EXPECT_EQ(jsq.memory_hit_rate, 0.0);
+    const MemoryEpisodeStats rnd = run(MemoryDiscipline::Random);
+    EXPECT_EQ(rnd.total_drops_per_queue, 3.7499999999999991);
+    EXPECT_EQ(rnd.dropped_packets, 75u);
+    EXPECT_EQ(rnd.memory_hit_rate, 0.0);
+}
+
+TEST(GoldenTrajectories, MfcEnvUniformizationArithmetic) {
+    // Pins the ExactDiscretization workspace rewrite: a 20-epoch mean-field
+    // rollout must match the seed implementation's per-call uniformization
+    // exactly, both in the summed stage costs and in the final state ν.
+    MfcConfig config;
+    config.dt = 5.0;
+    config.horizon = 20;
+    MfcEnv env(config);
+    const DecisionRule jsq = DecisionRule::mf_jsq(TupleSpace(config.queue.num_states(), 2));
+    Rng rng(5);
+    env.reset(rng);
+    double total = 0.0;
+    while (!env.done()) {
+        total += env.step(jsq, rng).drops;
+    }
+    EXPECT_EQ(total, 4.6231605630382822);
+    const std::vector<double> expected_nu{0.25772971413889179, 0.18440906461857923,
+                                          0.16184477448777165, 0.14165750175894212,
+                                          0.12619069034436833, 0.12816825465044371};
+    ASSERT_EQ(env.nu().size(), expected_nu.size());
+    for (std::size_t z = 0; z < expected_nu.size(); ++z) {
+        EXPECT_EQ(env.nu()[z], expected_nu[z]) << "z=" << z;
+    }
+}
+
+} // namespace
+} // namespace mflb

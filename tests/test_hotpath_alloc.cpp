@@ -1,0 +1,104 @@
+// Steady-state allocation tests for the simulation hot paths: after a warmup
+// step sized every workspace buffer, `FiniteSystem::step_with_rule` and the
+// into-variants of `ExactDiscretization::step`/`step_with_rates` must not
+// touch the heap. Verified by replacing the global allocator with a counting
+// one in this test binary — any hidden vector/matrix construction in the
+// step path shows up as a nonzero delta.
+#include "field/mfc_env.hpp"
+#include "field/transition.hpp"
+#include "policies/fixed.hpp"
+#include "queueing/finite_system.hpp"
+#include "support/counting_allocator.inc"
+
+#include <gtest/gtest.h>
+
+namespace mflb {
+namespace {
+
+TEST(HotPathAllocations, FiniteSystemStepWithRuleAggregated) {
+    FiniteSystemConfig config;
+    config.num_queues = 50;
+    config.num_clients = 2500;
+    config.dt = 2.0;
+    config.horizon = 1 << 20;
+    FiniteSystem system(config);
+    Rng rng(1);
+    system.reset(rng);
+    const DecisionRule h = DecisionRule::mf_jsq(system.tuple_space());
+
+    (void)system.step_with_rule(h, rng); // warmup sizes every buffer
+    const std::size_t before = counting_allocator::count();
+    for (int i = 0; i < 50; ++i) {
+        (void)system.step_with_rule(h, rng);
+    }
+    EXPECT_EQ(counting_allocator::count() - before, 0u);
+}
+
+TEST(HotPathAllocations, FiniteSystemStepWithRulePerClientAndInfinite) {
+    for (const ClientModel model : {ClientModel::PerClient, ClientModel::InfiniteClients}) {
+        FiniteSystemConfig config;
+        config.num_queues = 20;
+        config.num_clients = 400;
+        config.dt = 2.0;
+        config.horizon = 1 << 20;
+        config.client_model = model;
+        FiniteSystem system(config);
+        Rng rng(2);
+        system.reset(rng);
+        const DecisionRule h = DecisionRule::mf_jsq(system.tuple_space());
+
+        (void)system.step_with_rule(h, rng);
+        const std::size_t before = counting_allocator::count();
+        for (int i = 0; i < 20; ++i) {
+            (void)system.step_with_rule(h, rng);
+        }
+        EXPECT_EQ(counting_allocator::count() - before, 0u)
+            << "client model " << static_cast<int>(model);
+    }
+}
+
+TEST(HotPathAllocations, ExactDiscretizationStepWithRatesInto) {
+    const ExactDiscretization disc({5, 1.0}, 5.0);
+    const std::vector<double> nu{0.3, 0.25, 0.2, 0.1, 0.1, 0.05};
+    const std::vector<double> rates{0.9, 0.9, 0.8, 0.7, 0.6, 0.5};
+    MeanFieldStep out;
+    disc.step_with_rates(nu, rates, out); // warmup sizes the output vectors
+    const std::size_t before = counting_allocator::count();
+    for (int i = 0; i < 100; ++i) {
+        disc.step_with_rates(nu, rates, out);
+    }
+    EXPECT_EQ(counting_allocator::count() - before, 0u);
+}
+
+TEST(HotPathAllocations, ExactDiscretizationFullStepInto) {
+    const ExactDiscretization disc({5, 1.0}, 5.0);
+    const TupleSpace space(6, 2);
+    const DecisionRule h = DecisionRule::mf_jsq(space);
+    const std::vector<double> nu{0.3, 0.25, 0.2, 0.1, 0.1, 0.05};
+    MeanFieldStep out;
+    disc.step(nu, h, 0.9, out);
+    const std::size_t before = counting_allocator::count();
+    for (int i = 0; i < 100; ++i) {
+        disc.step(nu, h, 0.9, out);
+    }
+    EXPECT_EQ(counting_allocator::count() - before, 0u);
+}
+
+TEST(HotPathAllocations, MfcEnvStepReusesItsBuffer) {
+    MfcConfig config;
+    config.dt = 5.0;
+    config.horizon = 1 << 20;
+    MfcEnv env(config);
+    const DecisionRule h = DecisionRule::mf_jsq(TupleSpace(config.queue.num_states(), 2));
+    Rng rng(3);
+    env.reset(rng);
+    (void)env.step(h, rng);
+    const std::size_t before = counting_allocator::count();
+    for (int i = 0; i < 100; ++i) {
+        (void)env.step(h, rng);
+    }
+    EXPECT_EQ(counting_allocator::count() - before, 0u);
+}
+
+} // namespace
+} // namespace mflb

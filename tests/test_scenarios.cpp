@@ -1,0 +1,80 @@
+// Tests for the named scenario registry (core/scenarios.hpp).
+#include "core/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mflb {
+namespace {
+
+TEST(Scenarios, RegistryHasUniqueNonEmptyNamesAndSummaries) {
+    const auto& registry = scenario_registry();
+    ASSERT_GE(registry.size(), 6u);
+    std::set<std::string> names;
+    for (const Scenario& scenario : registry) {
+        EXPECT_FALSE(scenario.name.empty());
+        EXPECT_FALSE(scenario.summary.empty());
+        EXPECT_TRUE(names.insert(scenario.name).second) << "duplicate: " << scenario.name;
+    }
+}
+
+TEST(Scenarios, FindAndDieSemantics) {
+    EXPECT_NE(find_scenario("table1"), nullptr);
+    EXPECT_EQ(find_scenario("nope"), nullptr);
+    EXPECT_NO_THROW(scenario_or_die("delay-sweep"));
+    EXPECT_THROW(scenario_or_die("nope"), std::invalid_argument);
+}
+
+TEST(Scenarios, Table1MatchesPaperBaseline) {
+    const Scenario& table1 = scenario_or_die("table1");
+    EXPECT_EQ(table1.experiment.num_queues, 100u);
+    EXPECT_EQ(table1.experiment.num_clients, 10000u);
+    EXPECT_EQ(table1.experiment.queue.buffer, 5);
+    EXPECT_EQ(table1.experiment.d, 2);
+    EXPECT_DOUBLE_EQ(table1.experiment.lambda_high, 0.9);
+    EXPECT_DOUBLE_EQ(table1.experiment.lambda_low, 0.6);
+}
+
+TEST(Scenarios, EveryScenarioYieldsConstructibleSystems) {
+    for (const Scenario& scenario : scenario_registry()) {
+        SCOPED_TRACE(scenario.name);
+        // The Table-1-style core must resolve into valid finite + MFC configs.
+        EXPECT_NO_THROW({
+            FiniteSystem system(scenario.experiment.finite_system());
+            (void)system;
+        });
+        EXPECT_NO_THROW({
+            MfcEnv env(scenario.experiment.mfc(true));
+            (void)env;
+        });
+        if (scenario.heterogeneous) {
+            EXPECT_NO_THROW({
+                HeterogeneousSystem system(*scenario.heterogeneous);
+                (void)system;
+            });
+        }
+        if (scenario.memory) {
+            EXPECT_NO_THROW({
+                MemorySystem system(*scenario.memory);
+                (void)system;
+            });
+        }
+    }
+}
+
+TEST(Scenarios, PartialInfoForwardsSampledHistogram) {
+    const Scenario& partial = scenario_or_die("partial-info");
+    EXPECT_EQ(partial.experiment.histogram_sample_size, 20u);
+    EXPECT_EQ(partial.experiment.finite_system().histogram_sample_size, 20u);
+}
+
+TEST(Scenarios, ListTextNamesEveryScenario) {
+    const std::string text = scenario_list_text();
+    for (const Scenario& scenario : scenario_registry()) {
+        EXPECT_NE(text.find(scenario.name), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace mflb

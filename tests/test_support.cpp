@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 namespace mflb {
 namespace {
@@ -94,6 +95,65 @@ TEST(Cli, RejectsValuesMismatchingDefaultImpliedType) {
     EXPECT_TRUE(cli4.parse(5, ok));
     EXPECT_DOUBLE_EQ(cli4.get_double("dt"), 2.5);
     ASSERT_EQ(cli4.get_int_list("dts").size(), 1u);
+}
+
+TEST(Cli, TypedRegistrationsParseRoundTrip) {
+    CliParser cli("test");
+    cli.flag_int("m", 100, "queues")
+        .flag_double("dt", 1.0, "delay")
+        .flag_bool("fast", false, "quick mode")
+        .flag_int_list("ms", "100,200", "queue sizes")
+        .flag_double_list("dts", "1,2.5", "delays");
+    const char* argv[] = {"prog", "--m", "400", "--fast", "--dt=2.5", "--dts", "3,4.5"};
+    ASSERT_TRUE(cli.parse(7, argv));
+    EXPECT_EQ(cli.get_int("m"), 400);
+    EXPECT_DOUBLE_EQ(cli.get_double("dt"), 2.5);
+    EXPECT_TRUE(cli.get_bool("fast"));
+    ASSERT_EQ(cli.get_int_list("ms").size(), 2u);
+    EXPECT_EQ(cli.get_int_list("ms")[1], 200);
+    ASSERT_EQ(cli.get_double_list("dts").size(), 2u);
+    EXPECT_DOUBLE_EQ(cli.get_double_list("dts")[1], 4.5);
+}
+
+TEST(Cli, IntFlagRejectsFloatAtParseTime) {
+    // ROADMAP item: the int/float mismatch must fail during parse(), not in
+    // the typed-getter backstop.
+    CliParser cli("test");
+    cli.flag_int("m", 100, "queues");
+    const char* argv[] = {"prog", "--m", "2.5"};
+    EXPECT_FALSE(cli.parse(3, argv));
+    EXPECT_TRUE(cli.parse_error());
+    EXPECT_EQ(cli.exit_code(), 2);
+}
+
+TEST(Cli, IntListFlagRejectsFloatElementAtParseTime) {
+    CliParser cli("test");
+    cli.flag_int_list("ms", "100,200", "queue sizes");
+    const char* argv[] = {"prog", "--ms", "100,2.5"};
+    EXPECT_FALSE(cli.parse(3, argv));
+    EXPECT_TRUE(cli.parse_error());
+
+    // An empty default is fine for typed lists, and values stay validated.
+    CliParser cli2("test");
+    cli2.flag_int_list("ms", "", "queue sizes");
+    const char* bad[] = {"prog", "--ms", "1,x"};
+    EXPECT_FALSE(cli2.parse(3, bad));
+    EXPECT_TRUE(cli2.parse_error());
+}
+
+TEST(Cli, TypedBoolFlagKeepsBareAndExplicitForms) {
+    CliParser cli("test");
+    cli.flag_bool("fast", true, "quick mode").flag_int("seed", 1, "seed");
+    const char* argv[] = {"prog", "--fast", "false", "--seed", "7"};
+    ASSERT_TRUE(cli.parse(5, argv));
+    EXPECT_FALSE(cli.get_bool("fast"));
+    EXPECT_EQ(cli.get_int("seed"), 7);
+}
+
+TEST(Cli, MalformedTypedListDefaultThrowsAtRegistration) {
+    CliParser cli("test");
+    EXPECT_THROW(cli.flag_int_list("ms", "1,2.5", "bad default"), std::invalid_argument);
+    EXPECT_THROW(cli.flag_double_list("dts", "1,x", "bad default"), std::invalid_argument);
 }
 
 TEST(CliDeathTest, GetterBackstopExitsWithCode2OnUntypedFlag) {
@@ -192,6 +252,44 @@ TEST(ParallelFor, ZeroAndSingleElement) {
     EXPECT_EQ(calls, 0);
     parallel_for(1, [&](std::size_t) { ++calls; }, 8);
     EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, RethrowsFirstExceptionOnCaller) {
+    // Regression: a throwing body used to call std::terminate (exception
+    // escaping a worker thread); it must surface on the calling thread.
+    try {
+        parallel_for(
+            100,
+            [](std::size_t i) {
+                if (i == 13) {
+                    throw std::runtime_error("boom at 13");
+                }
+            },
+            4);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& error) {
+        EXPECT_STREQ(error.what(), "boom at 13");
+    }
+}
+
+TEST(ParallelFor, ExceptionStopsSchedulingRemainingIndices) {
+    std::atomic<int> executed{0};
+    EXPECT_THROW(parallel_for(
+                     10000,
+                     [&](std::size_t) {
+                         executed.fetch_add(1);
+                         throw std::runtime_error("always");
+                     },
+                     4),
+                 std::runtime_error);
+    // Every worker stops after at most one throwing index.
+    EXPECT_LE(executed.load(), 4);
+}
+
+TEST(ParallelFor, SerialPathPropagatesException) {
+    EXPECT_THROW(parallel_for(
+                     5, [](std::size_t) { throw std::logic_error("serial"); }, 1),
+                 std::logic_error);
 }
 
 TEST(Logging, LevelFiltering) {
