@@ -10,7 +10,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <memory>
 #include <string>
 #include <vector>
@@ -86,6 +88,25 @@ private:
     std::string label_;
     std::chrono::steady_clock::time_point start_;
 };
+
+/// Registers the shared `--backend` flag: every finite-system bench can run
+/// its cells on either the epoch-synchronous or the event-driven simulator.
+inline void register_backend_flag(CliParser& cli) {
+    cli.flag("backend", "finite",
+             "Finite-system simulator: 'finite' (epoch-synchronous Gillespie) or "
+             "'des' (event-driven)");
+}
+
+/// Resolves the registered --backend flag; exits 2 with a diagnostic on an
+/// unknown value (consistent with the CLI misuse convention).
+inline SimBackend backend_from(const CliParser& cli) {
+    try {
+        return parse_backend(cli.get("backend"));
+    } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        std::exit(2);
+    }
+}
 
 /// Standard CEM budget used to obtain the "MF" learned policy per Δt at the
 /// default bench scale. The optimized objective is the exact mean-field J.

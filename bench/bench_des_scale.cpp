@@ -1,0 +1,218 @@
+/// bench_des_scale — how far each finite-system backend scales.
+///
+/// The experiment is fleet scale-out at fixed traffic: a client population
+/// generating a fixed total job rate (--lambda-total, default 750 jobs/unit
+/// — the Table-1 load of a 1000-queue cluster) is spread over ever more
+/// queues M. Per-queue load shrinks as 1/M, which is exactly the regime the
+/// event-driven backend exists for: the epoch-synchronous simulator pays
+/// O(M) RNG/kernel work every Δt no matter how idle the fleet is, while DES
+/// cost tracks the (fixed) event count. Three parts:
+///
+///  1. M-sweep, both backends, one episode each (InfiniteClients — the
+///     mean-field client model whose cost is N-independent; DES realizes it
+///     by per-job d-sampling). Reports per-episode wall clocks, the speedup
+///     at every M including M = 10^5, and the largest M each backend
+///     finishes inside --budget seconds.
+///  2. N-sweep at M = 10^4 with the exact finite-N Aggregated client model
+///     (multinomial client counts) up to N = 10^6 on the DES backend.
+///  3. A sojourn showcase: DES per-job p50/p95/p99 at M = 10^4 — numbers
+///     the epoch-synchronous backend cannot produce at all.
+///
+/// All timings are appended to --json for the CI benchmark artifact.
+#include "bench_common.hpp"
+#include "des/des_system.hpp"
+
+#include <chrono>
+#include <cmath>
+
+namespace {
+
+using namespace mflb;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The scale-out configuration at M queues: two-level modulated arrivals
+/// whose levels are scaled so the *total* offered load stays fixed.
+FiniteSystemConfig scale_config(std::size_t m, double lambda_total, double dt, int horizon,
+                                ClientModel model, std::uint64_t n) {
+    FiniteSystemConfig config;
+    // Table-1 levels are (0.9, 0.6) per queue, mean 0.75; keep their ratio
+    // and modulation, scale the magnitude to lambda_total / M.
+    const double scale = lambda_total / (0.75 * static_cast<double>(m));
+    config.arrivals = ArrivalProcess::paper_two_state(0.9 * scale, 0.6 * scale);
+    config.dt = dt;
+    config.horizon = horizon;
+    config.num_queues = m;
+    config.num_clients = n;
+    config.client_model = model;
+    return config;
+}
+
+struct EpisodeRun {
+    double seconds = 0.0;
+    double drops_per_queue = 0.0;
+};
+
+template <class System>
+EpisodeRun run_one_episode(const FiniteSystemConfig& config, const DecisionRule& rule,
+                           std::uint64_t seed) {
+    System system(config);
+    Rng rng(seed);
+    system.reset(rng);
+    const auto start = Clock::now();
+    double drops = 0.0;
+    while (!system.done()) {
+        drops += system.step_with_rule(rule, rng).drops_per_queue;
+    }
+    return {seconds_since(start), drops};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    CliParser cli("bench_des_scale: event-driven vs epoch-synchronous backend scaling in M and N");
+    cli.flag_bool("full", false, "Longer episodes (500 time units instead of 50)");
+    cli.flag_double("lambda-total", 750.0, "Total offered load (jobs/unit) spread over M queues");
+    cli.flag_double("dt", 1.0, "Synchronization delay");
+    cli.flag_double("budget", 0.25, "Per-episode wall-clock budget (s) for the max-M search");
+    cli.flag_int("seed", 1, "Seed");
+    cli.flag("json", "", "Optional JSON timings output path");
+    if (!cli.parse(argc, argv)) {
+        return cli.exit_code();
+    }
+    const bool full = cli.get_bool("full");
+    const double lambda_total = cli.get_double("lambda-total");
+    const double dt = cli.get_double("dt");
+    const double budget = cli.get_double("budget");
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    const double total_time = full ? 500.0 : 50.0;
+    const int horizon = MfcConfig::horizon_for_total_time(total_time, dt);
+
+    bench::print_header("DES scale sweep",
+                        "Fixed total load spread over M queues: event count stays constant, "
+                        "per-epoch O(M) work does not",
+                        full);
+    bench::TimingLog timings("des_scale");
+
+    const TupleSpace space(QueueParams{}.num_states(), 2);
+    const DecisionRule jsq = DecisionRule::mf_jsq(space);
+    char label[96];
+
+    // --- 1. M-sweep at fixed total load, both backends --------------------
+    std::printf("M-sweep: lambda_total=%.0f, dt=%.1f, %d epochs, JSQ(2), InfiniteClients\n",
+                lambda_total, dt, horizon);
+    Table table({"M", "finite (s/episode)", "des (s/episode)", "speedup", "drops/queue des"});
+    // Half-decade grid: the DES episode time is nearly flat in M (the event
+    // count is fixed by the total load), so it keeps going where the
+    // epoch-synchronous backend has long blown the budget. The top point is
+    // exactly 10 x 316228 so a one-decade separation reports as 10.0x.
+    const std::vector<std::size_t> ms{1000, 10000, 100000, 316228, 1000000, 3162280};
+    std::size_t max_m_finite = 0;
+    std::size_t max_m_des = 0;
+    double speedup_at_1e5 = 0.0;
+    bool speedup_at_1e5_is_bound = false;
+    bool finite_over_budget = false;
+    for (const std::size_t m : ms) {
+        const FiniteSystemConfig config =
+            scale_config(m, lambda_total, dt, horizon, ClientModel::InfiniteClients, 10 * m);
+
+        // Once the epoch-synchronous backend blows the budget, larger M only
+        // gets slower — stop timing it and treat its time as > budget.
+        double finite_seconds = std::nan("");
+        if (!finite_over_budget) {
+            const EpisodeRun finite = run_one_episode<FiniteSystem>(config, jsq, seed);
+            finite_seconds = finite.seconds;
+            std::snprintf(label, sizeof(label), "finite_episode_M=%zu", m);
+            timings.record(label, finite.seconds);
+            if (finite.seconds <= budget) {
+                max_m_finite = m;
+            } else {
+                finite_over_budget = true;
+            }
+        }
+
+        const EpisodeRun des = run_one_episode<DesSystem>(config, jsq, seed);
+        std::snprintf(label, sizeof(label), "des_episode_M=%zu", m);
+        timings.record(label, des.seconds);
+        if (des.seconds <= budget) {
+            max_m_des = m;
+        }
+        // When the finite run was skipped, `budget / des` is a lower bound.
+        const double speedup =
+            std::isnan(finite_seconds) ? budget / des.seconds : finite_seconds / des.seconds;
+        if (m == 100000) {
+            speedup_at_1e5 = speedup;
+            speedup_at_1e5_is_bound = std::isnan(finite_seconds);
+        }
+        char cell[32];
+        table.row().cell(static_cast<std::int64_t>(m));
+        if (std::isnan(finite_seconds)) {
+            table.cell(std::string("> budget"));
+        } else {
+            table.cell(finite_seconds, 4);
+        }
+        std::snprintf(cell, sizeof(cell), "%s%.1fx", std::isnan(finite_seconds) ? ">= " : "",
+                      speedup);
+        table.cell(des.seconds, 4).cell(std::string(cell)).cell(des.drops_per_queue, 4);
+    }
+    std::printf("%s\n", table.to_text().c_str());
+    const double m_ratio = max_m_finite > 0 ? static_cast<double>(max_m_des) /
+                                                  static_cast<double>(max_m_finite)
+                                            : 0.0;
+    std::printf("largest M within %.2fs budget: finite %zu, des %zu -> %.1fx more queues %s\n",
+                budget, max_m_finite, max_m_des, m_ratio,
+                m_ratio >= 10.0 ? "(>= 10x: DES scale goal met)" : "");
+    std::printf("speedup at M=10^5: %s%.1fx\n\n", speedup_at_1e5_is_bound ? ">= " : "",
+                speedup_at_1e5);
+
+    // --- 2. N-sweep: exact finite-N client aggregation on DES -------------
+    {
+        const std::size_t m = 10000;
+        std::printf("N-sweep at M=%zu (Aggregated client model, DES backend):\n", m);
+        for (const std::uint64_t n : {std::uint64_t{10000}, std::uint64_t{100000},
+                                      std::uint64_t{1000000}}) {
+            const FiniteSystemConfig config =
+                scale_config(m, lambda_total, dt, horizon, ClientModel::Aggregated, n);
+            const EpisodeRun des = run_one_episode<DesSystem>(config, jsq, seed);
+            std::snprintf(label, sizeof(label), "des_episode_M=%zu_N=%llu", m,
+                          static_cast<unsigned long long>(n));
+            timings.record(label, des.seconds);
+            std::printf("  N=%-8llu %.3f s/episode, drops/queue %.4f\n",
+                        static_cast<unsigned long long>(n), des.seconds, des.drops_per_queue);
+        }
+        std::printf("\n");
+    }
+
+    // --- 3. Per-job sojourn percentiles (DES-only capability) -------------
+    {
+        FiniteSystemConfig config = scale_config(10000, lambda_total, dt, horizon,
+                                                 ClientModel::InfiniteClients, 1000000);
+        config.track_sojourn = true;
+        DesSystem system(config);
+        Rng rng(seed);
+        system.reset(rng);
+        const auto start = Clock::now();
+        std::uint64_t completed = 0;
+        double sojourn_weighted = 0.0;
+        while (!system.done()) {
+            const EpochStats stats = system.step_with_rule(jsq, rng);
+            completed += stats.completed_jobs;
+            sojourn_weighted += stats.mean_sojourn * static_cast<double>(stats.completed_jobs);
+        }
+        timings.record("des_sojourn_episode_M=10000", seconds_since(start));
+        std::printf("sojourn times at M=10^4 (%llu completed jobs):\n"
+                    "  p50 %.3f   p95 %.3f   p99 %.3f   mean %.3f\n",
+                    static_cast<unsigned long long>(completed), system.sojourn_p50(),
+                    system.sojourn_p95(), system.sojourn_p99(),
+                    completed > 0 ? sojourn_weighted / static_cast<double>(completed) : 0.0);
+    }
+
+    timings.write(cli.get("json"));
+    if (!cli.get("json").empty()) {
+        std::printf("\ntimings written to %s\n", cli.get("json").c_str());
+    }
+    return 0;
+}

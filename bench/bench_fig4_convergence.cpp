@@ -13,12 +13,14 @@ int main(int argc, char** argv) {
     cli.flag_int_list("ms", "", "Queue counts (default depends on --full)");
     cli.flag_int("sims", 0, "Monte Carlo replications per cell (0 = budget default)");
     cli.flag_int("seed", 2, "Evaluation seed");
+    bench::register_backend_flag(cli);
     cli.flag("csv", "", "Optional CSV output path");
     cli.flag("json", "", "Optional JSON timings output path");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
+    const SimBackend backend = bench::backend_from(cli);
     const auto dts = cli.get_double_list("dts");
     std::vector<std::int64_t> ms = cli.get_int_list("ms");
     if (ms.empty()) {
@@ -53,8 +55,8 @@ int main(int argc, char** argv) {
             std::snprintf(cell_label, sizeof(cell_label), "dt=%.0f M=%lld", dt,
                           static_cast<long long>(m));
             const bench::ScopedTimer timer(timings, cell_label);
-            const EvaluationResult finite = evaluate_finite(
-                experiment.finite_system(), policy, sims, cli.get_int("seed"));
+            const EvaluationResult finite = evaluate_backend(
+                backend, experiment.finite_system(), policy, sims, cli.get_int("seed"));
             table.row()
                 .cell(dt, 1)
                 .cell(m)

@@ -15,12 +15,14 @@ int main(int argc, char** argv) {
     cli.flag_double_list("dts", "", "Delays (default depends on --full)");
     cli.flag_int("sims", 0, "Monte Carlo replications per cell (0 = budget default)");
     cli.flag_int("seed", 4, "Evaluation seed");
+    bench::register_backend_flag(cli);
     cli.flag("csv", "", "Optional CSV output path");
     cli.flag("json", "", "Optional JSON timings output path");
     if (!cli.parse(argc, argv)) {
         return cli.exit_code();
     }
     const bool full = cli.get_bool("full");
+    const SimBackend backend = bench::backend_from(cli);
     const auto ms = cli.get_int_list("ms");
     std::vector<double> dts = cli.get_double_list("dts");
     if (dts.empty()) {
@@ -53,11 +55,11 @@ int main(int argc, char** argv) {
                           static_cast<long long>(m), dt);
             const bench::ScopedTimer timer(timings, cell_label);
             const EvaluationResult mf =
-                evaluate_finite(config, cache.policy_for(dt), sims, cli.get_int("seed"));
+                evaluate_backend(backend, config, cache.policy_for(dt), sims, cli.get_int("seed"));
             const EvaluationResult jsq =
-                evaluate_finite(config, make_jsq_policy(space), sims, cli.get_int("seed"));
+                evaluate_backend(backend, config, make_jsq_policy(space), sims, cli.get_int("seed"));
             const EvaluationResult rnd =
-                evaluate_finite(config, make_rnd_policy(space), sims, cli.get_int("seed"));
+                evaluate_backend(backend, config, make_rnd_policy(space), sims, cli.get_int("seed"));
             const double best =
                 std::min({mf.total_drops.mean, jsq.total_drops.mean, rnd.total_drops.mean});
             const char* winner = best == mf.total_drops.mean     ? "MF"

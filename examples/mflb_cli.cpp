@@ -19,6 +19,7 @@
 
 #include <cstdio>
 #include <optional>
+#include <stdexcept>
 
 namespace {
 using namespace mflb;
@@ -75,6 +76,17 @@ int run_eval(const CliParser& cli) {
     if (cli.provided("n") && cli.get_int("n") != 0) {
         experiment.num_clients = static_cast<std::uint64_t>(cli.get_int("n"));
     }
+    // Simulator backend: the scenario's choice unless --backend overrides
+    // (the large-n scenario defaults to the event-driven engine).
+    SimBackend backend = experiment.backend;
+    if (cli.provided("backend")) {
+        try {
+            backend = parse_backend(cli.get("backend"));
+        } catch (const std::invalid_argument& error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 2;
+        }
+    }
     const TupleSpace space(experiment.queue.num_states(), experiment.d);
     const std::size_t episodes = static_cast<std::size_t>(cli.get_int("episodes"));
 
@@ -83,24 +95,36 @@ int run_eval(const CliParser& cli) {
         learned = TabularPolicy::from_archive(Archive::load(cli.get("policy")));
     }
 
-    Table table({"policy", "drops/queue (95% CI)", "mean fill", "utilization"});
+    // Only the event-driven backend sees individual jobs, so only it can
+    // report sojourn-time percentiles; the finite backend leaves them blank.
+    const bool des = backend == SimBackend::Des;
+    Table table({"policy", "drops/queue (95% CI)", "mean fill", "utilization",
+                 "sojourn p50/p95/p99"});
     auto add = [&](const UpperLevelPolicy& policy) {
+        SojournSummary sojourn;
         const EvaluationResult r =
-            evaluate_finite(experiment.finite_system(), policy, episodes, cli.get_int("seed"));
+            des ? evaluate_des(experiment.finite_system(), policy, episodes,
+                               cli.get_int("seed"), 0, &sojourn)
+                : evaluate_finite(experiment.finite_system(), policy, episodes,
+                                  cli.get_int("seed"));
+        char percentiles[64];
+        std::snprintf(percentiles, sizeof(percentiles), "%.2f / %.2f / %.2f",
+                      sojourn.p50.mean, sojourn.p95.mean, sojourn.p99.mean);
         table.row()
             .cell(policy.name())
             .cell_ci(r.total_drops.mean, r.total_drops.half_width)
             .cell(r.mean_queue_length.mean, 3)
-            .cell(r.utilization.mean, 3);
+            .cell(r.utilization.mean, 3)
+            .cell(des ? percentiles : "-");
     };
     if (learned) {
         add(*learned);
     }
     add(make_jsq_policy(space));
     add(make_rnd_policy(space));
-    std::printf("M=%zu N=%llu dt=%.1f, %zu episodes\n%s", experiment.num_queues,
+    std::printf("M=%zu N=%llu dt=%.1f, %zu episodes, backend=%s\n%s", experiment.num_queues,
                 static_cast<unsigned long long>(experiment.num_clients), experiment.dt,
-                episodes, table.to_text().c_str());
+                episodes, std::string(backend_name(backend)).c_str(), table.to_text().c_str());
     return 0;
 }
 
@@ -161,6 +185,9 @@ int main(int argc, char** argv) {
     cli.flag("scenario", "table1",
              "Named scenario from the registry (see --mode scenarios) used as the "
              "eval-mode baseline; other flags override its values");
+    cli.flag("backend", "finite",
+             "Finite-system simulator for eval mode: 'finite' (epoch-synchronous) or "
+             "'des' (event-driven, adds sojourn percentiles); default = scenario's backend");
     cli.flag_double("dt", 5, "Synchronization delay");
     cli.flag_double_list("dts", "1,3,5,10", "Delays for sweep mode");
     cli.flag_int("m", 100, "Queues for eval mode (sets clients to M^2 unless --n is given)");

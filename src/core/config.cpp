@@ -2,8 +2,24 @@
 
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace mflb {
+
+std::string_view backend_name(SimBackend backend) noexcept {
+    return backend == SimBackend::Des ? "des" : "finite";
+}
+
+SimBackend parse_backend(std::string_view name) {
+    if (name == "finite") {
+        return SimBackend::Finite;
+    }
+    if (name == "des") {
+        return SimBackend::Des;
+    }
+    throw std::invalid_argument("unknown backend '" + std::string(name) +
+                                "'; expected 'finite' or 'des'");
+}
 
 int ExperimentConfig::eval_horizon() const noexcept {
     return MfcConfig::horizon_for_total_time(eval_total_time, dt);

@@ -12,8 +12,26 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace mflb {
+
+/// Which finite-system simulator realizes the model (same statistics, very
+/// different cost profiles — see docs/ARCHITECTURE.md "Event-driven
+/// backend"):
+///  - `Finite` — epoch-synchronous `FiniteSystem`: per-queue Gillespie loop
+///    every Δt; cost O(M) per epoch even when queues are idle.
+///  - `Des`    — event-driven `DesSystem`: future-event-list simulation;
+///    cost proportional to traffic, reports per-job sojourn percentiles.
+enum class SimBackend {
+    Finite,
+    Des,
+};
+
+/// "finite" / "des".
+std::string_view backend_name(SimBackend backend) noexcept;
+/// Inverse of backend_name; throws std::invalid_argument naming the options.
+SimBackend parse_backend(std::string_view name);
 
 /// Table 1 of the paper; defaults are the paper's values.
 struct ExperimentConfig {
@@ -36,6 +54,9 @@ struct ExperimentConfig {
     /// Partial information (paper §2.1 remark): K sampled queues used to
     /// estimate H^M for the upper-level policy; 0 = exact histogram.
     std::size_t histogram_sample_size = 0;
+    /// Simulator realizing the finite system (`evaluate_backend` dispatches
+    /// on this; the `--backend` CLI/bench flag overrides it).
+    SimBackend backend = SimBackend::Finite;
 
     /// T_e = nearest integer to eval_total_time / Δt (paper, Section 4).
     int eval_horizon() const noexcept;

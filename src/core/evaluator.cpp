@@ -3,11 +3,11 @@
 namespace mflb {
 
 std::vector<Rng> split_replication_rngs(std::uint64_t seed, std::size_t count) {
-    Rng base(seed);
+    const Rng base(seed);
     std::vector<Rng> rngs;
     rngs.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-        rngs.push_back(base.split());
+        rngs.push_back(base.fork(i));
     }
     return rngs;
 }
@@ -51,6 +51,57 @@ EvaluationResult evaluate_finite(const FiniteSystemConfig& config, const UpperLe
     result.utilization = confidence_interval_95(util);
     result.episodes = episodes;
     return result;
+}
+
+EvaluationResult evaluate_des(const FiniteSystemConfig& config, const UpperLevelPolicy& policy,
+                              std::size_t episodes, std::uint64_t seed, std::size_t threads,
+                              SojournSummary* sojourn) {
+    FiniteSystemConfig des_config = config;
+    if (sojourn != nullptr) {
+        des_config.track_sojourn = true;
+    }
+    const std::vector<DesEpisodeStats> stats =
+        run_replications(episodes, seed, threads, [&](std::size_t, Rng& rng) {
+            DesSystem system(des_config);
+            system.reset(rng);
+            return system.run_episode(policy, rng);
+        });
+
+    RunningStat drops, ret, length, util;
+    RunningStat sojourn_mean, sojourn_p50, sojourn_p95, sojourn_p99;
+    for (const DesEpisodeStats& s : stats) {
+        drops.add(s.total_drops_per_queue);
+        ret.add(s.discounted_return);
+        length.add(s.mean_queue_length);
+        util.add(s.server_utilization);
+        if (s.completed_jobs > 0) {
+            sojourn_mean.add(s.mean_sojourn);
+            sojourn_p50.add(s.sojourn_p50);
+            sojourn_p95.add(s.sojourn_p95);
+            sojourn_p99.add(s.sojourn_p99);
+        }
+    }
+    if (sojourn != nullptr) {
+        sojourn->mean = confidence_interval_95(sojourn_mean);
+        sojourn->p50 = confidence_interval_95(sojourn_p50);
+        sojourn->p95 = confidence_interval_95(sojourn_p95);
+        sojourn->p99 = confidence_interval_95(sojourn_p99);
+    }
+    EvaluationResult result;
+    result.total_drops = confidence_interval_95(drops);
+    result.discounted_return = confidence_interval_95(ret);
+    result.mean_queue_length = confidence_interval_95(length);
+    result.utilization = confidence_interval_95(util);
+    result.episodes = episodes;
+    return result;
+}
+
+EvaluationResult evaluate_backend(SimBackend backend, const FiniteSystemConfig& config,
+                                  const UpperLevelPolicy& policy, std::size_t episodes,
+                                  std::uint64_t seed, std::size_t threads) {
+    return backend == SimBackend::Des
+               ? evaluate_des(config, policy, episodes, seed, threads)
+               : evaluate_finite(config, policy, episodes, seed, threads);
 }
 
 EvaluationResult evaluate_mfc(const MfcConfig& config, const UpperLevelPolicy& policy,

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "core/config.hpp"
+#include "des/des_system.hpp"
 #include "field/mfc_env.hpp"
 #include "queueing/finite_system.hpp"
 #include "support/statistics.hpp"
@@ -18,8 +19,9 @@
 
 namespace mflb {
 
-/// One deterministically split RNG per replication index, so Monte Carlo
-/// results are identical regardless of the thread count.
+/// One deterministically derived RNG per replication index (`Rng::fork`, an
+/// O(1) random-access stream per index), so Monte Carlo results are
+/// identical regardless of the thread count — and shardable by index.
 std::vector<Rng> split_replication_rngs(std::uint64_t seed, std::size_t count);
 
 /// Generic parallel rollout driver — the single replication harness behind
@@ -52,6 +54,30 @@ struct EvaluationResult {
 EvaluationResult evaluate_finite(const FiniteSystemConfig& config, const UpperLevelPolicy& policy,
                                  std::size_t episodes, std::uint64_t seed,
                                  std::size_t threads = 0);
+
+/// Per-job sojourn-time summary across DES replications: episode-level
+/// means/percentiles (each episode's streaming P² estimate) aggregated into
+/// 95% CIs. Only the event-driven backend can report these.
+struct SojournSummary {
+    ConfidenceInterval mean;
+    ConfidenceInterval p50;
+    ConfidenceInterval p95;
+    ConfidenceInterval p99;
+};
+
+/// Evaluates `policy` on the *event-driven* backend (`DesSystem`) — same
+/// model and statistics as evaluate_finite, different simulator. When
+/// `sojourn` is non-null, per-job sojourn tracking is enabled (regardless of
+/// config.track_sojourn) and the percentile summary is filled in.
+EvaluationResult evaluate_des(const FiniteSystemConfig& config, const UpperLevelPolicy& policy,
+                              std::size_t episodes, std::uint64_t seed, std::size_t threads = 0,
+                              SojournSummary* sojourn = nullptr);
+
+/// Dispatches to evaluate_finite or evaluate_des — the `--backend` switch of
+/// mflb_cli and the figure benches.
+EvaluationResult evaluate_backend(SimBackend backend, const FiniteSystemConfig& config,
+                                  const UpperLevelPolicy& policy, std::size_t episodes,
+                                  std::uint64_t seed, std::size_t threads = 0);
 
 /// Evaluates `policy` on the mean-field MDP (deterministic ν dynamics;
 /// randomness only from the λ chain). Returns undiscounted total drops and

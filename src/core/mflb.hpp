@@ -26,6 +26,8 @@
 #include "core/rl_adapter.hpp"
 #include "core/scenarios.hpp"
 #include "core/trainers.hpp"
+#include "des/des_system.hpp"
+#include "des/event_queue.hpp"
 #include "field/arrival_flow.hpp"
 #include "field/arrival_process.hpp"
 #include "field/decision_rule.hpp"

@@ -75,6 +75,19 @@ Scenario make_partial_info() {
     return s;
 }
 
+Scenario make_large_n() {
+    Scenario s;
+    s.name = "large-n";
+    s.summary = "Event-driven scale: M=10^4 queues, N=10^6 clients on the DES backend";
+    s.experiment.num_queues = 10000;
+    s.experiment.num_clients = 1000000;
+    s.experiment.dt = 5.0;
+    // Keep full episodes tractable at this size: 20 decision epochs.
+    s.experiment.eval_total_time = 100.0;
+    s.experiment.backend = SimBackend::Des;
+    return s;
+}
+
 std::vector<Scenario> build_registry() {
     std::vector<Scenario> registry;
     registry.push_back(make_table1());
@@ -83,6 +96,7 @@ std::vector<Scenario> build_registry() {
     registry.push_back(make_heterogeneous());
     registry.push_back(make_memory());
     registry.push_back(make_partial_info());
+    registry.push_back(make_large_n());
     return registry;
 }
 

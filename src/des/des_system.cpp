@@ -1,0 +1,311 @@
+#include "des/des_system.hpp"
+
+#include "field/arrival_flow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mflb {
+
+DesSystem::DesSystem(FiniteSystemConfig config)
+    : SystemBase(config.arrivals, config.dt, config.horizon, config.num_queues),
+      config_(std::move(config)), space_(config_.queue.num_states(), config_.d),
+      fel_(config_.num_queues + 1), arrival_slot_(config_.num_queues) {
+    if (config_.num_clients == 0 && config_.client_model != ClientModel::InfiniteClients) {
+        throw std::invalid_argument("DesSystem: need at least one client");
+    }
+    if (config_.nu0.empty()) {
+        config_.nu0.assign(static_cast<std::size_t>(config_.queue.num_states()), 0.0);
+        config_.nu0[0] = 1.0;
+    }
+    if (config_.nu0.size() != static_cast<std::size_t>(config_.queue.num_states())) {
+        throw std::invalid_argument("DesSystem: nu0 size mismatch");
+    }
+    const auto num_z = static_cast<std::size_t>(config_.queue.num_states());
+    const auto d = static_cast<std::size_t>(config_.d);
+    const std::size_t m = config_.num_queues;
+    state_counts_.assign(num_z, 0);
+    saved_.assign(m, 0);
+    stamp_.assign(m, kNoEpoch);
+    sampled_.assign(d, 0);
+    states_.assign(d, 0);
+    // The O(M) finite-N routing buffers are only needed by the client models
+    // that precompute per-queue weights; InfiniteClients routes per job, so
+    // allocating (and page-touching) them at M = 10^6+ would be pure waste.
+    if (config_.client_model != ClientModel::InfiniteClients) {
+        counts_.assign(m, 0);
+        cum_.assign(m, 0.0);
+    }
+    if (config_.client_model == ClientModel::Aggregated) {
+        hist_.assign(num_z, 0.0);
+        g_.assign(d * num_z, 0.0);
+        tuple_.assign(d, 0);
+        suffix_.assign(d + 1, 1.0);
+        dest_p_.assign(m, 0.0);
+    }
+}
+
+void DesSystem::reset(Rng& rng) {
+    for (int& z : queues_) {
+        z = static_cast<int>(rng.categorical(config_.nu0));
+    }
+    reset_base(rng);
+
+    std::fill(state_counts_.begin(), state_counts_.end(), 0);
+    std::fill(stamp_.begin(), stamp_.end(), kNoEpoch);
+    total_jobs_ = 0;
+    busy_queues_ = 0;
+    for (int z : queues_) {
+        ++state_counts_[static_cast<std::size_t>(z)];
+        total_jobs_ += z;
+        busy_queues_ += z > 0 ? 1 : 0;
+    }
+    cursor_ = 0.0;
+
+    // Seed the FEL: initially busy queues have a job in service whose
+    // (memoryless) completion is exponential from time zero.
+    fel_.clear();
+    for (std::size_t j = 0; j < queues_.size(); ++j) {
+        if (queues_[j] > 0) {
+            fel_.schedule(j, rng.exponential(config_.queue.service_rate));
+        }
+    }
+
+    if (config_.track_sojourn) {
+        jobs_.clear();
+        jobs_.reserve(queues_.size());
+        for (int z : queues_) {
+            JobTimestamps stamps(config_.queue.buffer);
+            // Jobs present at t = 0 get timestamp 0 (their waiting before
+            // the simulation started is unknown and counted as zero).
+            for (int k = 0; k < z; ++k) {
+                stamps.push(0.0);
+            }
+            jobs_.push_back(std::move(stamps));
+        }
+        p50_ = P2Quantile(0.5);
+        p95_ = P2Quantile(0.95);
+        p99_ = P2Quantile(0.99);
+    }
+}
+
+void DesSystem::reset_conditioned(std::vector<std::size_t> lambda_states, Rng& rng) {
+    reset(rng);
+    condition_on(std::move(lambda_states));
+}
+
+std::vector<double> DesSystem::empirical_distribution() const {
+    std::vector<double> h(state_counts_.size(), 0.0);
+    const double weight = 1.0 / static_cast<double>(queues_.size());
+    for (std::size_t z = 0; z < state_counts_.size(); ++z) {
+        h[z] = weight * static_cast<double>(state_counts_[z]);
+    }
+    return h;
+}
+
+std::vector<double> DesSystem::observed_distribution(Rng& rng) const {
+    if (config_.histogram_sample_size == 0) {
+        return empirical_distribution();
+    }
+    std::vector<double> h(state_counts_.size(), 0.0);
+    const double weight = 1.0 / static_cast<double>(config_.histogram_sample_size);
+    for (std::size_t k = 0; k < config_.histogram_sample_size; ++k) {
+        const auto j = static_cast<std::size_t>(rng.uniform_below(queues_.size()));
+        h[static_cast<std::size_t>(queues_[j])] += weight;
+    }
+    return h;
+}
+
+void DesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
+    const std::size_t m = queues_.size();
+    const double inv_m = 1.0 / static_cast<double>(m);
+    arrival_rate_ = static_cast<double>(m) * lambda_value();
+
+    switch (config_.client_model) {
+    case ClientModel::PerClient: {
+        // Literal Algorithm 1: every client samples d queues and one choice;
+        // the epoch's destination weights are the resulting client counts.
+        std::fill(counts_.begin(), counts_.end(), 0);
+        const int d = config_.d;
+        for (std::uint64_t i = 0; i < config_.num_clients; ++i) {
+            for (int k = 0; k < d; ++k) {
+                sampled_[static_cast<std::size_t>(k)] = static_cast<int>(rng.uniform_below(m));
+                states_[static_cast<std::size_t>(k)] =
+                    queues_[static_cast<std::size_t>(sampled_[static_cast<std::size_t>(k)])];
+            }
+            const std::size_t row = space_.index_of(states_);
+            const std::size_t u = rng.categorical(h.row(row));
+            ++counts_[static_cast<std::size_t>(sampled_[u])];
+        }
+        break;
+    }
+    case ClientModel::Aggregated: {
+        // Exactly FiniteSystem's aggregation: the per-client destination law
+        // from the shared routing table, then C ~ Multinomial(N, p).
+        for (std::size_t z = 0; z < hist_.size(); ++z) {
+            hist_[z] = inv_m * static_cast<double>(state_counts_[z]);
+        }
+        compute_routing_table_into(hist_, h, tuple_, suffix_, g_);
+        const auto num_z = hist_.size();
+        for (std::size_t j = 0; j < m; ++j) {
+            double total = 0.0;
+            for (int k = 0; k < config_.d; ++k) {
+                total += g_[static_cast<std::size_t>(k) * num_z +
+                            static_cast<std::size_t>(queues_[j])];
+            }
+            dest_p_[j] = inv_m * total;
+        }
+        rng.multinomial(config_.num_clients, dest_p_, counts_);
+        break;
+    }
+    case ClientModel::InfiniteClients:
+        // Per-job d-sampling at arrival time realizes the mean-field rates
+        // exactly; no per-epoch routing state is needed.
+        break;
+    }
+
+    if (config_.client_model != ClientModel::InfiniteClients) {
+        // Prefix sums of the client counts for O(log M) arrival thinning.
+        double running = 0.0;
+        for (std::size_t j = 0; j < m; ++j) {
+            running += static_cast<double>(counts_[j]);
+            cum_[j] = running;
+        }
+        total_weight_ = running;
+    }
+
+    // The pending next-arrival (drawn under the previous epoch's rate and
+    // routing) is stale; memorylessness makes cancel-and-redraw exact. This
+    // is the FEL reschedule path, exercised once per epoch.
+    fel_.schedule(arrival_slot_, cursor_ + rng.exponential(arrival_rate_));
+}
+
+std::size_t DesSystem::sample_destination(const DecisionRule& h, Rng& rng) {
+    if (config_.client_model == ClientModel::InfiniteClients) {
+        // The arriving job itself samples d queues and applies h to their
+        // stale snapshot states (eq. (18)-(19) by Poisson thinning).
+        const int d = config_.d;
+        for (int k = 0; k < d; ++k) {
+            const auto id = static_cast<std::size_t>(rng.uniform_below(queues_.size()));
+            sampled_[static_cast<std::size_t>(k)] = static_cast<int>(id);
+            states_[static_cast<std::size_t>(k)] = snapshot_state(id);
+        }
+        const std::size_t row = space_.index_of(states_);
+        const std::size_t u = rng.categorical(h.row(row));
+        return static_cast<std::size_t>(sampled_[u]);
+    }
+    const double target = rng.uniform() * total_weight_;
+    const auto it = std::upper_bound(cum_.begin(), cum_.end(), target);
+    const auto idx = static_cast<std::size_t>(it - cum_.begin());
+    return idx < cum_.size() ? idx : cum_.size() - 1;
+}
+
+void DesSystem::advance_areas_to(double t) noexcept {
+    const double span = t - cursor_;
+    if (span > 0.0) {
+        job_area_ += static_cast<double>(total_jobs_) * span;
+        busy_area_ += static_cast<double>(busy_queues_) * span;
+        cursor_ = t;
+    }
+}
+
+void DesSystem::handle_arrival(const DecisionRule& h, double t, Rng& rng, EpochStats& stats) {
+    const std::size_t j = sample_destination(h, rng);
+    if (queues_[j] < config_.queue.buffer) {
+        save_snapshot(j);
+        const auto z = static_cast<std::size_t>(queues_[j]);
+        --state_counts_[z];
+        ++state_counts_[z + 1];
+        ++queues_[j];
+        ++total_jobs_;
+        ++stats.accepted_packets;
+        if (queues_[j] == 1) {
+            ++busy_queues_;
+            fel_.schedule(j, t + rng.exponential(config_.queue.service_rate));
+        }
+        if (config_.track_sojourn) {
+            jobs_[j].push(t);
+        }
+    } else {
+        ++stats.dropped_packets;
+    }
+    fel_.schedule(arrival_slot_, t + rng.exponential(arrival_rate_));
+}
+
+void DesSystem::handle_departure(std::size_t j, double t, Rng& rng, EpochStats& stats) {
+    save_snapshot(j);
+    const auto z = static_cast<std::size_t>(queues_[j]);
+    --state_counts_[z];
+    ++state_counts_[z - 1];
+    --queues_[j];
+    --total_jobs_;
+    ++stats.served_packets;
+    if (config_.track_sojourn) {
+        const double sojourn = jobs_[j].pop(t);
+        stats.mean_sojourn += sojourn; // running sum; divided at epoch end.
+        ++stats.completed_jobs;
+        p50_.add(sojourn);
+        p95_.add(sojourn);
+        p99_.add(sojourn);
+    }
+    if (queues_[j] > 0) {
+        fel_.schedule(j, t + rng.exponential(config_.queue.service_rate));
+    } else {
+        --busy_queues_;
+    }
+}
+
+EpochStats DesSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
+    if (done()) {
+        throw std::logic_error("DesSystem::step: episode already finished");
+    }
+    if (!(h.space() == space_)) {
+        throw std::invalid_argument("DesSystem::step: decision rule on wrong tuple space");
+    }
+    begin_epoch(h, rng);
+
+    // Drift-free epoch boundary: absolute time of epoch t_ + 1.
+    const double epoch_end = config_.dt * (static_cast<double>(t_) + 1.0);
+    EpochStats stats;
+    job_area_ = 0.0;
+    busy_area_ = 0.0;
+    while (!fel_.empty() && fel_.peek().time <= epoch_end) {
+        const EventQueue::Event event = fel_.pop();
+        advance_areas_to(event.time);
+        if (event.id == arrival_slot_) {
+            handle_arrival(h, event.time, rng, stats);
+        } else {
+            handle_departure(event.id, event.time, rng, stats);
+        }
+    }
+    advance_areas_to(epoch_end);
+
+    const auto m = static_cast<double>(queues_.size());
+    const double m_dt = m * config_.dt;
+    stats.drops_per_queue = static_cast<double>(stats.dropped_packets) / m;
+    stats.mean_queue_length = job_area_ / m_dt;
+    stats.server_utilization = busy_area_ / m_dt;
+    if (stats.completed_jobs > 0) {
+        stats.mean_sojourn /= static_cast<double>(stats.completed_jobs);
+    }
+
+    advance_epoch(rng);
+    return stats;
+}
+
+EpochStats DesSystem::step(const UpperLevelPolicy& policy, Rng& rng) {
+    const DecisionRule h = policy.decide(observed_distribution(rng), lambda_state(), rng);
+    return step_with_rule(h, rng);
+}
+
+DesEpisodeStats DesSystem::run_episode(const UpperLevelPolicy& policy, Rng& rng) {
+    DesEpisodeStats stats;
+    static_cast<EpisodeStats&>(stats) =
+        run_episode_loop(config_.discount, [&] { return step(policy, rng); });
+    stats.sojourn_p50 = p50_.value();
+    stats.sojourn_p95 = p95_.value();
+    stats.sojourn_p99 = p99_.value();
+    return stats;
+}
+
+} // namespace mflb

@@ -1,0 +1,174 @@
+/// \file des_system.hpp
+/// Event-driven simulator of the Section 2.1 finite system — the same model
+/// as `FiniteSystem` (N clients routing on stale d-samples every Δt, M
+/// finite-buffer M/M/1/B queues, MMPP-modulated arrivals, drops at full
+/// buffers), but simulated as a discrete-event system on a future event
+/// list instead of per-queue Gillespie epochs.
+///
+/// Why a second backend: the epoch-synchronous simulator pays O(M) *RNG and
+/// kernel work* per decision epoch even when most queues are idle, because
+/// every queue runs its own exponential-clock loop each Δt. The DES pays
+/// O(log M) per *event* (arrival / departure), so simulation cost is
+/// proportional to the actual traffic — which is what makes fleets of 10⁵⁺
+/// mostly-idle queues (10⁶ clients spread over many servers) tractable —
+/// and, because every job is an individual event, it reports exact per-job
+/// sojourn times and their streaming p50/p95/p99 for free.
+///
+/// Event structure (slot ids in the `EventQueue`):
+///  - slots 0..M-1 — *departure* of the job in service at queue j. Scheduled
+///    when a queue becomes busy; service is exponential(α) and FIFO.
+///  - slot M — the *aggregated arrival stream*. The superposition of all
+///    per-queue Poisson arrival streams of eq. (5) is a single Poisson
+///    process of rate M·λ_t whose points are thinned onto queues:
+///      · Aggregated / PerClient: destination ∝ the epoch's client counts
+///        C_j (C ~ Multinomial(N, p) exactly as in `FiniteSystem`, or
+///        per-client sampling), via binary search on the count prefix sums;
+///      · InfiniteClients: each job samples d queues uniformly, reads their
+///        *snapshot* states and applies the decision rule — the exact
+///        event-level realization of the deterministic mean-field rates
+///        λ_t(H^M, z) of Section 2.2 (Poisson thinning of eq. (18)-(19)).
+///    At every decision epoch the stream is *rescheduled* (FEL cancellation
+///    path): the modulated rate and the routing change, and memorylessness
+///    makes redrawing the next arrival exact.
+///
+/// The per-epoch decision structure (policy queried on the stale snapshot,
+/// λ-chain advanced once per epoch, conditioned replay for the Theorem 1
+/// coupling) is inherited from `SystemBase`, so `DesSystem` is statistically
+/// equivalent to `FiniteSystem` — pinned by tests/test_des_system.cpp.
+///
+/// Hot-path invariants: after construction/reset the event loop performs
+/// zero heap allocations (all buffers are sized up front; the stale snapshot
+/// is maintained by epoch-stamped copy-on-write instead of an O(M) copy per
+/// epoch), verified by tests/test_hotpath_alloc.cpp. Instances are not
+/// thread-safe; the Monte Carlo harness gives each replication its own.
+#pragma once
+
+#include "des/event_queue.hpp"
+#include "queueing/finite_system.hpp"
+#include "queueing/sojourn.hpp"
+#include "queueing/system_base.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mflb {
+
+/// Episode summary of the event-driven simulator: the shared episode stats
+/// plus the streaming sojourn-time percentiles only a per-job simulation can
+/// report (0 unless `track_sojourn` is set and jobs completed).
+struct DesEpisodeStats : EpisodeStats {
+    double sojourn_p50 = 0.0;
+    double sojourn_p95 = 0.0;
+    double sojourn_p99 = 0.0;
+};
+
+/// Discrete-event backend for the finite system; accepts the exact same
+/// configuration as `FiniteSystem` (all three client models are supported).
+class DesSystem : public SystemBase {
+public:
+    explicit DesSystem(FiniteSystemConfig config);
+
+    const FiniteSystemConfig& config() const noexcept { return config_; }
+    const TupleSpace& tuple_space() const noexcept { return space_; }
+    const EventQueue& event_queue() const noexcept { return fel_; }
+
+    /// Draws initial queue states i.i.d. from ν_0 and samples λ_0 (same RNG
+    /// draw order as `FiniteSystem::reset`), then seeds the FEL with the
+    /// departure events of initially busy queues.
+    void reset(Rng& rng);
+    /// Like reset but with a fixed λ-state sequence (Theorem 1 conditioning).
+    void reset_conditioned(std::vector<std::size_t> lambda_states, Rng& rng);
+
+    /// Empirical distribution H_t^M over Z, eq. (2) — maintained
+    /// incrementally (O(1) per event), so this is O(|Z|) not O(M).
+    std::vector<double> empirical_distribution() const;
+    /// Exact H_t^M, or a `histogram_sample_size`-queue estimate (§2.1).
+    std::vector<double> observed_distribution(Rng& rng) const;
+
+    /// One decision epoch [t·Δt, (t+1)·Δt): rebuilds the epoch's routing
+    /// from the frozen snapshot, reschedules the arrival stream, then
+    /// processes arrival/departure events in time order. Allocation-free in
+    /// steady state.
+    EpochStats step_with_rule(const DecisionRule& h, Rng& rng);
+    /// Queries the policy on (observed H_t^M, λ_t) first.
+    EpochStats step(const UpperLevelPolicy& policy, Rng& rng);
+
+    /// Full episode from reset state, with sojourn percentiles attached.
+    DesEpisodeStats run_episode(const UpperLevelPolicy& policy, Rng& rng);
+
+    /// Streaming sojourn percentile estimates so far (track_sojourn only).
+    double sojourn_p50() const noexcept { return p50_.value(); }
+    double sojourn_p95() const noexcept { return p95_.value(); }
+    double sojourn_p99() const noexcept { return p99_.value(); }
+
+private:
+    static constexpr int kNoEpoch = -1;
+
+    /// Queue j's state at the start of the current epoch — the stale value
+    /// clients observe. Copy-on-write: `saved_[j]` is valid iff queue j
+    /// already changed during epoch `stamp_[j] == time()`.
+    int snapshot_state(std::size_t j) const noexcept {
+        return stamp_[j] == t_ ? saved_[j] : queues_[j];
+    }
+    /// Records queue j's pre-modification state on its first change this
+    /// epoch; call before every queues_[j] update.
+    void save_snapshot(std::size_t j) noexcept {
+        if (stamp_[j] != t_) {
+            stamp_[j] = t_;
+            saved_[j] = queues_[j];
+        }
+    }
+
+    /// Rebuilds the epoch's routing (client counts / nothing for
+    /// InfiniteClients) and reschedules the arrival-stream event.
+    void begin_epoch(const DecisionRule& h, Rng& rng);
+    /// Destination queue of one arriving job under the epoch's routing.
+    std::size_t sample_destination(const DecisionRule& h, Rng& rng);
+    /// Advances the piecewise-constant area integrals to absolute time `t`.
+    void advance_areas_to(double t) noexcept;
+
+    void handle_arrival(const DecisionRule& h, double t, Rng& rng, EpochStats& stats);
+    void handle_departure(std::size_t j, double t, Rng& rng, EpochStats& stats);
+
+    FiniteSystemConfig config_;
+    TupleSpace space_;
+    EventQueue fel_;
+    std::size_t arrival_slot_; ///< = num_queues; slots below are departures.
+
+    // Incremental system state (O(1) per event).
+    std::vector<int> state_counts_; ///< M · H_t^M: queue count per state.
+    std::int64_t total_jobs_ = 0;   ///< Σ_j z_j.
+    std::size_t busy_queues_ = 0;   ///< #{j : z_j > 0}.
+
+    // Stale-snapshot copy-on-write (see snapshot_state).
+    std::vector<int> saved_;
+    std::vector<int> stamp_;
+
+    // Epoch-scoped routing workspace, sized at construction.
+    std::vector<double> hist_;          ///< H over Z at epoch start.
+    std::vector<double> g_;             ///< routing table g[k·|Z| + z].
+    std::vector<int> tuple_;            ///< decode buffer (d).
+    std::vector<double> suffix_;        ///< suffix products (d + 1).
+    std::vector<double> dest_p_;        ///< per-queue destination law (M).
+    std::vector<std::uint64_t> counts_; ///< per-queue client counts (M).
+    std::vector<double> cum_;           ///< count prefix sums (M).
+    std::vector<int> sampled_;          ///< per-job sampled queues (d).
+    std::vector<int> states_;           ///< their snapshot states (d).
+    double total_weight_ = 0.0;         ///< prefix-sum total (= N).
+    double arrival_rate_ = 0.0;         ///< aggregated rate M·λ_t.
+
+    // Time accounting.
+    double cursor_ = 0.0;     ///< last area-integration time point.
+    double job_area_ = 0.0;   ///< ∫ Σ_j z_j dτ within the epoch.
+    double busy_area_ = 0.0;  ///< ∫ #busy dτ within the epoch.
+
+    // Per-job sojourn tracking (track_sojourn only).
+    std::vector<JobTimestamps> jobs_;
+    P2Quantile p50_{0.5};
+    P2Quantile p95_{0.95};
+    P2Quantile p99_{0.99};
+};
+
+} // namespace mflb

@@ -1,0 +1,116 @@
+#include "des/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace mflb {
+
+EventQueue::EventQueue(std::size_t capacity) : heap_(capacity), pos_(capacity, kAbsent) {
+    if (capacity == 0) {
+        throw std::invalid_argument("EventQueue: capacity must be positive");
+    }
+}
+
+double EventQueue::time_of(std::size_t id) const {
+    if (!contains(id)) {
+        throw std::logic_error("EventQueue::time_of: slot has no pending event");
+    }
+    return heap_[pos_[id]].time;
+}
+
+void EventQueue::schedule(std::size_t id, double time) {
+    if (id >= pos_.size()) {
+        throw std::invalid_argument("EventQueue::schedule: id out of range");
+    }
+    const std::size_t i = pos_[id];
+    if (i != kAbsent) {
+        // Reschedule in place: move the entry, then restore the heap order
+        // in whichever direction the new key requires.
+        heap_[i].time = time;
+        sift_up(i);
+        sift_down(pos_[id]);
+        return;
+    }
+    heap_[size_] = {time, id};
+    pos_[id] = size_;
+    sift_up(size_);
+    ++size_;
+}
+
+bool EventQueue::cancel(std::size_t id) noexcept {
+    if (!contains(id)) {
+        return false;
+    }
+    remove_at(pos_[id]);
+    return true;
+}
+
+EventQueue::Event EventQueue::peek() const {
+    if (empty()) {
+        throw std::logic_error("EventQueue::peek: queue is empty");
+    }
+    return heap_[0];
+}
+
+EventQueue::Event EventQueue::pop() {
+    if (empty()) {
+        throw std::logic_error("EventQueue::pop: queue is empty");
+    }
+    const Event top = heap_[0];
+    remove_at(0);
+    return top;
+}
+
+void EventQueue::clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) {
+        pos_[heap_[i].id] = kAbsent;
+    }
+    size_ = 0;
+}
+
+void EventQueue::sift_up(std::size_t i) noexcept {
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!before(heap_[i], heap_[parent])) {
+            break;
+        }
+        std::swap(heap_[i], heap_[parent]);
+        pos_[heap_[i].id] = i;
+        pos_[heap_[parent].id] = parent;
+        i = parent;
+    }
+}
+
+void EventQueue::sift_down(std::size_t i) noexcept {
+    while (true) {
+        const std::size_t left = 2 * i + 1;
+        if (left >= size_) {
+            return;
+        }
+        std::size_t smallest = left;
+        const std::size_t right = left + 1;
+        if (right < size_ && before(heap_[right], heap_[left])) {
+            smallest = right;
+        }
+        if (!before(heap_[smallest], heap_[i])) {
+            return;
+        }
+        std::swap(heap_[i], heap_[smallest]);
+        pos_[heap_[i].id] = i;
+        pos_[heap_[smallest].id] = smallest;
+        i = smallest;
+    }
+}
+
+void EventQueue::remove_at(std::size_t i) noexcept {
+    pos_[heap_[i].id] = kAbsent;
+    --size_;
+    if (i == size_) {
+        return; // removed the last entry; nothing to re-order.
+    }
+    heap_[i] = heap_[size_];
+    pos_[heap_[i].id] = i;
+    sift_up(i);
+    sift_down(pos_[heap_[i].id]);
+}
+
+} // namespace mflb

@@ -1,0 +1,75 @@
+/// \file event_queue.hpp
+/// Future event list (FEL) of the discrete-event simulation engine: an
+/// *indexed* binary min-heap of (time, slot id) pairs. Indexing by a dense
+/// slot id — one slot per schedulable event source, e.g. one per queue plus
+/// one for the aggregated arrival stream — gives O(log n) scheduling,
+/// rescheduling (the DES reschedules the arrival stream at every decision
+/// epoch when the modulated rate λ_t and the routing change) and O(log n)
+/// cancellation, all with zero heap allocations after construction: every
+/// buffer is sized by the fixed slot capacity up front, per the workspace
+/// invariants in docs/ARCHITECTURE.md.
+///
+/// Determinism: ties are broken by slot id, so the event order — and hence
+/// every downstream RNG draw — is reproducible across platforms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mflb {
+
+/// Indexed binary min-heap keyed by event time; one entry per slot id.
+class EventQueue {
+public:
+    struct Event {
+        double time = 0.0;
+        std::size_t id = 0;
+    };
+
+    /// \param capacity number of event slots (valid ids are 0..capacity-1).
+    explicit EventQueue(std::size_t capacity);
+
+    std::size_t capacity() const noexcept { return pos_.size(); }
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    /// True if slot `id` currently has a pending event.
+    bool contains(std::size_t id) const noexcept {
+        return id < pos_.size() && pos_[id] != kAbsent;
+    }
+    /// Scheduled time of slot `id`; throws std::logic_error if absent.
+    double time_of(std::size_t id) const;
+
+    /// Schedules (or, if already pending, *reschedules*) slot `id` at `time`.
+    /// Throws std::invalid_argument on an out-of-range id.
+    void schedule(std::size_t id, double time);
+
+    /// Removes the pending event of slot `id`; returns false if none.
+    bool cancel(std::size_t id) noexcept;
+
+    /// Earliest pending event; throws std::logic_error when empty.
+    Event peek() const;
+    /// Removes and returns the earliest pending event.
+    Event pop();
+
+    /// Drops every pending event (capacity is unchanged).
+    void clear() noexcept;
+
+private:
+    static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+    /// (time, id) lexicographic order: deterministic across tie-breaks.
+    static bool before(const Event& a, const Event& b) noexcept {
+        return a.time < b.time || (a.time == b.time && a.id < b.id);
+    }
+
+    void sift_up(std::size_t i) noexcept;
+    void sift_down(std::size_t i) noexcept;
+    void remove_at(std::size_t i) noexcept;
+
+    std::vector<Event> heap_;      ///< first size_ entries form the heap.
+    std::vector<std::size_t> pos_; ///< id -> heap index (kAbsent if none).
+    std::size_t size_ = 0;
+};
+
+} // namespace mflb

@@ -2,6 +2,7 @@
 
 #include "math/simplex.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mflb {
@@ -54,6 +55,41 @@ void compute_arrival_flow_into(std::span<const double> nu, const DecisionRule& h
     for (std::size_t z = 0; z < num_z; ++z) {
         if (nu[z] > 0.0) {
             out.rate_by_state[z] = out.inflow_by_state[z] / nu[z]; // eq. (19)
+        }
+    }
+}
+
+void compute_routing_table_into(std::span<const double> hist, const DecisionRule& h,
+                                std::span<int> tuple, std::span<double> suffix,
+                                std::span<double> g) {
+    const TupleSpace& space = h.space();
+    const auto num_z = static_cast<std::size_t>(space.num_states());
+    const int d = space.d();
+    if (hist.size() != num_z || tuple.size() != static_cast<std::size_t>(d) ||
+        suffix.size() != static_cast<std::size_t>(d) + 1 ||
+        g.size() != num_z * static_cast<std::size_t>(d)) {
+        throw std::invalid_argument("compute_routing_table_into: buffer size mismatch");
+    }
+    std::fill(g.begin(), g.end(), 0.0);
+    suffix[static_cast<std::size_t>(d)] = 1.0;
+    for (std::size_t idx = 0; idx < space.size(); ++idx) {
+        space.decode(idx, tuple);
+        // Per-coordinate leave-one-out weights Π_{i≠k} H(z̄_i), computed via
+        // prefix/suffix products to stay O(d) per tuple.
+        double prefix = 1.0;
+        for (int k = d - 1; k >= 0; --k) {
+            suffix[static_cast<std::size_t>(k)] =
+                suffix[static_cast<std::size_t>(k) + 1] *
+                hist[static_cast<std::size_t>(tuple[static_cast<std::size_t>(k)])];
+        }
+        for (int k = 0; k < d; ++k) {
+            const double weight = prefix * suffix[static_cast<std::size_t>(k) + 1];
+            if (weight > 0.0) {
+                g[static_cast<std::size_t>(k) * num_z +
+                  static_cast<std::size_t>(tuple[static_cast<std::size_t>(k)])] +=
+                    weight * h.prob(idx, k);
+            }
+            prefix *= hist[static_cast<std::size_t>(tuple[static_cast<std::size_t>(k)])];
         }
     }
 }

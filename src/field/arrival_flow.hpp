@@ -39,6 +39,20 @@ void compute_arrival_flow_into(std::span<const double> nu, const DecisionRule& h
                                double lambda_total, std::vector<int>& tuple_scratch,
                                ArrivalFlow& out);
 
+/// Per-coordinate mean routing probabilities of one client under rule `h`
+/// when the d sampled queue states are i.i.d. from `hist`:
+///     g(k, z) = E[ h(k | z̄) · 1{z̄_k = z} ] / hist(z) · hist(z)
+/// i.e. g[k * |Z| + z] accumulates, over all tuples with z̄_k = z, the
+/// leave-one-out weight Π_{i≠k} hist(z̄_i) times h(k | z̄). A queue currently
+/// in state z is then a client's destination with probability
+/// (1/M) Σ_k g(k, z) — the exact per-client destination law used by both the
+/// epoch-synchronous `FiniteSystem` aggregation and the event-driven
+/// `DesSystem`. Allocation-free: `tuple` (d), `suffix` (d + 1) and `g`
+/// (d · |Z|) are caller-owned scratch/output buffers.
+void compute_routing_table_into(std::span<const double> hist, const DecisionRule& h,
+                                std::span<int> tuple, std::span<double> suffix,
+                                std::span<double> g);
+
 /// Probability μ(z̄) = Π_k ν(z̄_k) of an agent observing tuple index `idx`.
 double tuple_probability(const TupleSpace& space, std::span<const double> nu, std::size_t idx);
 

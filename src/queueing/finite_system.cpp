@@ -96,34 +96,9 @@ void FiniteSystem::destination_probabilities(const DecisionRule& h) const {
     const auto num_z = static_cast<std::size_t>(config_.queue.num_states());
     const int d = config_.d;
     fill_empirical(ws_.hist);
-    const std::vector<double>& hist = ws_.hist;
-
-    // g[k * num_z + z]
+    // g[k * num_z + z]: the shared per-coordinate routing table.
     std::vector<double>& g = ws_.g;
-    std::fill(g.begin(), g.end(), 0.0);
-    std::vector<int>& tuple = ws_.tuple;
-    std::vector<double>& suffix = ws_.suffix;
-    suffix[static_cast<std::size_t>(d)] = 1.0;
-    for (std::size_t idx = 0; idx < space_.size(); ++idx) {
-        space_.decode(idx, tuple);
-        // Per-coordinate leave-one-out weights Π_{i≠k} H(z̄_i), computed via
-        // prefix/suffix products to stay O(d) per tuple.
-        double prefix = 1.0;
-        for (int k = d - 1; k >= 0; --k) {
-            suffix[static_cast<std::size_t>(k)] =
-                suffix[static_cast<std::size_t>(k) + 1] *
-                hist[static_cast<std::size_t>(tuple[static_cast<std::size_t>(k)])];
-        }
-        for (int k = 0; k < d; ++k) {
-            const double weight = prefix * suffix[static_cast<std::size_t>(k) + 1];
-            if (weight > 0.0) {
-                g[static_cast<std::size_t>(k) * num_z +
-                  static_cast<std::size_t>(tuple[static_cast<std::size_t>(k)])] +=
-                    weight * h.prob(idx, k);
-            }
-            prefix *= hist[static_cast<std::size_t>(tuple[static_cast<std::size_t>(k)])];
-        }
-    }
+    compute_routing_table_into(ws_.hist, h, ws_.tuple, ws_.suffix, g);
 
     const double inv_m = 1.0 / static_cast<double>(queues_.size());
     std::vector<double>& p = ws_.dest_p;

@@ -67,6 +67,22 @@ Rng Rng::split() noexcept {
     return child;
 }
 
+Rng Rng::fork(std::uint64_t stream_id) const noexcept {
+    // Absorb the parent state and the stream id into one splitmix64 chain,
+    // then expand it into the child's four state words. The chain position
+    // after absorbing each word depends on every bit absorbed so far, so
+    // (state, id) pairs that differ anywhere yield unrelated child states.
+    std::uint64_t chain = 0x8febc107889b2f35ULL ^ stream_id;
+    for (std::uint64_t word : state_) {
+        chain ^= splitmix64(chain) ^ word;
+    }
+    Rng child(0);
+    for (auto& word : child.state_) {
+        word = splitmix64(chain);
+    }
+    return child;
+}
+
 double Rng::uniform() noexcept {
     // 53-bit mantissa method: uniform in [0,1).
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
@@ -214,7 +230,8 @@ std::size_t Rng::categorical(std::span<const double> weights) noexcept {
     return weights.empty() ? 0 : weights.size() - 1;
 }
 
-std::vector<std::uint64_t> Rng::multinomial(std::uint64_t n, std::span<const double> probs) noexcept {
+std::vector<std::uint64_t> Rng::multinomial(std::uint64_t n,
+                                            std::span<const double> probs) noexcept {
     std::vector<std::uint64_t> counts(probs.size(), 0);
     multinomial(n, probs, counts);
     return counts;

@@ -40,6 +40,16 @@ public:
     /// and child streams do not overlap for any practical horizon.
     Rng split() noexcept;
 
+    /// Derives the `stream_id`-th independent child stream *without*
+    /// consuming draws from the parent: the current state and the stream id
+    /// are hashed through splitmix64 into a fresh, well-mixed seed state.
+    /// Unlike repeated `split()`, fork is O(1) random access — fork(i) from
+    /// the same parent state always yields the same child, and distinct ids
+    /// yield statistically independent streams — which is what lets Monte
+    /// Carlo replications and sharded runs be seeded by index instead of by
+    /// a sequential dependency chain (or ad-hoc `seed + i` offsets).
+    Rng fork(std::uint64_t stream_id) const noexcept;
+
     /// Uniform double in [0, 1).
     double uniform() noexcept;
     /// Uniform double in [lo, hi).

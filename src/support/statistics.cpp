@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 namespace mflb {
 
@@ -103,6 +104,108 @@ double variance_of(std::span<const double> xs) noexcept {
         s.add(x);
     }
     return s.variance();
+}
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+    if (!(p > 0.0) || !(p < 1.0)) {
+        throw std::invalid_argument("P2Quantile: p must be in (0, 1)");
+    }
+    for (double& h : heights_) {
+        h = 0.0;
+    }
+    for (int i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+    }
+    desired_[0] = 1.0;
+    desired_[1] = 1.0 + 2.0 * p;
+    desired_[2] = 1.0 + 4.0 * p;
+    desired_[3] = 3.0 + 2.0 * p;
+    desired_[4] = 5.0;
+    rate_[0] = 0.0;
+    rate_[1] = p / 2.0;
+    rate_[2] = p;
+    rate_[3] = (1.0 + p) / 2.0;
+    rate_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) noexcept {
+    if (count_ < 5) {
+        // Exact phase: keep the first five observations sorted.
+        std::size_t i = count_;
+        while (i > 0 && heights_[i - 1] > x) {
+            heights_[i] = heights_[i - 1];
+            --i;
+        }
+        heights_[i] = x;
+        ++count_;
+        return;
+    }
+
+    // Find the cell containing x, extending the extreme markers if needed.
+    int k;
+    if (x < heights_[0]) {
+        heights_[0] = x;
+        k = 0;
+    } else if (x >= heights_[4]) {
+        heights_[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= heights_[k + 1]) {
+            ++k;
+        }
+    }
+    for (int i = k + 1; i < 5; ++i) {
+        positions_[i] += 1.0;
+    }
+    for (int i = 0; i < 5; ++i) {
+        desired_[i] += rate_[i];
+    }
+    ++count_;
+
+    // Nudge the three interior markers toward their desired positions using
+    // the piecewise-parabolic (P²) height prediction, falling back to linear
+    // interpolation when the parabola would break marker monotonicity.
+    for (int i = 1; i <= 3; ++i) {
+        const double gap = desired_[i] - positions_[i];
+        const bool move_right = gap >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+        const bool move_left = gap <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+        if (!move_right && !move_left) {
+            continue;
+        }
+        const double d = move_right ? 1.0 : -1.0;
+        const double np = positions_[i + 1];
+        const double nc = positions_[i];
+        const double nm = positions_[i - 1];
+        const double qp = heights_[i + 1];
+        const double qc = heights_[i];
+        const double qm = heights_[i - 1];
+        double candidate = qc + d / (np - nm) *
+                                    ((nc - nm + d) * (qp - qc) / (np - nc) +
+                                     (np - nc - d) * (qc - qm) / (nc - nm));
+        if (!(qm < candidate && candidate < qp)) {
+            // Linear fallback toward the neighbor in the move direction.
+            const int j = i + static_cast<int>(d);
+            candidate = qc + d * (heights_[j] - qc) / (positions_[j] - nc);
+        }
+        heights_[i] = candidate;
+        positions_[i] += d;
+    }
+}
+
+double P2Quantile::value() const noexcept {
+    if (count_ == 0) {
+        return 0.0;
+    }
+    if (count_ < 5) {
+        // Nearest-rank quantile of the sorted exact buffer.
+        const double rank = p_ * static_cast<double>(count_ - 1);
+        const auto lo = static_cast<std::size_t>(rank);
+        const std::size_t hi = std::min(lo + 1, count_ - 1);
+        const double frac = rank - static_cast<double>(lo);
+        return heights_[lo] + frac * (heights_[hi] - heights_[lo]);
+    }
+    return heights_[2];
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

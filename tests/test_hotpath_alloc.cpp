@@ -1,9 +1,11 @@
 // Steady-state allocation tests for the simulation hot paths: after a warmup
-// step sized every workspace buffer, `FiniteSystem::step_with_rule` and the
-// into-variants of `ExactDiscretization::step`/`step_with_rates` must not
-// touch the heap. Verified by replacing the global allocator with a counting
-// one in this test binary — any hidden vector/matrix construction in the
-// step path shows up as a nonzero delta.
+// step sized every workspace buffer, `FiniteSystem::step_with_rule`, the
+// event-driven `DesSystem::step_with_rule` (including its future event list)
+// and the into-variants of `ExactDiscretization::step`/`step_with_rates`
+// must not touch the heap. Verified by replacing the global allocator with a
+// counting one in this test binary — any hidden vector/matrix construction
+// in the step path shows up as a nonzero delta.
+#include "des/des_system.hpp"
 #include "field/mfc_env.hpp"
 #include "field/transition.hpp"
 #include "policies/fixed.hpp"
@@ -55,6 +57,53 @@ TEST(HotPathAllocations, FiniteSystemStepWithRulePerClientAndInfinite) {
         EXPECT_EQ(counting_allocator::count() - before, 0u)
             << "client model " << static_cast<int>(model);
     }
+}
+
+TEST(HotPathAllocations, DesSystemStepWithRuleAllClientModels) {
+    for (const ClientModel model :
+         {ClientModel::Aggregated, ClientModel::PerClient, ClientModel::InfiniteClients}) {
+        FiniteSystemConfig config;
+        config.num_queues = 50;
+        config.num_clients = 2500;
+        config.dt = 2.0;
+        config.horizon = 1 << 20;
+        config.client_model = model;
+        config.track_sojourn = true; // cover the per-job timestamp/P² path too
+        DesSystem system(config);
+        Rng rng(5);
+        system.reset(rng);
+        const DecisionRule h = DecisionRule::mf_jsq(system.tuple_space());
+
+        (void)system.step_with_rule(h, rng); // warmup
+        const std::size_t before = counting_allocator::count();
+        for (int i = 0; i < 50; ++i) {
+            (void)system.step_with_rule(h, rng);
+        }
+        EXPECT_EQ(counting_allocator::count() - before, 0u)
+            << "client model " << static_cast<int>(model);
+    }
+}
+
+TEST(HotPathAllocations, EventQueueOperationsAfterConstruction) {
+    EventQueue fel(128);
+    Rng rng(9);
+    for (std::size_t id = 0; id < 128; ++id) {
+        fel.schedule(id, rng.uniform());
+    }
+    const std::size_t before = counting_allocator::count();
+    for (int round = 0; round < 1000; ++round) {
+        const EventQueue::Event event = fel.pop();
+        fel.schedule(event.id, event.time + rng.uniform());
+        fel.schedule(static_cast<std::size_t>(rng.uniform_below(128)),
+                     event.time + rng.uniform()); // reschedule path
+        if (round % 7 == 0) {
+            const auto victim = static_cast<std::size_t>(rng.uniform_below(128));
+            if (fel.cancel(victim)) {
+                fel.schedule(victim, event.time + 1.0);
+            }
+        }
+    }
+    EXPECT_EQ(counting_allocator::count() - before, 0u);
 }
 
 TEST(HotPathAllocations, ExactDiscretizationStepWithRatesInto) {

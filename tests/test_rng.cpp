@@ -47,6 +47,83 @@ TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
     EXPECT_LT(equal, 4);
 }
 
+TEST(Rng, ForkIsDeterministicAndLeavesParentUntouched) {
+    const Rng parent(7);
+    Rng child_a = parent.fork(4);
+    Rng child_a2 = parent.fork(4);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(child_a(), child_a2());
+    }
+    // fork() is const: the parent stream is identical to a never-forked one.
+    Rng forked_parent(7);
+    (void)forked_parent.fork(0);
+    (void)forked_parent.fork(1);
+    Rng fresh(7);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(forked_parent(), fresh());
+    }
+}
+
+TEST(Rng, ForkStreamsDifferByIdAndFromParent) {
+    const Rng parent(11);
+    Rng a = parent.fork(0);
+    Rng b = parent.fork(1);
+    Rng c = parent.fork(0xFFFFFFFFFFFFULL);
+    Rng parent_stream(11);
+    int equal_ab = 0, equal_ac = 0, equal_ap = 0;
+    for (int i = 0; i < 64; ++i) {
+        const auto xa = a(), xb = b(), xc = c(), xp = parent_stream();
+        equal_ab += xa == xb ? 1 : 0;
+        equal_ac += xa == xc ? 1 : 0;
+        equal_ap += xa == xp ? 1 : 0;
+    }
+    EXPECT_LT(equal_ab, 4);
+    EXPECT_LT(equal_ac, 4);
+    EXPECT_LT(equal_ap, 4);
+}
+
+TEST(Rng, ForkCrossStreamIndependenceSanity) {
+    // Adjacent stream ids (the replication-seeding pattern) must be
+    // uncorrelated: Pearson correlation of paired uniforms near zero, and
+    // each stream's mean near 1/2.
+    const Rng parent(13);
+    Rng a = parent.fork(41);
+    Rng b = parent.fork(42);
+    const int n = 20000;
+    double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = a.uniform();
+        const double y = b.uniform();
+        sa += x;
+        sb += y;
+        saa += x * x;
+        sbb += y * y;
+        sab += x * y;
+    }
+    const double mean_a = sa / n, mean_b = sb / n;
+    const double cov = sab / n - mean_a * mean_b;
+    const double var_a = saa / n - mean_a * mean_a;
+    const double var_b = sbb / n - mean_b * mean_b;
+    const double corr = cov / std::sqrt(var_a * var_b);
+    EXPECT_NEAR(mean_a, 0.5, 0.01);
+    EXPECT_NEAR(mean_b, 0.5, 0.01);
+    EXPECT_LT(std::abs(corr), 0.03);
+}
+
+TEST(Rng, ForkDependsOnParentState) {
+    Rng early(17);
+    const Rng late_source(17);
+    Rng late = late_source;
+    (void)late(); // advance one draw: forks must now differ
+    Rng child_early = early.fork(5);
+    Rng child_late = late.fork(5);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        equal += (child_early() == child_late()) ? 1 : 0;
+    }
+    EXPECT_LT(equal, 4);
+}
+
 TEST(Rng, UniformInUnitInterval) {
     Rng rng(3);
     double sum = 0.0;

@@ -1,6 +1,9 @@
 // Tests for the named scenario registry (core/scenarios.hpp).
 #include "core/scenarios.hpp"
 
+#include "des/des_system.hpp"
+#include "policies/fixed.hpp"
+
 #include <gtest/gtest.h>
 
 #include <set>
@@ -10,7 +13,7 @@ namespace {
 
 TEST(Scenarios, RegistryHasUniqueNonEmptyNamesAndSummaries) {
     const auto& registry = scenario_registry();
-    ASSERT_GE(registry.size(), 6u);
+    ASSERT_GE(registry.size(), 7u);
     std::set<std::string> names;
     for (const Scenario& scenario : registry) {
         EXPECT_FALSE(scenario.name.empty());
@@ -67,6 +70,29 @@ TEST(Scenarios, PartialInfoForwardsSampledHistogram) {
     const Scenario& partial = scenario_or_die("partial-info");
     EXPECT_EQ(partial.experiment.histogram_sample_size, 20u);
     EXPECT_EQ(partial.experiment.finite_system().histogram_sample_size, 20u);
+}
+
+TEST(Scenarios, LargeNResolvesToTheDesBackendAtScale) {
+    const Scenario& large = scenario_or_die("large-n");
+    EXPECT_EQ(large.experiment.backend, SimBackend::Des);
+    EXPECT_GE(large.experiment.num_queues, 10000u);
+    EXPECT_GE(large.experiment.num_clients, 1000000u);
+}
+
+TEST(Scenarios, LargeNSmokeRunsOnTheEventDrivenBackend) {
+    // One decision epoch at M = 10^4, N = 10^6 — far beyond what the
+    // epoch-synchronous simulator could smoke-test here — must run and
+    // produce sane statistics.
+    const Scenario& large = scenario_or_die("large-n");
+    DesSystem system(large.experiment.finite_system());
+    const DecisionRule h = DecisionRule::mf_jsq(system.tuple_space());
+    Rng rng(5);
+    system.reset(rng);
+    const EpochStats stats = system.step_with_rule(h, rng);
+    EXPECT_GT(stats.accepted_packets, 0u);
+    EXPECT_GE(stats.server_utilization, 0.0);
+    EXPECT_LE(stats.server_utilization, 1.0);
+    EXPECT_EQ(system.time(), 1);
 }
 
 TEST(Scenarios, ListTextNamesEveryScenario) {

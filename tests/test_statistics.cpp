@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace mflb {
@@ -98,6 +100,74 @@ TEST(StudentT, CriticalValuesDecreaseToNormal) {
     EXPECT_GT(student_t_975(1), student_t_975(2));
     EXPECT_GT(student_t_975(5), student_t_975(30));
     EXPECT_NEAR(student_t_975(10000), 1.959964, 1e-6);
+}
+
+TEST(P2Quantile, RejectsDegenerateTargets) {
+    EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+    EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+    EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+}
+
+TEST(P2Quantile, ExactForFewObservations) {
+    P2Quantile median(0.5);
+    EXPECT_DOUBLE_EQ(median.value(), 0.0); // empty
+    median.add(3.0);
+    EXPECT_DOUBLE_EQ(median.value(), 3.0);
+    median.add(1.0);
+    EXPECT_DOUBLE_EQ(median.value(), 2.0); // interpolated {1, 3}
+    median.add(2.0);
+    EXPECT_DOUBLE_EQ(median.value(), 2.0); // middle of {1, 2, 3}
+    EXPECT_EQ(median.count(), 3u);
+    EXPECT_DOUBLE_EQ(median.quantile(), 0.5);
+}
+
+double exact_quantile(std::vector<double> xs, double p) {
+    std::sort(xs.begin(), xs.end());
+    const double rank = p * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    return xs[lo] + (rank - static_cast<double>(lo)) * (xs[hi] - xs[lo]);
+}
+
+TEST(P2Quantile, TracksExactQuantilesOfSkewedAndSymmetricSamples) {
+    Rng rng(71);
+    std::vector<double> exponential, normal;
+    P2Quantile e50(0.5), e95(0.95), e99(0.99), n50(0.5), n95(0.95);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double e = rng.exponential(1.0);
+        const double g = rng.normal(10.0, 2.0);
+        exponential.push_back(e);
+        normal.push_back(g);
+        e50.add(e);
+        e95.add(e);
+        e99.add(e);
+        n50.add(g);
+        n95.add(g);
+    }
+    EXPECT_EQ(e50.count(), static_cast<std::size_t>(n));
+    // Relative tolerance vs the exact sample quantiles (P² is approximate).
+    EXPECT_NEAR(e50.value(), exact_quantile(exponential, 0.5), 0.03);
+    EXPECT_NEAR(e95.value(), exact_quantile(exponential, 0.95), 0.12);
+    EXPECT_NEAR(e99.value(), exact_quantile(exponential, 0.99), 0.25);
+    EXPECT_NEAR(n50.value(), exact_quantile(normal, 0.5), 0.1);
+    EXPECT_NEAR(n95.value(), exact_quantile(normal, 0.95), 0.2);
+    // Ordering across targets on the same stream.
+    EXPECT_LT(e50.value(), e95.value());
+    EXPECT_LT(e95.value(), e99.value());
+}
+
+TEST(P2Quantile, HandlesConstantAndSortedStreams) {
+    P2Quantile q(0.9);
+    for (int i = 0; i < 1000; ++i) {
+        q.add(5.0);
+    }
+    EXPECT_DOUBLE_EQ(q.value(), 5.0);
+    P2Quantile asc(0.5);
+    for (int i = 1; i <= 10001; ++i) {
+        asc.add(static_cast<double>(i));
+    }
+    EXPECT_NEAR(asc.value(), 5001.0, 150.0);
 }
 
 TEST(Histogram, BinsAndClamping) {
