@@ -90,11 +90,11 @@ private:
 };
 
 /// Registers the shared `--backend` flag: every finite-system bench can run
-/// its cells on either the epoch-synchronous or the event-driven simulator.
+/// its cells on the epoch-synchronous, event-driven, or sharded simulator.
 inline void register_backend_flag(CliParser& cli) {
     cli.flag("backend", "finite",
-             "Finite-system simulator: 'finite' (epoch-synchronous Gillespie) or "
-             "'des' (event-driven)");
+             "Finite-system simulator: 'finite' (epoch-synchronous Gillespie), "
+             "'des' (event-driven), or 'sharded-des' (epoch-parallel event-driven)");
 }
 
 /// Resolves the registered --backend flag; exits 2 with a diagnostic on an
@@ -106,6 +106,24 @@ inline SimBackend backend_from(const CliParser& cli) {
         std::fprintf(stderr, "error: %s\n", error.what());
         std::exit(2);
     }
+}
+
+/// Registers the shared `--threads` flag: worker threads for Monte Carlo
+/// replication fan-out (and the sharded backend's epoch-parallel phase).
+/// 0 = all hardware threads. Never changes results, only wall clock.
+inline void register_threads_flag(CliParser& cli) {
+    cli.flag_int("threads", 0,
+                 "Worker threads for replications / sharded epochs (0 = all cores)");
+}
+
+/// Resolves the registered --threads flag; exits 2 on a negative value.
+inline std::size_t threads_from(const CliParser& cli) {
+    const long long threads = cli.get_int("threads");
+    if (threads < 0) {
+        std::fprintf(stderr, "error: --threads must be >= 0\n");
+        std::exit(2);
+    }
+    return static_cast<std::size_t>(threads);
 }
 
 /// Standard CEM budget used to obtain the "MF" learned policy per Δt at the

@@ -17,13 +17,19 @@
 ///     (multinomial client counts) up to N = 10^6 on the DES backend.
 ///  3. A sojourn showcase: DES per-job p50/p95/p99 at M = 10^4 — numbers
 ///     the epoch-synchronous backend cannot produce at all.
+///  4. Thread/shard scaling of the sharded backend on the `large-n`
+///     configuration (M = 10^4, N = 10^6): one episode per thread count in
+///     {1, 2, 4, 8} against the single-threaded unsharded DES baseline,
+///     with per-point `sharded_speedup_*` rows in the --json artifact.
 ///
 /// All timings are appended to --json for the CI benchmark artifact.
 #include "bench_common.hpp"
 #include "des/des_system.hpp"
+#include "des/sharded_des_system.hpp"
 
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 namespace {
 
@@ -78,6 +84,8 @@ int main(int argc, char** argv) {
     cli.flag_double("lambda-total", 750.0, "Total offered load (jobs/unit) spread over M queues");
     cli.flag_double("dt", 1.0, "Synchronization delay");
     cli.flag_double("budget", 0.25, "Per-episode wall-clock budget (s) for the max-M search");
+    cli.flag_int("shards", 8, "Queue shards K for the sharded scaling sweep");
+    cli.flag_int_list("threads", "1,2,4,8", "Thread counts for the sharded scaling sweep");
     cli.flag_int("seed", 1, "Seed");
     cli.flag("json", "", "Optional JSON timings output path");
     if (!cli.parse(argc, argv)) {
@@ -208,6 +216,50 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(completed), system.sojourn_p50(),
                     system.sojourn_p95(), system.sojourn_p99(),
                     completed > 0 ? sojourn_weighted / static_cast<double>(completed) : 0.0);
+    }
+
+    // --- 4. Sharded backend: thread scaling on the large-n configuration --
+    {
+        // The acceptance configuration: the registry's `large-n` workload
+        // (M = 10^4 queues, N = 10^6 Aggregated clients, dt = 5) — the
+        // single-threaded unsharded DES is the baseline every sharded point
+        // is measured against.
+        FiniteSystemConfig config = scenario_or_die("large-n").experiment.finite_system();
+        const auto shards = static_cast<std::size_t>(cli.get_int("shards"));
+        std::printf("sharded scaling at M=%zu, N=%llu (large-n config), K=%zu shards:\n",
+                    config.num_queues, static_cast<unsigned long long>(config.num_clients),
+                    shards);
+        const EpisodeRun baseline = run_one_episode<DesSystem>(config, jsq, seed);
+        timings.record("sharded_baseline_des_episode", baseline.seconds);
+        std::printf("  unsharded DES baseline (1 thread): %.3f s/episode, drops/queue %.4f\n",
+                    baseline.seconds, baseline.drops_per_queue);
+
+        config.shards = shards;
+        Table scaling({"threads", "sharded (s/episode)", "speedup vs DES", "drops/queue"});
+        for (const std::int64_t t : cli.get_int_list("threads")) {
+            config.threads = static_cast<std::size_t>(t);
+            const EpisodeRun run = run_one_episode<ShardedDesSystem>(config, jsq, seed);
+            const double speedup = baseline.seconds / run.seconds;
+            std::snprintf(label, sizeof(label), "sharded_episode_K=%zu_T=%lld", shards,
+                          static_cast<long long>(t));
+            timings.record(label, run.seconds);
+            // Speedup rows: the value column carries the ratio, not seconds,
+            // so the CI artifact tracks scaling directly.
+            std::snprintf(label, sizeof(label), "sharded_speedup_K=%zu_T=%lld", shards,
+                          static_cast<long long>(t));
+            timings.record(label, speedup);
+            char cell[32];
+            std::snprintf(cell, sizeof(cell), "%.2fx", speedup);
+            scaling.row()
+                .cell(t)
+                .cell(run.seconds, 4)
+                .cell(std::string(cell))
+                .cell(run.drops_per_queue, 4);
+        }
+        std::printf("%s", scaling.to_text().c_str());
+        std::printf("(hardware: %u threads available; results are identical across thread "
+                    "counts by the (seed, K) determinism contract)\n",
+                    std::thread::hardware_concurrency());
     }
 
     timings.write(cli.get("json"));

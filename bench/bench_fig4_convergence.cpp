@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
     cli.flag_int("sims", 0, "Monte Carlo replications per cell (0 = budget default)");
     cli.flag_int("seed", 2, "Evaluation seed");
     bench::register_backend_flag(cli);
+    bench::register_threads_flag(cli);
     cli.flag("csv", "", "Optional CSV output path");
     cli.flag("json", "", "Optional JSON timings output path");
     if (!cli.parse(argc, argv)) {
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
     }
     const bool full = cli.get_bool("full");
     const SimBackend backend = bench::backend_from(cli);
+    const std::size_t threads = bench::threads_from(cli);
     const auto dts = cli.get_double_list("dts");
     std::vector<std::int64_t> ms = cli.get_int_list("ms");
     if (ms.empty()) {
@@ -44,9 +46,10 @@ int main(int argc, char** argv) {
 
         ExperimentConfig experiment = scenario_or_die("table1").experiment;
         experiment.dt = dt;
+        experiment.threads = threads;
         const EvaluationResult limit =
             evaluate_mfc(experiment.mfc(/*eval_horizon_instead=*/true), policy,
-                         full ? 100 : 30, cli.get_int("seed"));
+                         full ? 100 : 30, cli.get_int("seed"), threads);
 
         for (const std::int64_t m : ms) {
             experiment.num_queues = static_cast<std::size_t>(m);
@@ -55,8 +58,9 @@ int main(int argc, char** argv) {
             std::snprintf(cell_label, sizeof(cell_label), "dt=%.0f M=%lld", dt,
                           static_cast<long long>(m));
             const bench::ScopedTimer timer(timings, cell_label);
-            const EvaluationResult finite = evaluate_backend(
-                backend, experiment.finite_system(), policy, sims, cli.get_int("seed"));
+            const EvaluationResult finite =
+                evaluate_backend(backend, experiment.finite_system(), policy, sims,
+                                 cli.get_int("seed"), threads);
             table.row()
                 .cell(dt, 1)
                 .cell(m)

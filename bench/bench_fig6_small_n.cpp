@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
     cli.flag_int("sims", 0, "Monte Carlo replications per cell (0 = budget default)");
     cli.flag_int("seed", 4, "Evaluation seed");
     bench::register_backend_flag(cli);
+    bench::register_threads_flag(cli);
     cli.flag("csv", "", "Optional CSV output path");
     cli.flag("json", "", "Optional JSON timings output path");
     if (!cli.parse(argc, argv)) {
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
     }
     const bool full = cli.get_bool("full");
     const SimBackend backend = bench::backend_from(cli);
+    const std::size_t threads = bench::threads_from(cli);
     const auto ms = cli.get_int_list("ms");
     std::vector<double> dts = cli.get_double_list("dts");
     if (dts.empty()) {
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
             experiment.dt = dt;
             experiment.num_queues = static_cast<std::size_t>(m);
             experiment.num_clients = static_cast<std::uint64_t>(cli.get_int("n"));
+            experiment.threads = threads;
             const TupleSpace space(experiment.queue.num_states(), experiment.d);
             const FiniteSystemConfig config = experiment.finite_system();
 
@@ -54,12 +57,12 @@ int main(int argc, char** argv) {
             std::snprintf(cell_label, sizeof(cell_label), "M=%lld dt=%.0f",
                           static_cast<long long>(m), dt);
             const bench::ScopedTimer timer(timings, cell_label);
-            const EvaluationResult mf =
-                evaluate_backend(backend, config, cache.policy_for(dt), sims, cli.get_int("seed"));
-            const EvaluationResult jsq =
-                evaluate_backend(backend, config, make_jsq_policy(space), sims, cli.get_int("seed"));
-            const EvaluationResult rnd =
-                evaluate_backend(backend, config, make_rnd_policy(space), sims, cli.get_int("seed"));
+            const EvaluationResult mf = evaluate_backend(
+                backend, config, cache.policy_for(dt), sims, cli.get_int("seed"), threads);
+            const EvaluationResult jsq = evaluate_backend(
+                backend, config, make_jsq_policy(space), sims, cli.get_int("seed"), threads);
+            const EvaluationResult rnd = evaluate_backend(
+                backend, config, make_rnd_policy(space), sims, cli.get_int("seed"), threads);
             const double best =
                 std::min({mf.total_drops.mean, jsq.total_drops.mean, rnd.total_drops.mean});
             const char* winner = best == mf.total_drops.mean     ? "MF"

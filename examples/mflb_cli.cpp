@@ -76,6 +76,15 @@ int run_eval(const CliParser& cli) {
     if (cli.provided("n") && cli.get_int("n") != 0) {
         experiment.num_clients = static_cast<std::uint64_t>(cli.get_int("n"));
     }
+    if (cli.get_int("shards") < 0 || cli.get_int("threads") < 0) {
+        std::fprintf(stderr, "error: --shards and --threads must be >= 0\n");
+        return 2;
+    }
+    if (cli.provided("shards")) {
+        experiment.shards = static_cast<std::size_t>(cli.get_int("shards"));
+    }
+    const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+    experiment.threads = threads;
     // Simulator backend: the scenario's choice unless --backend overrides
     // (the large-n scenario defaults to the event-driven engine).
     SimBackend backend = experiment.backend;
@@ -95,18 +104,16 @@ int run_eval(const CliParser& cli) {
         learned = TabularPolicy::from_archive(Archive::load(cli.get("policy")));
     }
 
-    // Only the event-driven backend sees individual jobs, so only it can
+    // Only the event-driven backends see individual jobs, so only they can
     // report sojourn-time percentiles; the finite backend leaves them blank.
-    const bool des = backend == SimBackend::Des;
+    const bool des = backend != SimBackend::Finite;
     Table table({"policy", "drops/queue (95% CI)", "mean fill", "utilization",
                  "sojourn p50/p95/p99"});
     auto add = [&](const UpperLevelPolicy& policy) {
         SojournSummary sojourn;
         const EvaluationResult r =
-            des ? evaluate_des(experiment.finite_system(), policy, episodes,
-                               cli.get_int("seed"), 0, &sojourn)
-                : evaluate_finite(experiment.finite_system(), policy, episodes,
-                                  cli.get_int("seed"));
+            evaluate_backend(backend, experiment.finite_system(), policy, episodes,
+                             cli.get_int("seed"), threads, &sojourn);
         char percentiles[64];
         std::snprintf(percentiles, sizeof(percentiles), "%.2f / %.2f / %.2f",
                       sojourn.p50.mean, sojourn.p95.mean, sojourn.p99.mean);
@@ -186,8 +193,13 @@ int main(int argc, char** argv) {
              "Named scenario from the registry (see --mode scenarios) used as the "
              "eval-mode baseline; other flags override its values");
     cli.flag("backend", "finite",
-             "Finite-system simulator for eval mode: 'finite' (epoch-synchronous) or "
-             "'des' (event-driven, adds sojourn percentiles); default = scenario's backend");
+             "Finite-system simulator for eval mode: 'finite' (epoch-synchronous), "
+             "'des' (event-driven, adds sojourn percentiles), or 'sharded-des' "
+             "(epoch-parallel event-driven); default = scenario's backend");
+    cli.flag_int("threads", 0,
+                 "Worker threads for replications / sharded epochs (0 = all cores)");
+    cli.flag_int("shards", 0,
+                 "Queue shards K for the sharded-des backend (0 = scenario's, or min(8, M))");
     cli.flag_double("dt", 5, "Synchronization delay");
     cli.flag_double_list("dts", "1,3,5,10", "Delays for sweep mode");
     cli.flag_int("m", 100, "Queues for eval mode (sets clients to M^2 unless --n is given)");

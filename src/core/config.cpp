@@ -7,7 +7,15 @@
 namespace mflb {
 
 std::string_view backend_name(SimBackend backend) noexcept {
-    return backend == SimBackend::Des ? "des" : "finite";
+    switch (backend) {
+    case SimBackend::Des:
+        return "des";
+    case SimBackend::ShardedDes:
+        return "sharded-des";
+    case SimBackend::Finite:
+        break;
+    }
+    return "finite";
 }
 
 SimBackend parse_backend(std::string_view name) {
@@ -17,8 +25,11 @@ SimBackend parse_backend(std::string_view name) {
     if (name == "des") {
         return SimBackend::Des;
     }
+    if (name == "sharded-des" || name == "sharded") {
+        return SimBackend::ShardedDes;
+    }
     throw std::invalid_argument("unknown backend '" + std::string(name) +
-                                "'; expected 'finite' or 'des'");
+                                "'; expected 'finite', 'des', or 'sharded-des'");
 }
 
 int ExperimentConfig::eval_horizon() const noexcept {
@@ -52,6 +63,8 @@ FiniteSystemConfig ExperimentConfig::finite_system() const {
     config.discount = discount;
     config.client_model = client_model;
     config.histogram_sample_size = histogram_sample_size;
+    config.shards = shards;
+    config.threads = threads;
     return config;
 }
 

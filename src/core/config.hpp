@@ -18,17 +18,21 @@ namespace mflb {
 
 /// Which finite-system simulator realizes the model (same statistics, very
 /// different cost profiles — see docs/ARCHITECTURE.md "Event-driven
-/// backend"):
-///  - `Finite` — epoch-synchronous `FiniteSystem`: per-queue Gillespie loop
-///    every Δt; cost O(M) per epoch even when queues are idle.
-///  - `Des`    — event-driven `DesSystem`: future-event-list simulation;
+/// backend" / "Sharded event-driven backend"):
+///  - `Finite`     — epoch-synchronous `FiniteSystem`: per-queue Gillespie
+///    loop every Δt; cost O(M) per epoch even when queues are idle.
+///  - `Des`        — event-driven `DesSystem`: future-event-list simulation;
 ///    cost proportional to traffic, reports per-job sojourn percentiles.
+///  - `ShardedDes` — `ShardedDesSystem`: the DES model partitioned into K
+///    queue shards running lock-free in parallel between decision epochs;
+///    deterministic for fixed (seed, K) regardless of thread count.
 enum class SimBackend {
     Finite,
     Des,
+    ShardedDes,
 };
 
-/// "finite" / "des".
+/// "finite" / "des" / "sharded-des".
 std::string_view backend_name(SimBackend backend) noexcept;
 /// Inverse of backend_name; throws std::invalid_argument naming the options.
 SimBackend parse_backend(std::string_view name);
@@ -57,6 +61,13 @@ struct ExperimentConfig {
     /// Simulator realizing the finite system (`evaluate_backend` dispatches
     /// on this; the `--backend` CLI/bench flag overrides it).
     SimBackend backend = SimBackend::Finite;
+    /// Queue shards K for the sharded-des backend (0 = min(8, M)); part of
+    /// the result-determining (seed, K) pair. Ignored by the other backends.
+    std::size_t shards = 0;
+    /// Worker threads for the sharded-des epoch-parallel phase and the
+    /// default for Monte Carlo replication fan-out (0 = all hardware
+    /// threads). Never changes results (`--threads` CLI/bench flag).
+    std::size_t threads = 0;
 
     /// T_e = nearest integer to eval_total_time / Δt (paper, Section 4).
     int eval_horizon() const noexcept;

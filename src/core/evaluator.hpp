@@ -8,6 +8,7 @@
 
 #include "core/config.hpp"
 #include "des/des_system.hpp"
+#include "des/sharded_des_system.hpp"
 #include "field/mfc_env.hpp"
 #include "queueing/finite_system.hpp"
 #include "support/statistics.hpp"
@@ -73,11 +74,24 @@ EvaluationResult evaluate_des(const FiniteSystemConfig& config, const UpperLevel
                               std::size_t episodes, std::uint64_t seed, std::size_t threads = 0,
                               SojournSummary* sojourn = nullptr);
 
-/// Dispatches to evaluate_finite or evaluate_des — the `--backend` switch of
-/// mflb_cli and the figure benches.
+/// Same contract on the *sharded* event-driven backend (`ShardedDesSystem`):
+/// each replication runs its K shards epoch-parallel (config.threads), while
+/// `threads` still fans out the replications themselves — the nested-use
+/// guard of `parallel_for` serializes the inner level when both are active.
+/// Per-episode sojourn percentiles are the cross-shard `P2Quantile` merges.
+EvaluationResult evaluate_sharded_des(const FiniteSystemConfig& config,
+                                      const UpperLevelPolicy& policy, std::size_t episodes,
+                                      std::uint64_t seed, std::size_t threads = 0,
+                                      SojournSummary* sojourn = nullptr);
+
+/// Dispatches to evaluate_finite / evaluate_des / evaluate_sharded_des — the
+/// `--backend` switch of mflb_cli and the figure benches. `sojourn` is
+/// forwarded to the event-driven backends (and zero-filled by the finite
+/// one, which cannot observe individual jobs).
 EvaluationResult evaluate_backend(SimBackend backend, const FiniteSystemConfig& config,
                                   const UpperLevelPolicy& policy, std::size_t episodes,
-                                  std::uint64_t seed, std::size_t threads = 0);
+                                  std::uint64_t seed, std::size_t threads = 0,
+                                  SojournSummary* sojourn = nullptr);
 
 /// Evaluates `policy` on the mean-field MDP (deterministic ν dynamics;
 /// randomness only from the λ chain). Returns undiscounted total drops and

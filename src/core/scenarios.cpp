@@ -88,6 +88,16 @@ Scenario make_large_n() {
     return s;
 }
 
+Scenario make_large_n_sharded() {
+    Scenario s;
+    s.name = "large-n-sharded";
+    s.summary = "large-n on the sharded DES: K=8 queue shards, epoch-barrier parallel";
+    s.experiment = make_large_n().experiment;
+    s.experiment.backend = SimBackend::ShardedDes;
+    s.experiment.shards = 8;
+    return s;
+}
+
 std::vector<Scenario> build_registry() {
     std::vector<Scenario> registry;
     registry.push_back(make_table1());
@@ -97,6 +107,7 @@ std::vector<Scenario> build_registry() {
     registry.push_back(make_memory());
     registry.push_back(make_partial_info());
     registry.push_back(make_large_n());
+    registry.push_back(make_large_n_sharded());
     return registry;
 }
 

@@ -95,25 +95,15 @@ void DesSystem::reset_conditioned(std::vector<std::size_t> lambda_states, Rng& r
 }
 
 std::vector<double> DesSystem::empirical_distribution() const {
-    std::vector<double> h(state_counts_.size(), 0.0);
-    const double weight = 1.0 / static_cast<double>(queues_.size());
-    for (std::size_t z = 0; z < state_counts_.size(); ++z) {
-        h[z] = weight * static_cast<double>(state_counts_[z]);
-    }
-    return h;
+    return histogram_from_counts(state_counts_, queues_.size());
 }
 
 std::vector<double> DesSystem::observed_distribution(Rng& rng) const {
     if (config_.histogram_sample_size == 0) {
         return empirical_distribution();
     }
-    std::vector<double> h(state_counts_.size(), 0.0);
-    const double weight = 1.0 / static_cast<double>(config_.histogram_sample_size);
-    for (std::size_t k = 0; k < config_.histogram_sample_size; ++k) {
-        const auto j = static_cast<std::size_t>(rng.uniform_below(queues_.size()));
-        h[static_cast<std::size_t>(queues_[j])] += weight;
-    }
-    return h;
+    return sampled_histogram(queues_, state_counts_.size(), config_.histogram_sample_size,
+                             rng);
 }
 
 void DesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
@@ -122,39 +112,19 @@ void DesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
     arrival_rate_ = static_cast<double>(m) * lambda_value();
 
     switch (config_.client_model) {
-    case ClientModel::PerClient: {
+    case ClientModel::PerClient:
         // Literal Algorithm 1: every client samples d queues and one choice;
         // the epoch's destination weights are the resulting client counts.
-        std::fill(counts_.begin(), counts_.end(), 0);
-        const int d = config_.d;
-        for (std::uint64_t i = 0; i < config_.num_clients; ++i) {
-            for (int k = 0; k < d; ++k) {
-                sampled_[static_cast<std::size_t>(k)] = static_cast<int>(rng.uniform_below(m));
-                states_[static_cast<std::size_t>(k)] =
-                    queues_[static_cast<std::size_t>(sampled_[static_cast<std::size_t>(k)])];
-            }
-            const std::size_t row = space_.index_of(states_);
-            const std::size_t u = rng.categorical(h.row(row));
-            ++counts_[static_cast<std::size_t>(sampled_[u])];
-        }
+        sample_per_client_counts(queues_, h, config_.num_clients, rng, sampled_, states_,
+                                 counts_);
         break;
-    }
     case ClientModel::Aggregated: {
         // Exactly FiniteSystem's aggregation: the per-client destination law
-        // from the shared routing table, then C ~ Multinomial(N, p).
+        // from the shared routing helper, then C ~ Multinomial(N, p).
         for (std::size_t z = 0; z < hist_.size(); ++z) {
             hist_[z] = inv_m * static_cast<double>(state_counts_[z]);
         }
-        compute_routing_table_into(hist_, h, tuple_, suffix_, g_);
-        const auto num_z = hist_.size();
-        for (std::size_t j = 0; j < m; ++j) {
-            double total = 0.0;
-            for (int k = 0; k < config_.d; ++k) {
-                total += g_[static_cast<std::size_t>(k) * num_z +
-                            static_cast<std::size_t>(queues_[j])];
-            }
-            dest_p_[j] = inv_m * total;
-        }
+        compute_destination_law_into(queues_, hist_, h, tuple_, suffix_, g_, dest_p_);
         rng.multinomial(config_.num_clients, dest_p_, counts_);
         break;
     }
@@ -265,7 +235,7 @@ EpochStats DesSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
     begin_epoch(h, rng);
 
     // Drift-free epoch boundary: absolute time of epoch t_ + 1.
-    const double epoch_end = config_.dt * (static_cast<double>(t_) + 1.0);
+    const double epoch_end = epoch_end_time();
     EpochStats stats;
     job_area_ = 0.0;
     busy_area_ = 0.0;

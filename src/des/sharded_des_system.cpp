@@ -1,0 +1,403 @@
+#include "des/sharded_des_system.hpp"
+
+#include "field/arrival_flow.hpp"
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+
+namespace mflb {
+
+ShardedDesSystem::ShardedDesSystem(FiniteSystemConfig config)
+    : SystemBase(config.arrivals, config.dt, config.horizon, config.num_queues),
+      config_(std::move(config)), space_(config_.queue.num_states(), config_.d),
+      threads_(config_.threads) {
+    if (config_.num_clients == 0 && config_.client_model != ClientModel::InfiniteClients) {
+        throw std::invalid_argument("ShardedDesSystem: need at least one client");
+    }
+    if (config_.nu0.empty()) {
+        config_.nu0.assign(static_cast<std::size_t>(config_.queue.num_states()), 0.0);
+        config_.nu0[0] = 1.0;
+    }
+    if (config_.nu0.size() != static_cast<std::size_t>(config_.queue.num_states())) {
+        throw std::invalid_argument("ShardedDesSystem: nu0 size mismatch");
+    }
+    const auto num_z = static_cast<std::size_t>(config_.queue.num_states());
+    const auto d = static_cast<std::size_t>(config_.d);
+    const std::size_t m = config_.num_queues;
+
+    // Shard partition: K contiguous near-equal blocks (the first M mod K
+    // shards get one extra queue). K is clamped to M; the default is fixed
+    // (not hardware-derived) so (seed, K) fully determines results.
+    std::size_t k = config_.shards == 0 ? kDefaultShards : config_.shards;
+    k = std::max<std::size_t>(1, std::min(k, m));
+    shard_begin_.resize(k + 1);
+    const std::size_t base = m / k;
+    const std::size_t extra = m % k;
+    shard_begin_[0] = 0;
+    for (std::size_t s = 0; s < k; ++s) {
+        shard_begin_[s + 1] = shard_begin_[s] + base + (s < extra ? 1 : 0);
+    }
+    shards_.reserve(k);
+    for (std::size_t s = 0; s < k; ++s) {
+        shards_.emplace_back(shard_begin_[s + 1] - shard_begin_[s], num_z);
+        shards_.back().begin = shard_begin_[s];
+        shards_.back().end = shard_begin_[s + 1];
+    }
+
+    state_counts_.assign(num_z, 0);
+    shard_mass_.assign(k, 0.0);
+    // The routing table / destination-law buffers serve both the Aggregated
+    // client counts and the InfiniteClients per-job law (unlike the
+    // unsharded DES, which realizes InfiniteClients by per-job d-sampling,
+    // the sharded backend thins the identical law per shard).
+    if (config_.client_model != ClientModel::PerClient) {
+        hist_.assign(num_z, 0.0);
+        g_.assign(d * num_z, 0.0);
+        tuple_.assign(d, 0);
+        suffix_.assign(d + 1, 1.0);
+        dest_p_.assign(m, 0.0);
+    }
+    if (config_.client_model != ClientModel::InfiniteClients) {
+        counts_.assign(m, 0);
+    }
+    if (config_.client_model == ClientModel::PerClient) {
+        sampled_.assign(d, 0);
+        states_.assign(d, 0);
+    }
+    if (config_.client_model == ClientModel::Aggregated) {
+        shard_clients_.assign(k, 0);
+    }
+}
+
+void ShardedDesSystem::reset(Rng& rng) {
+    for (int& z : queues_) {
+        z = static_cast<int>(rng.categorical(config_.nu0));
+    }
+    reset_base(rng);
+
+    if (config_.track_sojourn) {
+        jobs_.clear();
+        jobs_.reserve(queues_.size());
+        for (int z : queues_) {
+            JobTimestamps stamps(config_.queue.buffer);
+            for (int j = 0; j < z; ++j) {
+                stamps.push(0.0);
+            }
+            jobs_.push_back(std::move(stamps));
+        }
+    }
+
+    std::fill(state_counts_.begin(), state_counts_.end(), 0);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        Shard& shard = shards_[s];
+        // One independent O(1)-derived stream per shard: fork(s) never
+        // consumes caller draws, and the shard id (not the thread) owns it.
+        shard.rng = rng.fork(s);
+        shard.fel.clear();
+        std::fill(shard.state_counts.begin(), shard.state_counts.end(), 0);
+        shard.total_jobs = 0;
+        shard.busy_queues = 0;
+        shard.cursor = 0.0;
+        shard.p50 = P2Quantile(0.5);
+        shard.p95 = P2Quantile(0.95);
+        shard.p99 = P2Quantile(0.99);
+        for (std::size_t j = shard.begin; j < shard.end; ++j) {
+            const int z = queues_[j];
+            ++shard.state_counts[static_cast<std::size_t>(z)];
+            shard.total_jobs += z;
+            if (z > 0) {
+                ++shard.busy_queues;
+                shard.fel.schedule(j - shard.begin,
+                                   shard.rng.exponential(config_.queue.service_rate));
+            }
+        }
+        for (std::size_t z = 0; z < state_counts_.size(); ++z) {
+            state_counts_[z] += shard.state_counts[z];
+        }
+    }
+}
+
+void ShardedDesSystem::reset_conditioned(std::vector<std::size_t> lambda_states, Rng& rng) {
+    reset(rng);
+    condition_on(std::move(lambda_states));
+}
+
+std::vector<double> ShardedDesSystem::empirical_distribution() const {
+    return histogram_from_counts(state_counts_, queues_.size());
+}
+
+std::vector<double> ShardedDesSystem::observed_distribution(Rng& rng) const {
+    if (config_.histogram_sample_size == 0) {
+        return empirical_distribution();
+    }
+    return sampled_histogram(queues_, state_counts_.size(), config_.histogram_sample_size,
+                             rng);
+}
+
+void ShardedDesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
+    const std::size_t m = queues_.size();
+    const double inv_m = 1.0 / static_cast<double>(m);
+    const double total_rate = static_cast<double>(m) * lambda_value();
+
+    switch (config_.client_model) {
+    case ClientModel::PerClient: {
+        // Literal Algorithm 1 on the epoch-start snapshot (serial: the draw
+        // sequence is part of the (seed, K) contract, not the thread count).
+        sample_per_client_counts(queues_, h, config_.num_clients, rng, sampled_, states_,
+                                 counts_);
+        const double total =
+            partition_shard_mass(std::span<const std::uint64_t>(counts_), shard_begin_,
+                                 shard_mass_);
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            shards_[s].arrival_rate =
+                total > 0.0 ? total_rate * shard_mass_[s] / total : 0.0;
+        }
+        break;
+    }
+    case ClientModel::Aggregated: {
+        // Hierarchical multinomial: the barrier draws the shard totals
+        // N_s ~ Multinomial(N, P_s); each shard later draws its own queues'
+        // counts Multinomial(N_s, p_j / P_s) from its own stream. Jointly
+        // exactly Multinomial(N, p) — FiniteSystem's aggregation.
+        for (std::size_t z = 0; z < hist_.size(); ++z) {
+            hist_[z] = inv_m * static_cast<double>(state_counts_[z]);
+        }
+        compute_destination_law_into(queues_, hist_, h, tuple_, suffix_, g_, dest_p_);
+        const double total = partition_shard_mass(std::span<const double>(dest_p_),
+                                                  shard_begin_, shard_mass_);
+        if (total > 0.0) {
+            rng.multinomial(config_.num_clients, shard_mass_, total, shard_clients_);
+        } else {
+            std::fill(shard_clients_.begin(), shard_clients_.end(), 0);
+        }
+        const double inv_n = 1.0 / static_cast<double>(config_.num_clients);
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            shards_[s].clients = shard_clients_[s];
+            shards_[s].arrival_rate =
+                total_rate * static_cast<double>(shard_clients_[s]) * inv_n;
+        }
+        break;
+    }
+    case ClientModel::InfiniteClients: {
+        // The per-job destination law (1/M) Σ_k g(k, z_j) is exactly the law
+        // realized by the unsharded DES's per-job d-sampling on the frozen
+        // snapshot; thinning it per shard is therefore exact.
+        for (std::size_t z = 0; z < hist_.size(); ++z) {
+            hist_[z] = inv_m * static_cast<double>(state_counts_[z]);
+        }
+        compute_destination_law_into(queues_, hist_, h, tuple_, suffix_, g_, dest_p_);
+        const double total = partition_shard_mass(std::span<const double>(dest_p_),
+                                                  shard_begin_, shard_mass_);
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            shards_[s].arrival_rate =
+                total > 0.0 ? total_rate * shard_mass_[s] / total : 0.0;
+        }
+        break;
+    }
+    }
+}
+
+void ShardedDesSystem::handle_arrival(Shard& shard, double t) {
+    // Conditional destination law inside the shard: binary search on the
+    // shard-local prefix sums (exact thinning of the global law).
+    const double target = shard.rng.uniform() * shard.total_weight;
+    const auto it = std::upper_bound(shard.cum.begin(), shard.cum.end(), target);
+    std::size_t local = static_cast<std::size_t>(it - shard.cum.begin());
+    if (local >= shard.cum.size()) {
+        local = shard.cum.size() - 1;
+    }
+    const std::size_t j = shard.begin + local;
+    if (queues_[j] < config_.queue.buffer) {
+        const auto z = static_cast<std::size_t>(queues_[j]);
+        --shard.state_counts[z];
+        ++shard.state_counts[z + 1];
+        ++queues_[j];
+        ++shard.total_jobs;
+        ++shard.stats.accepted_packets;
+        if (queues_[j] == 1) {
+            ++shard.busy_queues;
+            shard.fel.schedule(local, t + shard.rng.exponential(config_.queue.service_rate));
+        }
+        if (config_.track_sojourn) {
+            jobs_[j].push(t);
+        }
+    } else {
+        ++shard.stats.dropped_packets;
+    }
+    shard.fel.schedule(shard.local_arrival_slot(),
+                       t + shard.rng.exponential(shard.arrival_rate));
+}
+
+void ShardedDesSystem::handle_departure(Shard& shard, std::size_t local_id, double t) {
+    const std::size_t j = shard.begin + local_id;
+    const auto z = static_cast<std::size_t>(queues_[j]);
+    --shard.state_counts[z];
+    ++shard.state_counts[z - 1];
+    --queues_[j];
+    --shard.total_jobs;
+    ++shard.stats.served_packets;
+    if (config_.track_sojourn) {
+        const double sojourn = jobs_[j].pop(t);
+        shard.stats.mean_sojourn += sojourn; // running sum; divided in reduce.
+        ++shard.stats.completed_jobs;
+        shard.p50.add(sojourn);
+        shard.p95.add(sojourn);
+        shard.p99.add(sojourn);
+    }
+    if (queues_[j] > 0) {
+        shard.fel.schedule(local_id, t + shard.rng.exponential(config_.queue.service_rate));
+    } else {
+        --shard.busy_queues;
+    }
+}
+
+void ShardedDesSystem::run_shard_epoch(std::size_t s, double epoch_start, double epoch_end) {
+    Shard& shard = shards_[s];
+    const std::size_t local_n = shard.end - shard.begin;
+
+    // Shard-local destination prefix sums for this epoch's routing weights.
+    double running = 0.0;
+    switch (config_.client_model) {
+    case ClientModel::Aggregated: {
+        const std::span<const double> weights(dest_p_.data() + shard.begin, local_n);
+        const std::span<std::uint64_t> counts(counts_.data() + shard.begin, local_n);
+        if (shard.clients > 0 && shard_mass_[s] > 0.0) {
+            shard.rng.multinomial(shard.clients, weights, shard_mass_[s], counts);
+        } else {
+            std::fill(counts.begin(), counts.end(), 0);
+        }
+        for (std::size_t i = 0; i < local_n; ++i) {
+            running += static_cast<double>(counts[i]);
+            shard.cum[i] = running;
+        }
+        break;
+    }
+    case ClientModel::PerClient:
+        for (std::size_t i = 0; i < local_n; ++i) {
+            running += static_cast<double>(counts_[shard.begin + i]);
+            shard.cum[i] = running;
+        }
+        break;
+    case ClientModel::InfiniteClients:
+        for (std::size_t i = 0; i < local_n; ++i) {
+            running += dest_p_[shard.begin + i];
+            shard.cum[i] = running;
+        }
+        break;
+    }
+    shard.total_weight = running;
+
+    // (Re)schedule the shard's thinned arrival stream: the pending
+    // next-arrival was drawn under the previous epoch's rate and routing;
+    // memorylessness makes cancel-and-redraw exact. Rate zero (no routing
+    // mass in this shard) simply parks the slot.
+    if (shard.arrival_rate > 0.0 && shard.total_weight > 0.0) {
+        shard.fel.schedule(shard.local_arrival_slot(),
+                           epoch_start + shard.rng.exponential(shard.arrival_rate));
+    } else {
+        shard.fel.cancel(shard.local_arrival_slot());
+    }
+
+    shard.cursor = epoch_start;
+    shard.job_area = 0.0;
+    shard.busy_area = 0.0;
+    shard.stats = EpochStats{};
+    const auto advance_to = [&shard](double t) {
+        const double span = t - shard.cursor;
+        if (span > 0.0) {
+            shard.job_area += static_cast<double>(shard.total_jobs) * span;
+            shard.busy_area += static_cast<double>(shard.busy_queues) * span;
+            shard.cursor = t;
+        }
+    };
+    while (!shard.fel.empty() && shard.fel.peek().time <= epoch_end) {
+        const EventQueue::Event event = shard.fel.pop();
+        advance_to(event.time);
+        if (event.id == shard.local_arrival_slot()) {
+            handle_arrival(shard, event.time);
+        } else {
+            handle_departure(shard, event.id, event.time);
+        }
+    }
+    advance_to(epoch_end);
+}
+
+EpochStats ShardedDesSystem::reduce_epoch() {
+    EpochStats stats;
+    double job_area = 0.0;
+    double busy_area = 0.0;
+    std::fill(state_counts_.begin(), state_counts_.end(), 0);
+    // Fixed shard order: floating-point sums are part of the determinism
+    // contract (thread-count independent by construction).
+    for (const Shard& shard : shards_) {
+        stats.dropped_packets += shard.stats.dropped_packets;
+        stats.accepted_packets += shard.stats.accepted_packets;
+        stats.served_packets += shard.stats.served_packets;
+        stats.mean_sojourn += shard.stats.mean_sojourn;
+        stats.completed_jobs += shard.stats.completed_jobs;
+        job_area += shard.job_area;
+        busy_area += shard.busy_area;
+        for (std::size_t z = 0; z < state_counts_.size(); ++z) {
+            state_counts_[z] += shard.state_counts[z];
+        }
+    }
+    const auto m = static_cast<double>(queues_.size());
+    const double m_dt = m * config_.dt;
+    stats.drops_per_queue = static_cast<double>(stats.dropped_packets) / m;
+    stats.mean_queue_length = job_area / m_dt;
+    stats.server_utilization = busy_area / m_dt;
+    if (stats.completed_jobs > 0) {
+        stats.mean_sojourn /= static_cast<double>(stats.completed_jobs);
+    }
+    return stats;
+}
+
+EpochStats ShardedDesSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
+    if (done()) {
+        throw std::logic_error("ShardedDesSystem::step: episode already finished");
+    }
+    if (!(h.space() == space_)) {
+        throw std::invalid_argument("ShardedDesSystem::step: decision rule on wrong tuple space");
+    }
+    begin_epoch(h, rng);
+
+    const double epoch_start = epoch_start_time();
+    const double epoch_end = epoch_end_time();
+    // The lock-free parallel phase: each shard task reads the barrier-phase
+    // outputs and touches only its own state. Thread count never changes
+    // which shard consumes which draws, only which core runs them.
+    parallel_for(
+        shards_.size(),
+        [&](std::size_t s) { run_shard_epoch(s, epoch_start, epoch_end); }, threads_);
+
+    const EpochStats stats = reduce_epoch();
+    advance_epoch(rng);
+    return stats;
+}
+
+EpochStats ShardedDesSystem::step(const UpperLevelPolicy& policy, Rng& rng) {
+    const DecisionRule h = policy.decide(observed_distribution(rng), lambda_state(), rng);
+    return step_with_rule(h, rng);
+}
+
+DesEpisodeStats ShardedDesSystem::run_episode(const UpperLevelPolicy& policy, Rng& rng) {
+    DesEpisodeStats stats;
+    static_cast<EpisodeStats&>(stats) =
+        run_episode_loop(config_.discount, [&] { return step(policy, rng); });
+    stats.sojourn_p50 = sojourn_p50();
+    stats.sojourn_p95 = sojourn_p95();
+    stats.sojourn_p99 = sojourn_p99();
+    return stats;
+}
+
+double ShardedDesSystem::merged_quantile(int which) const {
+    P2Quantile merged(which == 0 ? 0.5 : which == 1 ? 0.95 : 0.99);
+    for (const Shard& shard : shards_) {
+        merged.merge(which == 0 ? shard.p50 : which == 1 ? shard.p95 : shard.p99);
+    }
+    return merged.value();
+}
+
+} // namespace mflb

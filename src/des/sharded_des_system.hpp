@@ -1,0 +1,181 @@
+/// \file sharded_des_system.hpp
+/// Epoch-barrier-parallel event-driven simulator of the Section 2.1 finite
+/// system: the M queues are partitioned into K contiguous shards that run
+/// independent event loops in parallel *between* decision epochs and
+/// synchronize only at the epoch barrier.
+///
+/// Why this is exact and not an approximation: the paper's whole premise is
+/// that routing decisions are made on Δt-stale information — within a
+/// decision epoch every arrival routes on the snapshot frozen at the epoch
+/// start, so given the epoch's routing law the M queues evolve as
+/// *independent* birth-death processes. Domain decomposition therefore
+/// needs no optimistic rollback and no cross-shard event traffic: the only
+/// shared state is written at the barrier.
+///
+/// Arrival-stream sharding (Poisson thinning): the aggregated arrival
+/// process of rate M·λ_t with i.i.d. per-job destination law w (client
+/// counts for PerClient/Aggregated, the exact per-job destination
+/// probabilities of `compute_destination_law_into` for InfiniteClients)
+/// splits exactly into K independent Poisson streams — shard s receives
+/// rate M·λ_t · W_s / W with W_s its routing mass (`partition_shard_mass`),
+/// and each of its arrivals picks a destination inside the shard with the
+/// conditional law w_j / W_s (binary search on shard-local prefix sums).
+/// For `Aggregated`, the Multinomial(N, p) client counts are drawn
+/// hierarchically: shard totals N_s ~ Multinomial(N, P_s) at the barrier,
+/// then each shard draws Multinomial(N_s, p_j / P_s) over its own queues
+/// from its own stream — the joint law of the per-queue counts is exactly
+/// Multinomial(N, p).
+///
+/// Epoch structure (on `SystemBase`'s clock):
+///  1. *Barrier (serial)* — policy query on the observed H_t^M, per-queue
+///     routing weights, per-shard masses/rates (and shard client totals),
+///     all from the caller's RNG;
+///  2. *Parallel phase* — each shard (re)schedules its thinned arrival slot
+///     and drains its own `EventQueue` to the epoch end, drawing only from
+///     its own `Rng::fork(shard)` stream and touching only its own queue
+///     slice — lock-free, no atomics, no cross-shard reads;
+///  3. *Barrier (serial)* — per-shard `EpochStats`/areas/state counts are
+///     reduced in shard order, λ advances.
+///
+/// Determinism contract: results are a function of (seed, K) only — never
+/// of the thread count — because every RNG stream is owned by exactly one
+/// shard (or the serial phase), shard work is self-contained, and the
+/// reduction order is fixed. tests/test_sharded_des.cpp pins bit-identical
+/// episodes across 1/2/8 threads for all three client models, and CI
+/// overlap against `DesSystem` (which is itself pinned to `FiniteSystem`).
+#pragma once
+
+#include "des/des_system.hpp"
+#include "des/event_queue.hpp"
+#include "queueing/finite_system.hpp"
+#include "queueing/sojourn.hpp"
+#include "queueing/system_base.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mflb {
+
+/// Sharded event-driven backend; accepts the same `FiniteSystemConfig` as
+/// `FiniteSystem`/`DesSystem` plus its `shards` (K, 0 = min(8, M)) and
+/// `threads` (parallel workers, 0 = all cores; never affects results).
+class ShardedDesSystem : public SystemBase {
+public:
+    /// Default shard count when `config.shards == 0` (clamped to M). Fixed —
+    /// not hardware-derived — so results are machine-independent.
+    static constexpr std::size_t kDefaultShards = 8;
+
+    explicit ShardedDesSystem(FiniteSystemConfig config);
+
+    const FiniteSystemConfig& config() const noexcept { return config_; }
+    const TupleSpace& tuple_space() const noexcept { return space_; }
+    std::size_t num_shards() const noexcept { return shards_.size(); }
+    /// Queue index range [first, past-the-end) owned by shard s.
+    std::pair<std::size_t, std::size_t> shard_range(std::size_t s) const {
+        return {shard_begin_[s], shard_begin_[s + 1]};
+    }
+
+    /// Draws initial queue states i.i.d. from ν_0 and samples λ_0 (caller
+    /// RNG, same order as the other backends), then forks one independent
+    /// stream per shard and seeds each shard's FEL with the departures of
+    /// its initially busy queues.
+    void reset(Rng& rng);
+    /// Like reset but with a fixed λ-state sequence (Theorem 1 conditioning).
+    void reset_conditioned(std::vector<std::size_t> lambda_states, Rng& rng);
+
+    /// Empirical distribution H_t^M over Z, eq. (2) — the cross-shard
+    /// reduction maintained at the epoch barrier, O(|Z|).
+    std::vector<double> empirical_distribution() const;
+    /// Exact H_t^M, or a `histogram_sample_size`-queue estimate (§2.1).
+    std::vector<double> observed_distribution(Rng& rng) const;
+
+    /// One decision epoch: serial barrier phase, parallel shard event loops,
+    /// serial reduction (see file comment).
+    EpochStats step_with_rule(const DecisionRule& h, Rng& rng);
+    /// Queries the policy on (observed H_t^M, λ_t) first.
+    EpochStats step(const UpperLevelPolicy& policy, Rng& rng);
+
+    /// Full episode from reset state, with cross-shard-merged sojourn
+    /// percentiles attached (`P2Quantile::merge` in fixed shard order).
+    DesEpisodeStats run_episode(const UpperLevelPolicy& policy, Rng& rng);
+
+    /// Streaming sojourn percentile estimates so far (track_sojourn only),
+    /// merged across shards.
+    double sojourn_p50() const { return merged_quantile(0); }
+    double sojourn_p95() const { return merged_quantile(1); }
+    double sojourn_p99() const { return merged_quantile(2); }
+
+private:
+    /// All state one shard touches during the parallel phase. Shards never
+    /// read or write each other's `Shard` (nor each other's slices of the
+    /// global queue/job arrays), which is what makes the phase lock-free.
+    struct Shard {
+        std::size_t begin = 0;            ///< first owned queue index.
+        std::size_t end = 0;              ///< past-the-end queue index.
+        EventQueue fel;                   ///< (end-begin) departures + 1 arrival slot.
+        Rng rng{0};                       ///< fork(shard_id) stream, reset-owned.
+        std::vector<int> state_counts;    ///< local histogram over Z.
+        std::vector<double> cum;          ///< local destination prefix sums.
+        double total_weight = 0.0;        ///< prefix-sum total (= W_s).
+        double arrival_rate = 0.0;        ///< thinned Poisson rate M·λ_t·W_s/W.
+        std::uint64_t clients = 0;        ///< N_s (Aggregated only).
+        std::int64_t total_jobs = 0;      ///< Σ z_j over owned queues.
+        std::size_t busy_queues = 0;      ///< #{j owned : z_j > 0}.
+        double cursor = 0.0;              ///< last area-integration time.
+        double job_area = 0.0;            ///< ∫ Σ z_j dτ within the epoch.
+        double busy_area = 0.0;           ///< ∫ #busy dτ within the epoch.
+        EpochStats stats;                 ///< this epoch's local counters.
+        P2Quantile p50{0.5};              ///< local sojourn percentiles
+        P2Quantile p95{0.95};             ///< (track_sojourn only; merged
+        P2Quantile p99{0.99};             ///< across shards on demand).
+
+        Shard(std::size_t num_local_queues, std::size_t num_states)
+            : fel(num_local_queues + 1), state_counts(num_states, 0),
+              cum(num_local_queues, 0.0) {}
+
+        std::size_t local_arrival_slot() const noexcept { return end - begin; }
+    };
+
+    /// Barrier phase 1: routing weights, per-shard masses/rates, shard
+    /// client totals — everything the parallel phase consumes read-only.
+    void begin_epoch(const DecisionRule& h, Rng& rng);
+    /// Parallel phase: shard s's epoch on [epoch_start, epoch_end).
+    void run_shard_epoch(std::size_t s, double epoch_start, double epoch_end);
+    /// Barrier phase 2: fixed-order reduction into the epoch's EpochStats
+    /// and the global state-count histogram.
+    EpochStats reduce_epoch();
+
+    void handle_arrival(Shard& shard, double t);
+    void handle_departure(Shard& shard, std::size_t local_id, double t);
+
+    double merged_quantile(int which) const;
+
+    FiniteSystemConfig config_;
+    TupleSpace space_;
+    std::size_t threads_ = 0;
+
+    std::vector<Shard> shards_;
+    std::vector<std::size_t> shard_begin_; ///< K+1 fence posts over [0, M].
+
+    // Global barrier-phase state.
+    std::vector<int> state_counts_;        ///< cross-shard reduction (|Z|).
+    std::vector<double> hist_;             ///< H over Z at epoch start.
+    std::vector<double> g_;                ///< routing table g[k·|Z| + z].
+    std::vector<int> tuple_;               ///< decode buffer (d).
+    std::vector<double> suffix_;           ///< suffix products (d + 1).
+    std::vector<double> dest_p_;           ///< per-queue destination law (M).
+    std::vector<std::uint64_t> counts_;    ///< per-queue client counts (M).
+    std::vector<int> sampled_;             ///< PerClient sampled queues (d).
+    std::vector<int> states_;              ///< their snapshot states (d).
+    std::vector<double> shard_mass_;       ///< per-shard routing mass (K).
+    std::vector<std::uint64_t> shard_clients_; ///< per-shard N_s (K).
+
+    // Per-job sojourn tracking (track_sojourn only); jobs_[j] is touched
+    // only by the shard owning queue j.
+    std::vector<JobTimestamps> jobs_;
+};
+
+} // namespace mflb

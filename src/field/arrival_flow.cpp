@@ -94,6 +94,85 @@ void compute_routing_table_into(std::span<const double> hist, const DecisionRule
     }
 }
 
+void compute_destination_law_into(std::span<const int> queue_states,
+                                  std::span<const double> hist, const DecisionRule& h,
+                                  std::span<int> tuple, std::span<double> suffix,
+                                  std::span<double> g, std::span<double> dest_p) {
+    if (dest_p.size() != queue_states.size()) {
+        throw std::invalid_argument("compute_destination_law_into: dest_p size mismatch");
+    }
+    compute_routing_table_into(hist, h, tuple, suffix, g);
+    const auto num_z = static_cast<std::size_t>(h.space().num_states());
+    const int d = h.space().d();
+    const double inv_m = 1.0 / static_cast<double>(queue_states.size());
+    for (std::size_t j = 0; j < queue_states.size(); ++j) {
+        double total = 0.0;
+        for (int k = 0; k < d; ++k) {
+            total += g[static_cast<std::size_t>(k) * num_z +
+                       static_cast<std::size_t>(queue_states[j])];
+        }
+        dest_p[j] = inv_m * total;
+    }
+}
+
+void sample_per_client_counts(std::span<const int> queue_states, const DecisionRule& h,
+                              std::uint64_t num_clients, Rng& rng, std::span<int> sampled,
+                              std::span<int> states, std::span<std::uint64_t> counts) {
+    const int d = h.space().d();
+    if (sampled.size() != static_cast<std::size_t>(d) ||
+        states.size() != static_cast<std::size_t>(d) || counts.size() != queue_states.size()) {
+        throw std::invalid_argument("sample_per_client_counts: buffer size mismatch");
+    }
+    std::fill(counts.begin(), counts.end(), 0);
+    const std::uint64_t m = queue_states.size();
+    for (std::uint64_t i = 0; i < num_clients; ++i) {
+        for (int k = 0; k < d; ++k) {
+            sampled[static_cast<std::size_t>(k)] = static_cast<int>(rng.uniform_below(m));
+            states[static_cast<std::size_t>(k)] =
+                queue_states[static_cast<std::size_t>(sampled[static_cast<std::size_t>(k)])];
+        }
+        const std::size_t row = h.space().index_of(states);
+        const std::size_t u = rng.categorical(h.row(row));
+        ++counts[static_cast<std::size_t>(sampled[u])];
+    }
+}
+
+namespace {
+
+template <class Weight>
+double partition_shard_mass_impl(std::span<const Weight> weights,
+                                 std::span<const std::size_t> shard_begin,
+                                 std::span<double> mass) {
+    if (shard_begin.size() != mass.size() + 1 || shard_begin.empty() ||
+        shard_begin.front() != 0 || shard_begin.back() != weights.size()) {
+        throw std::invalid_argument("partition_shard_mass: bad shard fence posts");
+    }
+    double total = 0.0;
+    for (std::size_t s = 0; s < mass.size(); ++s) {
+        double sum = 0.0;
+        for (std::size_t j = shard_begin[s]; j < shard_begin[s + 1]; ++j) {
+            sum += static_cast<double>(weights[j]);
+        }
+        mass[s] = sum;
+        total += sum;
+    }
+    return total;
+}
+
+} // namespace
+
+double partition_shard_mass(std::span<const double> weights,
+                            std::span<const std::size_t> shard_begin,
+                            std::span<double> mass) {
+    return partition_shard_mass_impl(weights, shard_begin, mass);
+}
+
+double partition_shard_mass(std::span<const std::uint64_t> weights,
+                            std::span<const std::size_t> shard_begin,
+                            std::span<double> mass) {
+    return partition_shard_mass_impl(weights, shard_begin, mass);
+}
+
 ArrivalFlow compute_arrival_flow(std::span<const double> nu, const DecisionRule& h,
                                  double lambda_total) {
     ArrivalFlow flow;

@@ -11,7 +11,9 @@
 #pragma once
 
 #include "field/decision_rule.hpp"
+#include "support/rng.hpp"
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -52,6 +54,45 @@ void compute_arrival_flow_into(std::span<const double> nu, const DecisionRule& h
 void compute_routing_table_into(std::span<const double> hist, const DecisionRule& h,
                                 std::span<int> tuple, std::span<double> suffix,
                                 std::span<double> g);
+
+/// Per-queue destination law under rule `h` given the frozen snapshot: fills
+/// `dest_p[j] = (1/M) Σ_k g(k, z_j)` — the exact probability that one
+/// client's (equivalently, by Poisson thinning, one arriving job's) routing
+/// decision lands on queue j when the d sampled queue states are i.i.d. from
+/// `hist`. One `compute_routing_table_into` pass plus an O(M·d) scan; shared
+/// by the epoch-synchronous `FiniteSystem` aggregation and both event-driven
+/// backends. `tuple` (d), `suffix` (d + 1), `g` (d · |Z|) are caller-owned
+/// scratch; `queue_states` and `dest_p` have one entry per queue.
+void compute_destination_law_into(std::span<const int> queue_states,
+                                  std::span<const double> hist, const DecisionRule& h,
+                                  std::span<int> tuple, std::span<double> suffix,
+                                  std::span<double> g, std::span<double> dest_p);
+
+/// Literal Algorithm 1 client sampling on the frozen snapshot (the
+/// `PerClient` model): each of the N clients draws d queues uniformly at
+/// random, applies rule `h` to their states, and the chosen queue's count
+/// is incremented. `sampled`/`states` are d-length scratch; `counts` (one
+/// per queue) is zeroed first. The RNG draw order (d `uniform_below`, one
+/// `categorical`, per client) is part of the simulators' equivalence
+/// contract — all three backends share this one implementation so it
+/// cannot diverge.
+void sample_per_client_counts(std::span<const int> queue_states, const DecisionRule& h,
+                              std::uint64_t num_clients, Rng& rng, std::span<int> sampled,
+                              std::span<int> states, std::span<std::uint64_t> counts);
+
+/// Per-shard routing-mass partition: `mass[s] = Σ_{j ∈ [begin[s], begin[s+1])}
+/// weights[j]` for the K shards delimited by the K+1 fence-post offsets
+/// `shard_begin`. By the Poisson thinning property, the aggregated arrival
+/// stream of rate M·λ_t splits *exactly* into independent per-shard streams
+/// of rate M·λ_t · mass[s] / Σ mass — this is the quantity the sharded DES
+/// backend hands each shard at the epoch barrier. Returns Σ mass.
+double partition_shard_mass(std::span<const double> weights,
+                            std::span<const std::size_t> shard_begin,
+                            std::span<double> mass);
+/// Overload for integer weights (finite-N client counts).
+double partition_shard_mass(std::span<const std::uint64_t> weights,
+                            std::span<const std::size_t> shard_begin,
+                            std::span<double> mass);
 
 /// Probability μ(z̄) = Π_k ν(z̄_k) of an agent observing tuple index `idx`.
 double tuple_probability(const TupleSpace& space, std::span<const double> nu, std::size_t idx);

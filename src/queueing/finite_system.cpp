@@ -89,26 +89,12 @@ std::vector<double> FiniteSystem::observed_distribution(Rng& rng) const {
 }
 
 void FiniteSystem::destination_probabilities(const DecisionRule& h) const {
-    // p(j) = (1/M) Σ_k g(k, z_j), where g(k, z) is the mean routing
-    // probability of coordinate k when it shows state z and the other d-1
-    // sampled queues are drawn from the empirical histogram H. This is the
-    // exact law of one client's destination given the snapshot.
-    const auto num_z = static_cast<std::size_t>(config_.queue.num_states());
-    const int d = config_.d;
+    // p(j) = (1/M) Σ_k g(k, z_j): the exact law of one client's destination
+    // given the snapshot, computed by the routing helper shared with both
+    // event-driven backends (identical arithmetic — goldens stay bit-exact).
     fill_empirical(ws_.hist);
-    // g[k * num_z + z]: the shared per-coordinate routing table.
-    std::vector<double>& g = ws_.g;
-    compute_routing_table_into(ws_.hist, h, ws_.tuple, ws_.suffix, g);
-
-    const double inv_m = 1.0 / static_cast<double>(queues_.size());
-    std::vector<double>& p = ws_.dest_p;
-    for (std::size_t j = 0; j < queues_.size(); ++j) {
-        double total = 0.0;
-        for (int k = 0; k < d; ++k) {
-            total += g[static_cast<std::size_t>(k) * num_z + static_cast<std::size_t>(queues_[j])];
-        }
-        p[j] = inv_m * total;
-    }
+    compute_destination_law_into(queues_, ws_.hist, h, ws_.tuple, ws_.suffix, ws_.g,
+                                 ws_.dest_p);
 }
 
 void FiniteSystem::compute_queue_rates_into(const DecisionRule& h, Rng& rng) const {
@@ -118,25 +104,13 @@ void FiniteSystem::compute_queue_rates_into(const DecisionRule& h, Rng& rng) con
 
     switch (config_.client_model) {
     case ClientModel::PerClient: {
-        // Literal eq. (5): every client samples d queues and one choice.
-        std::vector<std::uint64_t>& counts = ws_.counts;
-        std::fill(counts.begin(), counts.end(), 0);
-        std::vector<int>& sampled = ws_.sampled;
-        std::vector<int>& states = ws_.states;
-        for (std::uint64_t i = 0; i < config_.num_clients; ++i) {
-            for (int k = 0; k < config_.d; ++k) {
-                sampled[static_cast<std::size_t>(k)] =
-                    static_cast<int>(rng.uniform_below(queues_.size()));
-                states[static_cast<std::size_t>(k)] =
-                    queues_[static_cast<std::size_t>(sampled[static_cast<std::size_t>(k)])];
-            }
-            const std::size_t row = space_.index_of(states);
-            const std::size_t u = rng.categorical(h.row(row));
-            ++counts[static_cast<std::size_t>(sampled[u])];
-        }
+        // Literal eq. (5): every client samples d queues and one choice —
+        // the draw loop shared with both event-driven backends.
+        sample_per_client_counts(queues_, h, config_.num_clients, rng, ws_.sampled,
+                                 ws_.states, ws_.counts);
         const double scale = m * lambda / static_cast<double>(config_.num_clients);
         for (std::size_t j = 0; j < queues_.size(); ++j) {
-            rates[j] = scale * static_cast<double>(counts[j]);
+            rates[j] = scale * static_cast<double>(ws_.counts[j]);
         }
         return;
     }

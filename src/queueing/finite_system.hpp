@@ -66,6 +66,13 @@ struct FiniteSystemConfig {
     /// policy sees an *estimate* of H_t^M built from this many uniformly
     /// sampled queues instead of the exact histogram. 0 = exact.
     std::size_t histogram_sample_size = 0;
+    /// Sharded event-driven backend (`ShardedDesSystem`) only: number of
+    /// queue shards K (0 = min(8, num_queues)). Results are a function of
+    /// (seed, shards); the other backends ignore it.
+    std::size_t shards = 0;
+    /// Sharded backend only: worker threads for the epoch-parallel phase
+    /// (0 = all hardware threads). Never affects results, only wall clock.
+    std::size_t threads = 0;
 };
 
 /// Exact simulator of the finite (or infinite-client) queuing system.

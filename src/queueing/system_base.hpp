@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace mflb {
@@ -53,6 +54,18 @@ struct EpisodeStats {
     std::uint64_t completed_jobs = 0;
     std::vector<double> drops_per_epoch;
 };
+
+/// H_t^M (eq. (2)) from an incrementally maintained per-state queue count —
+/// the O(|Z|) read-out shared by the event-driven backends.
+std::vector<double> histogram_from_counts(std::span<const int> state_counts,
+                                          std::size_t num_queues);
+
+/// `sample_size`-queue estimate of H_t^M (paper §2.1 partial information):
+/// samples queues uniformly with replacement; one `uniform_below` draw per
+/// sample (the draw count is part of the simulators' determinism contract).
+std::vector<double> sampled_histogram(std::span<const int> queue_states,
+                                      std::size_t num_states, std::size_t sample_size,
+                                      Rng& rng);
 
 /// Folds per-epoch statistics into the episode summary — the single place
 /// where the accumulation arithmetic (previously hand-duplicated in every
@@ -88,6 +101,13 @@ public:
     const ArrivalProcess& arrivals() const noexcept { return arrivals_; }
     double dt() const noexcept { return dt_; }
     int horizon() const noexcept { return horizon_; }
+    /// Absolute time of the current decision epoch's boundaries, computed
+    /// from the epoch index (drift-free — never accumulated). These are the
+    /// barrier points of the epoch structure: both event-driven backends run
+    /// their event loops on [epoch_start_time, epoch_end_time) and the
+    /// sharded backend synchronizes its shards exactly here.
+    double epoch_start_time() const noexcept { return dt_ * static_cast<double>(t_); }
+    double epoch_end_time() const noexcept { return dt_ * (static_cast<double>(t_) + 1.0); }
     std::size_t num_queues() const noexcept { return queues_.size(); }
     const std::vector<int>& queue_states() const noexcept { return queues_; }
 

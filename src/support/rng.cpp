@@ -239,18 +239,24 @@ std::vector<std::uint64_t> Rng::multinomial(std::uint64_t n,
 
 void Rng::multinomial(std::uint64_t n, std::span<const double> probs,
                       std::span<std::uint64_t> counts) noexcept {
+    multinomial(n, probs, 1.0, counts);
+}
+
+void Rng::multinomial(std::uint64_t n, std::span<const double> weights, double total_weight,
+                      std::span<std::uint64_t> counts) noexcept {
     std::fill(counts.begin(), counts.end(), 0);
-    double remaining_mass = 1.0;
+    double remaining_mass = total_weight;
     std::uint64_t remaining_trials = n;
-    for (std::size_t i = 0; i + 1 < probs.size() && remaining_trials > 0; ++i) {
+    for (std::size_t i = 0; i + 1 < weights.size() && remaining_trials > 0; ++i) {
         const double conditional =
-            remaining_mass > 0.0 ? std::min(1.0, std::max(0.0, probs[i] / remaining_mass)) : 0.0;
+            remaining_mass > 0.0 ? std::min(1.0, std::max(0.0, weights[i] / remaining_mass))
+                                 : 0.0;
         const std::uint64_t draw = binomial(remaining_trials, conditional);
         counts[i] = draw;
         remaining_trials -= draw;
-        remaining_mass -= probs[i];
+        remaining_mass -= weights[i];
     }
-    if (!probs.empty()) {
+    if (!weights.empty()) {
         counts.back() += remaining_trials;
     }
 }

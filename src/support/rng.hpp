@@ -80,6 +80,13 @@ public:
     /// used by the simulation hot paths.
     void multinomial(std::uint64_t n, std::span<const double> probs,
                      std::span<std::uint64_t> counts) noexcept;
+    /// Multinomial over *unnormalized* non-negative weights summing to
+    /// `total_weight` (> 0). This is how the sharded DES draws each shard's
+    /// client counts from its un-renormalized slice of the global
+    /// destination law: Multinomial(N_s, w_j / W_s) without materializing
+    /// the normalized vector.
+    void multinomial(std::uint64_t n, std::span<const double> weights, double total_weight,
+                     std::span<std::uint64_t> counts) noexcept;
 
     /// Fisher-Yates shuffle of an index permutation [0, n).
     std::vector<std::uint32_t> permutation(std::size_t n) noexcept;

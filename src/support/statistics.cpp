@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace mflb {
 
@@ -191,6 +192,150 @@ void P2Quantile::add(double x) noexcept {
         heights_[i] = candidate;
         positions_[i] += d;
     }
+}
+
+namespace {
+
+/// A piecewise-linear quantile curve: points (u, q) with u the cumulative
+/// fraction in [0, 1] and q the value, both non-decreasing. This is the
+/// continuous reading of a P² marker set (or of an exact small-sample
+/// buffer) that merge() mixes and inverts.
+using QuantileCurve = std::vector<std::pair<double, double>>;
+
+/// CDF of the curve at value x: the largest fraction u with Q(u) <= x,
+/// linearly interpolated inside segments, clamped to [0, 1] outside.
+double curve_cdf(const QuantileCurve& curve, double x) noexcept {
+    if (x < curve.front().second) {
+        return 0.0;
+    }
+    if (x >= curve.back().second) {
+        return 1.0;
+    }
+    for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+        const auto& [u0, q0] = curve[i];
+        const auto& [u1, q1] = curve[i + 1];
+        if (x < q1) {
+            // q0 <= x < q1; a zero-width segment never satisfies x < q1.
+            return u0 + (u1 - u0) * (x - q0) / (q1 - q0);
+        }
+    }
+    return 1.0;
+}
+
+} // namespace
+
+void P2Quantile::merge(const P2Quantile& other) {
+    if (p_ != other.p_) {
+        throw std::invalid_argument("P2Quantile::merge: mismatched target quantiles");
+    }
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    if (count_ + other.count_ <= 5) {
+        // Both sides are still exact sorted buffers; so is the union.
+        const P2Quantile snapshot = *this;
+        *this = P2Quantile(p_);
+        for (std::size_t i = 0; i < snapshot.count_; ++i) {
+            add(snapshot.heights_[i]);
+        }
+        for (std::size_t i = 0; i < other.count_; ++i) {
+            add(other.heights_[i]);
+        }
+        return;
+    }
+
+    // General case: each side defines a piecewise-linear quantile curve —
+    // the five markers at their normalized rank positions, or the exact
+    // sorted buffer below five samples. The concatenated stream's CDF is the
+    // count-weighted mixture of the two side CDFs; invert it at the P²
+    // desired fractions {0, p/2, p, (1+p)/2, 1} to re-seed the marker state.
+    const auto curve_of = [](const P2Quantile& src) {
+        QuantileCurve curve;
+        if (src.count_ < 5) {
+            if (src.count_ == 1) {
+                curve.push_back({0.0, src.heights_[0]});
+                curve.push_back({1.0, src.heights_[0]});
+            } else {
+                for (std::size_t i = 0; i < src.count_; ++i) {
+                    curve.push_back({static_cast<double>(i) /
+                                         static_cast<double>(src.count_ - 1),
+                                     src.heights_[i]});
+                }
+            }
+        } else {
+            const double span = static_cast<double>(src.count_ - 1);
+            for (int i = 0; i < 5; ++i) {
+                curve.push_back({(src.positions_[i] - 1.0) / span, src.heights_[i]});
+            }
+        }
+        return curve;
+    };
+    const QuantileCurve a = curve_of(*this);
+    const QuantileCurve b = curve_of(other);
+    const double wa = static_cast<double>(count_);
+    const double wb = static_cast<double>(other.count_);
+    const auto mixture_cdf = [&](double x) {
+        return (wa * curve_cdf(a, x) + wb * curve_cdf(b, x)) / (wa + wb);
+    };
+
+    // Invert the mixture by scanning its breakpoints (the union of both
+    // sides' marker heights): between consecutive breakpoints the mixture is
+    // linear, so one interpolation per target fraction is exact.
+    std::vector<double> knots;
+    for (const auto& [u, q] : a) {
+        knots.push_back(q);
+    }
+    for (const auto& [u, q] : b) {
+        knots.push_back(q);
+    }
+    std::sort(knots.begin(), knots.end());
+    const auto invert = [&](double f) {
+        if (f <= 0.0) {
+            return knots.front();
+        }
+        if (f >= 1.0) {
+            return knots.back();
+        }
+        double x0 = knots.front();
+        double f0 = mixture_cdf(x0);
+        for (std::size_t i = 1; i < knots.size(); ++i) {
+            const double x1 = knots[i];
+            const double f1 = mixture_cdf(x1);
+            if (f1 >= f) {
+                return f1 > f0 ? x0 + (x1 - x0) * (f - f0) / (f1 - f0) : x1;
+            }
+            x0 = x1;
+            f0 = f1;
+        }
+        return knots.back();
+    };
+
+    const std::size_t n = count_ + other.count_;
+    const double fractions[5] = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+    for (int i = 0; i < 5; ++i) {
+        heights_[i] = invert(fractions[i]);
+        desired_[i] = 1.0 + static_cast<double>(n - 1) * fractions[i];
+    }
+    heights_[0] = std::min(a.front().second, b.front().second);
+    heights_[4] = std::max(a.back().second, b.back().second);
+    for (int i = 1; i < 5; ++i) {
+        heights_[i] = std::max(heights_[i], heights_[i - 1]);
+    }
+    // Re-seed integer marker positions near their desired ranks, keeping the
+    // strict ordering the update step relies on (n >= 6 leaves room).
+    positions_[0] = 1.0;
+    positions_[4] = static_cast<double>(n);
+    for (int i = 1; i < 4; ++i) {
+        positions_[i] = std::max(positions_[i - 1] + 1.0, std::round(desired_[i]));
+    }
+    for (int i = 3; i >= 1; --i) {
+        positions_[i] = std::min(positions_[i], positions_[i + 1] - 1.0);
+    }
+    count_ = n;
 }
 
 double P2Quantile::value() const noexcept {

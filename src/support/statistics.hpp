@@ -75,6 +75,15 @@ public:
     explicit P2Quantile(double p);
 
     void add(double x) noexcept;
+    /// Folds another estimator of the *same* target quantile into this one
+    /// (parallel reduction across shards/replications). Exact while the
+    /// combined stream still fits the five-sample buffer; beyond that the
+    /// merged markers are re-derived by inverting the count-weighted mixture
+    /// of the two piecewise-linear marker CDFs at the P² desired positions,
+    /// so the result tracks the quantile of the concatenated stream (tested
+    /// against exact sample quantiles). Throws std::invalid_argument if the
+    /// two estimators target different quantiles.
+    void merge(const P2Quantile& other);
     std::size_t count() const noexcept { return count_; }
     double quantile() const noexcept { return p_; }
     /// Current estimate of the p-quantile; 0 before any observation.

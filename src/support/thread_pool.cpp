@@ -5,6 +5,10 @@
 
 namespace mflb {
 
+namespace {
+thread_local bool t_on_pool_worker = false;
+} // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
     if (threads == 0) {
         threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -41,6 +45,12 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+    // Mark the thread for the nested-use guard the moment it becomes a
+    // worker (not merely when it first runs a parallel_for strip): any task
+    // on any pool — including direct submit() callers — that fans out again
+    // must run that fan-out inline rather than block on pool capacity it
+    // may itself be occupying.
+    t_on_pool_worker = true;
     while (true) {
         std::function<void()> task;
         {
@@ -63,6 +73,17 @@ void ThreadPool::worker_loop() {
     }
 }
 
+ThreadPool& shared_thread_pool() {
+    // One worker per hardware thread, built on first use and reused for the
+    // rest of the process.
+    static ThreadPool pool(0);
+    return pool;
+}
+
+bool on_pool_worker() noexcept {
+    return t_on_pool_worker;
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads) {
     if (n == 0) {
@@ -72,23 +93,33 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
         threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
     }
     threads = std::min(threads, n);
-    if (threads <= 1) {
+    // Serial path: explicit single-thread request, or the nested-use guard —
+    // a body running on the pool must not wait for pool capacity it may
+    // itself be occupying (replications x shards nesting would deadlock a
+    // fixed-size pool, and would reorder nothing anyway: results are
+    // thread-count independent by the per-index RNG contract).
+    if (threads <= 1 || on_pool_worker()) {
         for (std::size_t i = 0; i < n; ++i) {
             body(i);
         }
         return;
     }
+
+    // Fan out `threads` strips onto the persistent pool; each strip claims
+    // indices from a shared atomic cursor. Completion is tracked by a
+    // per-call latch (not wait_idle) so concurrent parallel_for calls from
+    // different threads never wait on each other's tasks.
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     std::exception_ptr first_error;
     std::mutex error_mutex;
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
+    Latch done(threads);
+    ThreadPool& pool = shared_thread_pool();
     for (std::size_t t = 0; t < threads; ++t) {
-        workers.emplace_back([&] {
+        pool.submit([&] {
             for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
                 if (failed.load(std::memory_order_relaxed)) {
-                    return;
+                    break;
                 }
                 try {
                     body(i);
@@ -100,14 +131,13 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                         }
                     }
                     failed.store(true, std::memory_order_relaxed);
-                    return;
+                    break;
                 }
             }
+            done.count_down();
         });
     }
-    for (auto& worker : workers) {
-        worker.join();
-    }
+    done.wait();
     if (first_error) {
         std::rethrow_exception(first_error);
     }

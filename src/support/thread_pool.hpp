@@ -1,23 +1,42 @@
 /// \file thread_pool.hpp
 /// Minimal task-based thread pool plus a `parallel_for` used to fan out
-/// independent Monte Carlo replications across cores.
+/// independent Monte Carlo replications — and, since the sharded DES
+/// backend, per-epoch shard work — across cores.
 ///
-/// The evaluation harness gives every loop index its own split RNG stream, so
-/// results are identical regardless of the number of worker threads. On a
+/// `parallel_for` runs on a lazily-constructed process-wide pool
+/// (`shared_thread_pool`) instead of spawning and joining workers per call:
+/// the sharded simulator issues one fan-out per decision epoch, so thread
+/// churn would otherwise dominate short epochs. Calls from inside a pool
+/// worker (nested use — e.g. sharded epochs inside parallel replications)
+/// degrade to inline serial execution, which keeps results identical and
+/// cannot deadlock the fixed-size pool.
+///
+/// The evaluation harness gives every loop index its own forked RNG stream,
+/// so results are identical regardless of the number of worker threads. On a
 /// single-core host the pool degrades to near-serial execution with no
 /// change in results.
-/// \see support/rng.hpp for the split() contract that makes this safe.
+/// \see support/rng.hpp for the fork() contract that makes this safe.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <latch>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 namespace mflb {
+
+/// Single-use count-down barrier: `count_down()` once per unit of work,
+/// `wait()` blocks until the count reaches zero. This is the epoch-barrier
+/// primitive of the sharded DES backend (each decision epoch fans shard
+/// work out to the pool and waits on a latch), and how `parallel_for`
+/// tracks completion of *its own* tasks on the shared pool while other
+/// callers' tasks are in flight. std::latch already is exactly this
+/// (and lock-free on mainstream platforms), so the name is an alias.
+using Latch = std::latch;
 
 /// Fixed-size pool of worker threads consuming a FIFO task queue.
 class ThreadPool {
@@ -48,12 +67,25 @@ private:
     bool stopping_ = false;
 };
 
-/// Runs body(i) for i in [0, n), distributed over `threads` workers
-/// (0 = hardware concurrency). If `body` throws, the first exception is
-/// captured, remaining un-started indices are skipped, and the exception is
-/// rethrown on the calling thread once all workers have joined — so a
-/// throwing replication surfaces as a normal exception instead of
-/// std::terminate. Indices already in flight still run to completion.
+/// The process-wide worker pool behind `parallel_for`, constructed on first
+/// use with one worker per hardware thread and reused for every subsequent
+/// fan-out (replications, sharded epochs, benches).
+ThreadPool& shared_thread_pool();
+
+/// True when called from any `ThreadPool` worker thread (the shared pool's
+/// or a private one's) — e.g. from inside a `parallel_for` body or a
+/// `submit()`ed task. Used as the nested-use guard: a nested fan-out runs
+/// inline instead of blocking on pool capacity the caller may itself be
+/// occupying.
+bool on_pool_worker() noexcept;
+
+/// Runs body(i) for i in [0, n), distributed over up to `threads` workers
+/// (0 = hardware concurrency) of the shared pool. If `body` throws, the
+/// first exception is captured, remaining un-started indices are skipped,
+/// and the exception is rethrown on the calling thread once this call's
+/// work has drained — so a throwing replication surfaces as a normal
+/// exception instead of std::terminate. Indices already in flight still run
+/// to completion. Nested calls (from inside a body) execute serially inline.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 

@@ -170,6 +170,115 @@ TEST(P2Quantile, HandlesConstantAndSortedStreams) {
     EXPECT_NEAR(asc.value(), 5001.0, 150.0);
 }
 
+TEST(P2QuantileMerge, RejectsMismatchedTargetsAndHandlesEmpties) {
+    P2Quantile a(0.5), b(0.95);
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+
+    P2Quantile c(0.5), d(0.5);
+    c.merge(d); // both empty: no-op
+    EXPECT_EQ(c.count(), 0u);
+    d.add(7.0);
+    c.merge(d); // empty absorbs other
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_DOUBLE_EQ(c.value(), 7.0);
+    P2Quantile e(0.5);
+    c.merge(e); // merging an empty is a no-op
+    EXPECT_EQ(c.count(), 1u);
+}
+
+TEST(P2QuantileMerge, ExactWhileCombinedStreamFitsTheBuffer) {
+    // 3 + 2 observations: the merged estimator must equal one fed the
+    // concatenated stream (both are exact sorted buffers).
+    P2Quantile a(0.5), b(0.5), direct(0.5);
+    for (const double x : {1.0, 9.0, 4.0}) {
+        a.add(x);
+        direct.add(x);
+    }
+    for (const double x : {0.5, 6.0}) {
+        b.add(x);
+        direct.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_DOUBLE_EQ(a.value(), direct.value());
+    EXPECT_DOUBLE_EQ(a.value(), 4.0); // median of {0.5, 1, 4, 6, 9}
+}
+
+TEST(P2QuantileMerge, TracksExactQuantilesOfConcatenatedStreams) {
+    // Two shards observing *different* distributions (the hard case: the
+    // merged quantile is not near either shard's own): the merged estimate
+    // must track the exact sample quantile of the concatenation.
+    Rng rng(123);
+    for (const double p : {0.5, 0.95}) {
+        SCOPED_TRACE(p);
+        P2Quantile a(p), b(p);
+        std::vector<double> all;
+        for (int i = 0; i < 4000; ++i) {
+            const double x = rng.exponential(1.0);
+            a.add(x);
+            all.push_back(x);
+        }
+        for (int i = 0; i < 2000; ++i) {
+            const double y = 5.0 + rng.normal(0.0, 0.5);
+            b.add(y);
+            all.push_back(y);
+        }
+        a.merge(b);
+        EXPECT_EQ(a.count(), all.size());
+        const double exact = exact_quantile(all, p);
+        EXPECT_NEAR(a.value(), exact, std::max(0.15, 0.08 * exact))
+            << "merged " << a.value() << " vs exact " << exact;
+    }
+}
+
+TEST(P2QuantileMerge, MergingManyShardsOfTheSameLawMatchesTheSingleStream) {
+    // The sharded-DES reduction shape: 8 shards of the same sojourn law,
+    // merged in order, must agree with the one-stream estimate and with the
+    // exact quantile.
+    Rng rng(77);
+    std::vector<double> all;
+    std::vector<P2Quantile> shards(8, P2Quantile(0.95));
+    P2Quantile single(0.95);
+    for (int i = 0; i < 16000; ++i) {
+        const double x = rng.exponential(0.7);
+        shards[static_cast<std::size_t>(i % 8)].add(x);
+        single.add(x);
+        all.push_back(x);
+    }
+    P2Quantile merged(0.95);
+    for (const P2Quantile& shard : shards) {
+        merged.merge(shard);
+    }
+    EXPECT_EQ(merged.count(), all.size());
+    const double exact = exact_quantile(all, 0.95);
+    EXPECT_NEAR(merged.value(), exact, 0.08 * exact);
+    EXPECT_NEAR(merged.value(), single.value(), 0.1 * exact);
+    // A merged estimator keeps accepting observations.
+    for (int i = 0; i < 1000; ++i) {
+        merged.add(rng.exponential(0.7));
+    }
+    EXPECT_EQ(merged.count(), all.size() + 1000);
+    EXPECT_GT(merged.value(), 0.0);
+}
+
+TEST(P2QuantileMerge, SmallBufferIntoLargeEstimator) {
+    Rng rng(9);
+    P2Quantile big(0.5), small(0.5);
+    std::vector<double> all;
+    for (int i = 0; i < 3000; ++i) {
+        const double x = rng.normal(4.0, 1.0);
+        big.add(x);
+        all.push_back(x);
+    }
+    for (const double x : {3.5, 4.5, 4.0}) {
+        small.add(x);
+        all.push_back(x);
+    }
+    big.merge(small);
+    EXPECT_EQ(big.count(), all.size());
+    EXPECT_NEAR(big.value(), exact_quantile(all, 0.5), 0.15);
+}
+
 TEST(Histogram, BinsAndClamping) {
     Histogram h(0.0, 10.0, 5);
     h.add(-1.0); // clamps to first bin

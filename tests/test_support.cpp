@@ -8,8 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 
 namespace mflb {
 namespace {
@@ -290,6 +294,133 @@ TEST(ParallelFor, SerialPathPropagatesException) {
     EXPECT_THROW(parallel_for(
                      5, [](std::size_t) { throw std::logic_error("serial"); }, 1),
                  std::logic_error);
+}
+
+TEST(ParallelFor, ReusesThePersistentSharedPool) {
+    // Regression for the spawn-per-call era: every parallel_for body must
+    // execute on a worker of the process-wide pool (no fresh threads).
+    // Enumerate the pool's worker ids by submitting one blocking task per
+    // worker, then check parallel_for bodies land only on those ids.
+    ThreadPool& pool = shared_thread_pool();
+    EXPECT_EQ(&pool, &shared_thread_pool()); // one pool, lazily constructed
+    const std::size_t workers = pool.thread_count();
+    ASSERT_GE(workers, 1u);
+
+    std::mutex mutex;
+    std::set<std::thread::id> pool_ids;
+    {
+        // Hold every worker until all have checked in, so each distinct
+        // worker id is observed exactly once.
+        std::condition_variable all_in;
+        std::size_t arrived = 0;
+        for (std::size_t i = 0; i < workers; ++i) {
+            pool.submit([&] {
+                std::unique_lock lock(mutex);
+                pool_ids.insert(std::this_thread::get_id());
+                ++arrived;
+                all_in.notify_all();
+                all_in.wait(lock, [&] { return arrived == workers; });
+            });
+        }
+        pool.wait_idle();
+    }
+    ASSERT_EQ(pool_ids.size(), workers);
+
+    std::set<std::thread::id> body_ids;
+    for (int round = 0; round < 3; ++round) {
+        parallel_for(
+            64,
+            [&](std::size_t) {
+                std::lock_guard lock(mutex);
+                body_ids.insert(std::this_thread::get_id());
+            },
+            4);
+    }
+    for (const auto& id : body_ids) {
+        EXPECT_TRUE(pool_ids.count(id) > 0) << "body ran outside the shared pool";
+        EXPECT_NE(id, std::this_thread::get_id());
+    }
+}
+
+TEST(ParallelFor, NestedCallsRunInlineOnTheOuterWorker) {
+    // Nested use (replications x shards): the inner fan-out must degrade to
+    // serial inline execution on the *same* worker — no pool re-entry, no
+    // deadlock — and still cover every index.
+    std::atomic<int> inner_total{0};
+    std::atomic<int> mismatched_threads{0};
+    parallel_for(
+        4,
+        [&](std::size_t) {
+            const auto outer_id = std::this_thread::get_id();
+            EXPECT_TRUE(on_pool_worker());
+            parallel_for(
+                50,
+                [&](std::size_t) {
+                    inner_total.fetch_add(1);
+                    if (std::this_thread::get_id() != outer_id) {
+                        mismatched_threads.fetch_add(1);
+                    }
+                },
+                8);
+        },
+        4);
+    EXPECT_EQ(inner_total.load(), 4 * 50);
+    EXPECT_EQ(mismatched_threads.load(), 0);
+    EXPECT_FALSE(on_pool_worker()); // caller is not a pool worker
+}
+
+TEST(ParallelFor, DirectSubmitTasksAreAlsoGuardedAgainstNestedFanOut) {
+    // A task submitted straight to the shared pool (not via parallel_for)
+    // must still hit the nested-use guard when it fans out — otherwise it
+    // could block on pool capacity it occupies and deadlock a fully busy
+    // pool. One task per worker, each fanning out, makes that concrete.
+    ThreadPool& pool = shared_thread_pool();
+    const std::size_t workers = pool.thread_count();
+    std::atomic<int> total{0};
+    std::atomic<int> guarded{0};
+    for (std::size_t t = 0; t < workers; ++t) {
+        pool.submit([&] {
+            guarded.fetch_add(on_pool_worker() ? 1 : 0);
+            parallel_for(
+                10, [&](std::size_t) { total.fetch_add(1); }, 4);
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(total.load(), static_cast<int>(workers) * 10);
+    EXPECT_EQ(guarded.load(), static_cast<int>(workers));
+}
+
+TEST(ParallelFor, NestedExceptionPropagatesThroughBothLevels) {
+    EXPECT_THROW(parallel_for(
+                     3,
+                     [](std::size_t) {
+                         parallel_for(
+                             10,
+                             [](std::size_t i) {
+                                 if (i == 7) {
+                                     throw std::runtime_error("inner boom");
+                                 }
+                             },
+                             4);
+                     },
+                     2),
+                 std::runtime_error);
+}
+
+TEST(Latch, BlocksUntilCountReachesZero) {
+    Latch latch(3);
+    std::atomic<bool> released{false};
+    std::thread waiter([&] {
+        latch.wait();
+        released.store(true);
+    });
+    latch.count_down();
+    latch.count_down();
+    EXPECT_FALSE(released.load());
+    latch.count_down();
+    waiter.join();
+    EXPECT_TRUE(released.load());
+    latch.wait(); // already zero: returns immediately
 }
 
 TEST(Logging, LevelFiltering) {
