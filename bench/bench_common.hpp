@@ -133,6 +133,7 @@ inline rl::CemConfig default_cem(bool full) {
     cem.population = full ? 64 : 32;
     cem.elites = full ? 10 : 6;
     cem.generations = full ? 60 : 22;
+    cem.threads = 0; // conditioned-rollout objective is thread-safe: use all cores
     return cem;
 }
 

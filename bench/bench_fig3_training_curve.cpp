@@ -18,6 +18,12 @@ int main(int argc, char** argv) {
     cli.flag_int("iterations", 25, "PPO training iterations at default budget");
     cli.flag_int("horizon", 30, "Episode length (decision epochs) at default budget");
     cli.flag_int("seed", 1, "Training seed");
+    cli.flag_int("num-envs", 1,
+                 "Parallel rollout environments K (results depend on (seed, K) but "
+                 "never on thread count)");
+    cli.flag_int("train-threads", 0,
+                 "Worker threads for the rollout fan-out (0 = all cores; never "
+                 "changes results)");
     cli.flag_bool("warm-start", false,
              "Initialize the policy mean at the best Boltzmann rule (shows the "
              "pipeline surpassing JSQ(2) within the small default budget)");
@@ -48,6 +54,14 @@ int main(int argc, char** argv) {
         ppo.kl_target = 0.03;
         iterations = static_cast<std::size_t>(cli.get_int("iterations"));
     }
+    if (cli.get_int("num-envs") < 1 || cli.get_int("train-threads") < 0) {
+        std::fprintf(stderr, "error: --num-envs must be >= 1 and --train-threads >= 0\n");
+        return 2;
+    }
+    experiment.num_envs = static_cast<std::size_t>(cli.get_int("num-envs"));
+    experiment.train_threads = static_cast<std::size_t>(cli.get_int("train-threads"));
+    ppo.num_envs = experiment.num_envs;
+    ppo.train_threads = experiment.train_threads;
 
     bench::print_header("Figure 3",
                         "PPO training curve on the MFC MDP (episode return = -packet drops)",
@@ -74,13 +88,14 @@ int main(int argc, char** argv) {
 
     Table curve({"iteration", "timesteps", "mean_episode_return", "mean_KL", "kl_coeff",
                  "policy_loss", "value_loss"});
-    MfcRlEnv env(config, RuleParameterization::Logits);
-    rl::PpoTrainer trainer(env, ppo, Rng(cli.get_int("seed")));
+    const auto make_env = [&config]() -> std::unique_ptr<rl::Env> {
+        return std::make_unique<MfcRlEnv>(config, RuleParameterization::Logits);
+    };
+    rl::PpoTrainer trainer(make_env, ppo, Rng(cli.get_int("seed")));
     if (cli.get_bool("warm-start")) {
         const std::vector<double> beta_grid{0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
         const double beta = best_boltzmann_beta(config, beta_grid, 4, 99);
-        trainer.policy().set_initial_mean(
-            boltzmann_initial_params(env.env().tuple_space(), 1, beta));
+        trainer.policy().set_initial_mean(boltzmann_initial_params(space, 1, beta));
         std::printf("warm start: Boltzmann beta = %.2f\n\n", beta);
     }
     trainer.train(iterations, [&](const rl::PpoIterationStats& stats) {

@@ -12,6 +12,7 @@
 #include "support/counting_allocator.inc"
 
 #include <chrono>
+#include <memory>
 
 namespace {
 
@@ -146,6 +147,64 @@ int main(int argc, char** argv) {
         std::printf("\nevaluate_mfc (Table 1, dt=1, T_e=500, %zu episodes, all cores):\n"
                     "  %.3f s wall clock, drops/queue = %s\n",
                     episodes, elapsed, bench::ci_cell(result.total_drops).c_str());
+    }
+
+    // --- 4. PPO training step: collect + allocation-free batched update ----
+    // The update phase shares the hot-path contract with the simulators:
+    // after the warmup iteration sizes the GEMM workspaces, the SGD epochs
+    // must not touch the heap. Rows feed the CI perf artifact so training
+    // throughput is tracked alongside sim throughput.
+    {
+        ExperimentConfig experiment = scenario_or_die("table1").experiment;
+        experiment.dt = 5.0;
+        MfcConfig config = experiment.mfc();
+        config.horizon = 25;
+        rl::PpoConfig ppo;
+        ppo.hidden = {64, 64};
+        ppo.train_batch_size = full ? 2000 : 500;
+        ppo.minibatch_size = 125;
+        ppo.num_epochs = full ? 6 : 3;
+        ppo.num_envs = 1;
+        const auto factory = [&config]() -> std::unique_ptr<rl::Env> {
+            return std::make_unique<MfcRlEnv>(config, RuleParameterization::Logits);
+        };
+        rl::PpoTrainer trainer(factory, ppo, Rng(cli.get_int("seed")));
+        (void)trainer.train_iteration(); // warmup sizes every workspace
+
+        rl::PpoIterationStats stats;
+        const auto start_collect = Clock::now();
+        trainer.collect_phase(stats);
+        const double collect_seconds = seconds_since(start_collect);
+        const std::size_t allocs_before = counting_allocator::count();
+        const auto start_update = Clock::now();
+        trainer.optimize_phase(stats);
+        const double update_seconds = seconds_since(start_update);
+        const std::size_t allocs = counting_allocator::count() - allocs_before;
+        timings.record("rollout_collect_mfc", collect_seconds);
+        timings.record("ppo_update_batched_mfc", update_seconds);
+        std::printf("\nPPO training step (MFC MDP, 64x64 net, batch %zu, %zu epochs):\n"
+                    "  collect %.3f s, batched update %.3f s, %zu heap allocations in the "
+                    "update\n",
+                    ppo.train_batch_size, ppo.num_epochs, collect_seconds, update_seconds,
+                    allocs);
+        if (allocs != 0) {
+            std::printf("  FAIL: expected zero steady-state allocations in the update\n");
+            ++failures;
+        }
+
+        // Legacy per-sample update on the same net, for the CI speedup trail.
+        rl::PpoConfig scalar_ppo = ppo;
+        scalar_ppo.batched_update = false;
+        rl::PpoTrainer scalar(factory, scalar_ppo, Rng(cli.get_int("seed")));
+        (void)scalar.train_iteration();
+        rl::PpoIterationStats scalar_stats;
+        scalar.collect_phase(scalar_stats);
+        const auto start_scalar = Clock::now();
+        scalar.optimize_phase(scalar_stats);
+        const double scalar_seconds = seconds_since(start_scalar);
+        timings.record("ppo_update_scalar_mfc", scalar_seconds);
+        std::printf("  per-sample update %.3f s  ->  %.2fx batched speedup\n", scalar_seconds,
+                    scalar_seconds / update_seconds);
     }
 
     timings.write(cli.get("json"));

@@ -95,6 +95,102 @@ void BM_DecisionRuleFromLogits(benchmark::State& state) {
 }
 BENCHMARK(BM_DecisionRuleFromLogits);
 
+void BM_GemmNT(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::size_t batch = 128;
+    std::vector<double> a(batch * n), b(n * n), c(batch * n, 0.0);
+    Rng rng(7);
+    for (double& v : a) {
+        v = rng.normal();
+    }
+    for (double& v : b) {
+        v = rng.normal();
+    }
+    for (auto _ : state) {
+        gemm_nt_acc(batch, n, n, a.data(), b.data(), c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * batch * n * n));
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(256);
+
+void BM_GemmTN(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::size_t batch = 128;
+    std::vector<double> a(batch * n), b(batch * n), c(n * n, 0.0);
+    Rng rng(8);
+    for (double& v : a) {
+        v = rng.normal();
+    }
+    for (double& v : b) {
+        v = rng.normal();
+    }
+    for (auto _ : state) {
+        gemm_tn_acc(n, n, batch, a.data(), b.data(), c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * batch * n * n));
+}
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256);
+
+void BM_MlpForwardBatched(benchmark::State& state) {
+    Rng rng(9);
+    rl::Mlp net({8, 256, 256, 144}, rng, 1.0);
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    std::vector<double> inputs(batch * 8);
+    for (double& v : inputs) {
+        v = rng.normal();
+    }
+    rl::Mlp::BatchWorkspace ws(net, batch);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.forward_cached_batch(inputs, batch, ws).data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MlpForwardBatched)->Arg(1)->Arg(32)->Arg(128);
+
+void BM_MlpForwardPerSampleLoop(benchmark::State& state) {
+    // The pre-batching shape: one scalar forward per row (same net and rows
+    // as BM_MlpForwardBatched for a direct items/sec comparison).
+    Rng rng(9);
+    rl::Mlp net({8, 256, 256, 144}, rng, 1.0);
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    std::vector<double> inputs(batch * 8);
+    for (double& v : inputs) {
+        v = rng.normal();
+    }
+    rl::Mlp::Workspace ws;
+    for (auto _ : state) {
+        for (std::size_t row = 0; row < batch; ++row) {
+            benchmark::DoNotOptimize(
+                net.forward_span(std::span<const double>(inputs.data() + row * 8, 8), ws)
+                    .data());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MlpForwardPerSampleLoop)->Arg(128);
+
+void BM_MlpBackwardBatched(benchmark::State& state) {
+    Rng rng(10);
+    rl::Mlp net({8, 256, 256, 144}, rng, 1.0);
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    std::vector<double> inputs(batch * 8), grad_out(batch * 144, 0.1);
+    for (double& v : inputs) {
+        v = rng.normal();
+    }
+    std::vector<double> grads(net.parameter_count(), 0.0);
+    rl::Mlp::BatchWorkspace ws(net, batch);
+    net.forward_cached_batch(inputs, batch, ws);
+    for (auto _ : state) {
+        net.forward_cached_batch(inputs, batch, ws);
+        net.backward_batch(ws, grad_out, grads);
+        benchmark::DoNotOptimize(grads.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MlpBackwardBatched)->Arg(128);
+
 void BM_PolicyNetworkForward(benchmark::State& state) {
     Rng rng(5);
     rl::GaussianPolicy policy(8, 72, {static_cast<std::size_t>(state.range(0)),

@@ -2,6 +2,7 @@
 /// tool a downstream operator would actually run:
 ///
 ///   mflb_cli --mode train   --dt 5 --out /tmp/policy.txt
+///   mflb_cli --mode train   --trainer ppo --num-envs 8 --train-threads 8
 ///   mflb_cli --mode eval    --dt 5 --policy /tmp/policy.txt --m 200
 ///   mflb_cli --mode eval    --scenario small-n
 ///   mflb_cli --mode sweep   --dts 1,3,5,10 --m 100
@@ -9,7 +10,9 @@
 ///   mflb_cli --mode scenarios
 ///
 /// Modes:
-///   train     — CEM policy search on the mean-field MDP, save to --out.
+///   train     — policy search on the mean-field MDP: CEM (default; save to
+///               --out) or the Table 2 PPO pipeline (--trainer ppo, with
+///               --num-envs parallel rollout environments).
 ///   eval      — evaluate a saved policy (or baselines) on the finite system;
 ///               the baseline configuration resolves from --scenario.
 ///   sweep     — JSQ/RND/Boltzmann delay sweep table.
@@ -24,14 +27,64 @@
 namespace {
 using namespace mflb;
 
+int run_train_ppo(const CliParser& cli, const ExperimentConfig& experiment,
+                  const MfcConfig& config) {
+    rl::PpoConfig ppo; // defaults ARE Table 2 (cross-checked by bench_table2)
+    if (!cli.get_bool("paper")) {
+        // Calibrated small-budget configuration (same as bench_fig3's
+        // default): finishes in seconds instead of the paper's ~35 h.
+        ppo.hidden = {64, 64};
+        ppo.train_batch_size = 2000;
+        ppo.num_epochs = 10;
+        ppo.learning_rate = 1e-3;
+        ppo.vf_clip_param = 1e9;
+        ppo.initial_log_std = -1.2;
+        ppo.kl_target = 0.03;
+    }
+    ppo.num_envs = experiment.num_envs;
+    ppo.train_threads = experiment.train_threads;
+    const auto iterations = static_cast<std::size_t>(cli.get_int("generations"));
+    std::printf("training: dt=%.1f horizon=%d ppo(%s budget, iters=%zu, K=%zu envs, "
+                "%zu threads)\n",
+                config.dt, config.horizon, cli.get_bool("paper") ? "Table 2" : "reduced",
+                iterations, ppo.num_envs, ppo.train_threads);
+    const PpoTrainingResult result =
+        train_mfc_ppo(config, ppo, iterations, 10, cli.get_int("seed"));
+    for (const rl::PpoIterationStats& stats : result.history) {
+        std::printf("  steps=%8zu return=%9.3f kl=%.5f\n", stats.timesteps_total,
+                    stats.mean_episode_return, stats.mean_kl);
+    }
+    std::printf("final deterministic-policy return: %.4f\n", result.final_eval_return);
+    std::printf("(note: only tabular CEM policies support --out archives; PPO weights "
+                "stay in memory)\n");
+    return 0;
+}
+
 int run_train(const CliParser& cli) {
-    MfcConfig config;
-    config.dt = cli.get_double("dt");
+    if (cli.get_int("train-threads") < 0 || cli.get_int("num-envs") < 1) {
+        std::fprintf(stderr, "error: --train-threads must be >= 0 and --num-envs >= 1\n");
+        return 2;
+    }
+    ExperimentConfig experiment;
+    experiment.dt = cli.get_double("dt");
+    experiment.train_threads = static_cast<std::size_t>(cli.get_int("train-threads"));
+    experiment.num_envs = static_cast<std::size_t>(cli.get_int("num-envs"));
+    MfcConfig config = experiment.mfc();
     config.horizon = static_cast<int>(cli.get_int("horizon"));
+    const std::string trainer = cli.get("trainer");
+    if (trainer == "ppo") {
+        return run_train_ppo(cli, experiment, config);
+    }
+    if (trainer != "cem") {
+        std::fprintf(stderr, "error: unknown --trainer '%s'; expected 'cem' or 'ppo'\n",
+                     trainer.c_str());
+        return 2;
+    }
     rl::CemConfig cem;
     cem.population = static_cast<std::size_t>(cli.get_int("population"));
     cem.generations = static_cast<std::size_t>(cli.get_int("generations"));
     cem.elites = std::max<std::size_t>(2, cem.population / 5);
+    cem.threads = experiment.train_threads;
 
     const TupleSpace space(config.queue.num_states(), config.d);
     const std::vector<double> beta_grid{0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
@@ -198,6 +251,18 @@ int main(int argc, char** argv) {
              "(epoch-parallel event-driven); default = scenario's backend");
     cli.flag_int("threads", 0,
                  "Worker threads for replications / sharded epochs (0 = all cores)");
+    cli.flag("trainer", "cem",
+             "Train-mode optimizer: 'cem' (tabular policy search, supports --out) or "
+             "'ppo' (Table 2 pipeline on the MFC MDP)");
+    cli.flag_int("train-threads", 0,
+                 "Worker threads for trainer fan-outs (CEM population / PPO rollout "
+                 "slots; 0 = all cores; never changes results)");
+    cli.flag_int("num-envs", 1,
+                 "Parallel PPO rollout environments K (results depend on (seed, K), "
+                 "never on thread count)");
+    cli.flag_bool("paper", false,
+                  "With --trainer ppo: use the exact Table 2 configuration instead of "
+                  "the reduced CI-sized budget (paper scale: ~2.5e7 steps, hours)");
     cli.flag_int("shards", 0,
                  "Queue shards K for the sharded-des backend (0 = scenario's, or min(8, M))");
     cli.flag_double("dt", 5, "Synchronization delay");

@@ -103,6 +103,12 @@ Table ppo_config_table(const rl::PpoConfig& config) {
         static_cast<std::int64_t>(config.minibatch_size));
     table.row().cell("T_b").cell("Number of epochs").cell(
         static_cast<std::int64_t>(config.num_epochs));
+    // Implementation knobs of the parallel trainer — not Table 2 values;
+    // they scale throughput without changing the algorithm.
+    table.row().cell("K").cell("Parallel rollout environments").cell(
+        static_cast<std::int64_t>(config.num_envs));
+    table.row().cell("W").cell("Trainer worker threads (0 = all cores)").cell(
+        static_cast<std::int64_t>(config.train_threads));
     return table;
 }
 

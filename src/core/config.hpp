@@ -68,6 +68,13 @@ struct ExperimentConfig {
     /// default for Monte Carlo replication fan-out (0 = all hardware
     /// threads). Never changes results (`--threads` CLI/bench flag).
     std::size_t threads = 0;
+    /// Worker threads for the training fan-outs — PPO rollout slots and CEM
+    /// population evaluation (0 = all hardware threads). Never changes
+    /// results (`--train-threads` CLI/bench flag).
+    std::size_t train_threads = 0;
+    /// K parallel rollout environments for PPO training; part of the
+    /// result-determining (seed, K) pair (`--num-envs` CLI/bench flag).
+    std::size_t num_envs = 1;
 
     /// T_e = nearest integer to eval_total_time / Δt (paper, Section 4).
     int eval_horizon() const noexcept;

@@ -38,6 +38,7 @@
 #include "field/transition.hpp"
 #include "field/tuple_space.hpp"
 #include "math/expm.hpp"
+#include "math/gemm.hpp"
 #include "math/matrix.hpp"
 #include "math/simplex.hpp"
 #include "policies/fixed.hpp"

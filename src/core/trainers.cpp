@@ -125,8 +125,10 @@ PpoTrainingResult train_mfc_ppo(const MfcConfig& config, const rl::PpoConfig& pp
                                 std::uint64_t seed, RuleParameterization parameterization,
                                 const std::function<void(const rl::PpoIterationStats&)>&
                                     on_iteration) {
-    MfcRlEnv env(config, parameterization);
-    rl::PpoTrainer trainer(env, ppo, Rng(seed));
+    const auto make_env = [&config, parameterization]() -> std::unique_ptr<rl::Env> {
+        return std::make_unique<MfcRlEnv>(config, parameterization);
+    };
+    rl::PpoTrainer trainer(make_env, ppo, Rng(seed));
     trainer.train(iterations, on_iteration);
 
     PpoTrainingResult result;

@@ -1,0 +1,49 @@
+/// \file gemm.hpp
+/// Cache-blocked dense matrix-multiply kernels for the batched training
+/// stack (rl/mlp.hpp). All matrices are row-major double buffers; the three
+/// variants cover the layer shapes of an MLP training step:
+///
+///   - gemm_tn_acc — C += Aᵀ · B   (both operands k-major: the forward,
+///     input-delta, and weight-gradient passes all reduce to this shape by
+///     transposing the smaller operand into a workspace buffer)
+///   - gemm_nt_acc — C += A · Bᵀ   (register-tiled dot-product variant)
+///
+/// Determinism contract: every output element accumulates its reduction in
+/// strictly ascending k order, exactly like the naive three-loop product, so
+/// results are bit-identical to the per-sample scalar loops they replace
+/// (blocking reorders *which* elements are computed when, never the
+/// floating-point addition order *within* an element). This is what lets the
+/// batched PPO update reproduce the legacy per-sample update to the last bit
+/// and keeps training results independent of batching internals.
+/// \see rl/mlp.hpp for the batch-major layer passes built on these kernels.
+#pragma once
+
+#include <cstddef>
+
+namespace mflb {
+
+/// The buffers of one call must not overlap (spelled `__restrict` in the
+/// implementation so the row-streaming inner loops vectorize under the
+/// strict FP model — lanes are distinct output elements, never a split
+/// reduction).
+///
+/// C (m×n) += A (m×k) · Bᵀ where B is n×k row-major; i.e.
+/// c[i][j] += Σ_p a[i][p] · b[j][p], p ascending. Register-tiled dot-product
+/// kernel; used where a transposed operand is not available.
+void gemm_nt_acc(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
+                 double* c) noexcept;
+
+/// C (m×n) += Aᵀ · B where A is k×m and B is k×n row-major;
+/// c[i][j] += Σ_p a[p][i] · b[p][j], p ascending. The training workhorse:
+/// a sum of k rank-1 updates accumulated in order, with a register-resident
+/// 4×8 C tile and contiguous per-p loads of both operands — the shape GCC
+/// SLP-vectorizes cleanly under strict FP.
+void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k, const double* a, const double* b,
+                 double* c) noexcept;
+
+/// OUT (cols×rows) = transpose of the row-major IN (rows×cols). Helper for
+/// bringing operands into the k-major layout gemm_tn_acc wants without
+/// changing any accumulation order.
+void transpose(std::size_t rows, std::size_t cols, const double* in, double* out) noexcept;
+
+} // namespace mflb

@@ -3,7 +3,42 @@
 #include <cmath>
 #include <stdexcept>
 
+// The update sweep is element-independent (no reductions), so SIMD lanes
+// map one-to-one onto parameters and the sweep stays deterministic for a
+// fixed machine at any thread count. The haswell clone (4-wide
+// mul/div/sqrt + FMA contraction) is selected once by the loader; both the
+// batched and the per-sample PPO update run through this same sweep, so the
+// two paths remain mutually consistent on every ISA.
+// (Disabled under ThreadSanitizer: TSan's interceptors are not ifunc-safe —
+// the resolver would run before the TSan runtime is initialized.)
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    defined(__ELF__) && !defined(__SANITIZE_THREAD__)
+#define MFLB_ADAM_CLONES __attribute__((target_clones("arch=x86-64-v3", "default")))
+#else
+#define MFLB_ADAM_CLONES
+#endif
+
 namespace mflb::rl {
+
+namespace {
+/// The fused Adam sweep over the flat parameter vector: moment updates,
+/// bias correction, and the parameter step in one pass, with no per-sample
+/// or per-layer loops left (the gradients already arrive batched).
+MFLB_ADAM_CLONES
+void adam_sweep(double* __restrict params, const double* __restrict grads,
+                double* __restrict m, double* __restrict v, std::size_t count, double scale,
+                double lr, double beta1, double beta2, double eps, double bias1,
+                double bias2) noexcept {
+    for (std::size_t i = 0; i < count; ++i) {
+        const double g = grads[i] * scale;
+        m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+        v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+        const double m_hat = m[i] / bias1;
+        const double v_hat = v[i] / bias2;
+        params[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+    }
+}
+} // namespace
 
 Adam::Adam(std::size_t parameter_count, double learning_rate, double beta1, double beta2,
            double epsilon)
@@ -32,14 +67,8 @@ void Adam::step(std::span<double> params, std::span<const double> grads, double 
     ++t_;
     const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
     const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
-    for (std::size_t i = 0; i < params.size(); ++i) {
-        const double g = grads[i] * scale;
-        m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * g;
-        v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * g * g;
-        const double m_hat = m_[i] / bias1;
-        const double v_hat = v_[i] / bias2;
-        params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
+    adam_sweep(params.data(), grads.data(), m_.data(), v_.data(), params.size(), scale, lr_,
+               beta1_, beta2_, eps_, bias1, bias2);
 }
 
 } // namespace mflb::rl

@@ -1,5 +1,7 @@
 #include "rl/cem.hpp"
 
+#include "support/thread_pool.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -24,16 +26,29 @@ CemResult cem_maximize(const std::function<double(std::span<const double>, Rng&)
 
     std::vector<std::vector<double>> population(config.population);
     std::vector<double> scores(config.population);
+    std::vector<Rng> eval_rngs(config.population, Rng(0));
     std::vector<std::size_t> order(config.population);
 
     for (std::size_t gen = 0; gen < config.generations; ++gen) {
+        // Candidates and their evaluation streams are drawn serially (the
+        // exact draw sequence of the legacy serial loop); only the objective
+        // calls fan out, so scores are thread-count-invariant.
         for (std::size_t c = 0; c < config.population; ++c) {
             population[c].resize(dim);
             for (std::size_t i = 0; i < dim; ++i) {
                 population[c][i] = mean[i] + stddev[i] * rng.normal();
             }
-            Rng eval_rng = rng.split();
-            scores[c] = objective(population[c], eval_rng);
+            eval_rngs[c] = rng.split();
+        }
+        if (config.threads == 1) {
+            for (std::size_t c = 0; c < config.population; ++c) {
+                scores[c] = objective(population[c], eval_rngs[c]);
+            }
+        } else {
+            parallel_for(
+                config.population,
+                [&](std::size_t c) { scores[c] = objective(population[c], eval_rngs[c]); },
+                config.threads);
         }
         std::iota(order.begin(), order.end(), std::size_t{0});
         std::sort(order.begin(), order.end(),

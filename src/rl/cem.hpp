@@ -24,6 +24,13 @@ struct CemConfig {
     double initial_std = 1.0;         ///< exploration noise at generation 0.
     double min_std = 0.02;            ///< noise floor (keeps exploring).
     double extra_std_decay = 0.9;     ///< decay of additive exploration noise.
+    /// Worker threads for the per-generation population evaluation
+    /// (1 = serial, the default; 0 = all hardware threads). Candidates and
+    /// their evaluation RNG streams are derived serially before the fan-out,
+    /// so results are bit-identical at any thread count — including to the
+    /// serial path. Parallel evaluation is opt-in because it requires the
+    /// objective to be thread-safe.
+    std::size_t threads = 1;
 };
 
 /// One generation's diagnostics.
@@ -37,7 +44,9 @@ struct CemGenerationStats {
 
 /// Maximizes `objective` over R^n starting from `initial_mean`.
 /// `objective` is called once per candidate per generation and receives a
-/// split RNG so evaluations can be stochastic yet reproducible.
+/// split RNG so evaluations can be stochastic yet reproducible; the
+/// population is evaluated in parallel on the shared thread pool
+/// (CemConfig::threads).
 struct CemResult {
     std::vector<double> best_parameters;
     double best_score = 0.0;

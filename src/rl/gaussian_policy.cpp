@@ -48,6 +48,27 @@ GaussianPolicy::Sample GaussianPolicy::sample(std::span<const double> obs, Rng& 
     return s;
 }
 
+double GaussianPolicy::sample_with_moments(std::span<const double> obs, Rng& rng,
+                                           Mlp::Workspace& ws, std::span<double> action,
+                                           std::span<double> mean,
+                                           std::span<double> log_std) const {
+    if (action.size() != action_dim_ || mean.size() != action_dim_ ||
+        log_std.size() != action_dim_) {
+        throw std::invalid_argument("GaussianPolicy::sample_with_moments: size mismatch");
+    }
+    const std::span<const double> out = net_.forward_span(obs, ws);
+    double log_prob = 0.0;
+    for (std::size_t i = 0; i < action_dim_; ++i) {
+        mean[i] = out[i];
+        log_std[i] = std::clamp(out[action_dim_ + i], kMinLogStd, kMaxLogStd);
+        const double sigma = std::exp(log_std[i]);
+        action[i] = mean[i] + sigma * rng.normal();
+        const double zscore = (action[i] - mean[i]) / sigma;
+        log_prob += -0.5 * zscore * zscore - log_std[i] - kHalfLog2Pi;
+    }
+    return log_prob;
+}
+
 std::vector<double> GaussianPolicy::mean_action(std::span<const double> obs) const {
     return moments(obs).mean;
 }
@@ -106,6 +127,90 @@ void GaussianPolicy::backward(const Mlp::Workspace& ws, const Eval& eval,
     net_.backward(ws, grad_out, grad_params);
 }
 
+void GaussianPolicy::evaluate_batch(std::span<const double> obs, std::span<const double> actions,
+                                    std::size_t batch, Mlp::BatchWorkspace& ws,
+                                    std::span<double> means, std::span<double> log_stds,
+                                    std::span<double> log_probs,
+                                    std::span<double> entropies) const {
+    if (actions.size() != batch * action_dim_ || means.size() != batch * action_dim_ ||
+        log_stds.size() != batch * action_dim_ || log_probs.size() != batch ||
+        entropies.size() != batch) {
+        throw std::invalid_argument("GaussianPolicy::evaluate_batch: size mismatch");
+    }
+    const std::span<const double> out = net_.forward_cached_batch(obs, batch, ws);
+    for (std::size_t row = 0; row < batch; ++row) {
+        const double* raw = out.data() + row * 2 * action_dim_;
+        const double* a = actions.data() + row * action_dim_;
+        double* mu = means.data() + row * action_dim_;
+        double* ls = log_stds.data() + row * action_dim_;
+        double log_prob = 0.0;
+        double entropy = 0.0;
+        for (std::size_t i = 0; i < action_dim_; ++i) {
+            mu[i] = raw[i];
+            ls[i] = std::clamp(raw[action_dim_ + i], kMinLogStd, kMaxLogStd);
+            const double sigma = std::exp(ls[i]);
+            const double zscore = (a[i] - mu[i]) / sigma;
+            log_prob += -0.5 * zscore * zscore - ls[i] - kHalfLog2Pi;
+            entropy += ls[i] + 0.5 + kHalfLog2Pi;
+        }
+        log_probs[row] = log_prob;
+        entropies[row] = entropy;
+    }
+}
+
+void GaussianPolicy::backward_batch(Mlp::BatchWorkspace& ws, std::size_t batch,
+                                    std::span<const double> actions,
+                                    std::span<const double> means,
+                                    std::span<const double> log_stds,
+                                    std::span<const double> c_logp, double c_entropy,
+                                    double c_kl, std::span<const double> old_means,
+                                    std::span<const double> old_log_stds,
+                                    std::span<double> grad_out,
+                                    std::span<double> grad_params) const {
+    const bool with_kl = c_kl != 0.0 && !old_means.empty();
+    if (actions.size() != batch * action_dim_ || means.size() != batch * action_dim_ ||
+        log_stds.size() != batch * action_dim_ || c_logp.size() != batch ||
+        grad_out.size() != batch * 2 * action_dim_ ||
+        (with_kl && (old_means.size() != batch * action_dim_ ||
+                     old_log_stds.size() != batch * action_dim_))) {
+        throw std::invalid_argument("GaussianPolicy::backward_batch: size mismatch");
+    }
+    const std::span<const double> raw_rows(ws.activations.back().data(),
+                                           batch * 2 * action_dim_);
+    for (std::size_t row = 0; row < batch; ++row) {
+        const double* a = actions.data() + row * action_dim_;
+        const double* mu_row = means.data() + row * action_dim_;
+        const double* ls_row = log_stds.data() + row * action_dim_;
+        const double* raw = raw_rows.data() + row * 2 * action_dim_;
+        double* g = grad_out.data() + row * 2 * action_dim_;
+        const double cp = c_logp[row];
+        for (std::size_t i = 0; i < action_dim_; ++i) {
+            const double mu = mu_row[i];
+            const double ls = ls_row[i];
+            const double sigma = std::exp(ls);
+            const double var = sigma * sigma;
+            const double diff = a[i] - mu;
+
+            double g_mu = cp * diff / var;
+            // log-prob: d/dls = z^2 - 1; entropy: d/dls = 1.
+            double g_ls = cp * (diff * diff / var - 1.0) + c_entropy;
+            if (with_kl) {
+                const double mu_o = old_means[row * action_dim_ + i];
+                const double sigma_o = std::exp(old_log_stds[row * action_dim_ + i]);
+                const double delta = mu - mu_o;
+                g_mu += c_kl * delta / var;
+                g_ls += c_kl * (1.0 - (sigma_o * sigma_o + delta * delta) / var);
+            }
+            g[i] = g_mu;
+            // Straight-through clamp: no gradient where the raw log-std
+            // output sits outside the clamp range.
+            const double raw_ls = raw[action_dim_ + i];
+            g[action_dim_ + i] = (raw_ls > kMinLogStd && raw_ls < kMaxLogStd) ? g_ls : 0.0;
+        }
+    }
+    net_.backward_batch(ws, grad_out, grad_params);
+}
+
 void GaussianPolicy::set_initial_mean(std::span<const double> mean) {
     if (mean.size() != action_dim_) {
         throw std::invalid_argument("GaussianPolicy::set_initial_mean: size mismatch");
@@ -124,14 +229,21 @@ void GaussianPolicy::set_initial_log_std(double log_std) noexcept {
 }
 
 double GaussianPolicy::kl(const Moments& old_moments, const Moments& new_moments) noexcept {
+    return kl(old_moments.mean, old_moments.log_std, new_moments.mean, new_moments.log_std);
+}
+
+double GaussianPolicy::kl(std::span<const double> old_mean,
+                          std::span<const double> old_log_std,
+                          std::span<const double> new_mean,
+                          std::span<const double> new_log_std) noexcept {
     double total = 0.0;
-    const std::size_t n = old_moments.mean.size();
+    const std::size_t n = old_mean.size();
     for (std::size_t i = 0; i < n; ++i) {
-        const double ls_o = old_moments.log_std[i];
-        const double ls_n = new_moments.log_std[i];
+        const double ls_o = old_log_std[i];
+        const double ls_n = new_log_std[i];
         const double var_o = std::exp(2.0 * ls_o);
         const double var_n = std::exp(2.0 * ls_n);
-        const double delta = old_moments.mean[i] - new_moments.mean[i];
+        const double delta = old_mean[i] - new_mean[i];
         total += ls_n - ls_o + (var_o + delta * delta) / (2.0 * var_n) - 0.5;
     }
     return total;

@@ -41,6 +41,13 @@ public:
     };
     /// Samples an action and returns its log-density.
     Sample sample(std::span<const double> obs, Rng& rng) const;
+    /// Sampling variant for rollout workers: reuses `ws` for the forward
+    /// pass, writes the action and the clamped distribution moments into
+    /// caller buffers (each sized action_dim()), and returns the
+    /// log-density. Draws the same rng sequence as sample().
+    double sample_with_moments(std::span<const double> obs, Rng& rng, Mlp::Workspace& ws,
+                               std::span<double> action, std::span<double> mean,
+                               std::span<double> log_std) const;
     /// Deterministic (mean) action for evaluation.
     std::vector<double> mean_action(std::span<const double> obs) const;
 
@@ -63,9 +70,35 @@ public:
                   double c_logp, double c_entropy, double c_kl, const Moments* old,
                   std::span<double> grad_params) const;
 
+    /// Batched evaluate over `batch` row-major (obs, action) rows: writes the
+    /// clamped moments (batch × action_dim each), per-row log-densities and
+    /// entropies, and caches activations in `ws` for backward_batch(). Row b
+    /// is bit-identical to evaluate() on that row. Allocation-free.
+    void evaluate_batch(std::span<const double> obs, std::span<const double> actions,
+                        std::size_t batch, Mlp::BatchWorkspace& ws, std::span<double> means,
+                        std::span<double> log_stds, std::span<double> log_probs,
+                        std::span<double> entropies) const;
+
+    /// Batched counterpart of backward(): accumulates into `grad_params` the
+    /// gradient of Σ_b c_logp[b]·log π(a_b|s_b) + c_entropy·H + c_kl·KL(old_b‖·),
+    /// reusing the activations cached by evaluate_batch(). `grad_out` is
+    /// caller scratch sized batch × 2·action_dim; `old_means`/`old_log_stds`
+    /// may be empty when c_kl == 0. Bit-identical to per-row backward()
+    /// calls in ascending row order. Allocation-free.
+    void backward_batch(Mlp::BatchWorkspace& ws, std::size_t batch,
+                        std::span<const double> actions, std::span<const double> means,
+                        std::span<const double> log_stds, std::span<const double> c_logp,
+                        double c_entropy, double c_kl, std::span<const double> old_means,
+                        std::span<const double> old_log_stds, std::span<double> grad_out,
+                        std::span<double> grad_params) const;
+
     /// Analytic KL(N(old) || N(current at obs)). Used for the adaptive KL
     /// penalty coefficient of RLlib-style PPO.
     static double kl(const Moments& old_moments, const Moments& new_moments) noexcept;
+    /// Span overload over raw moment rows (same arithmetic, same order).
+    static double kl(std::span<const double> old_mean, std::span<const double> old_log_std,
+                     std::span<const double> new_mean,
+                     std::span<const double> new_log_std) noexcept;
 
     /// Sets the log-std head bias so the initial exploration noise is
     /// exp(log_std) regardless of observation (the head weights are near

@@ -1,5 +1,8 @@
 #include "rl/mlp.hpp"
 
+#include "math/gemm.hpp"
+
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -60,6 +63,11 @@ std::vector<double> Mlp::forward(std::span<const double> input) const {
 }
 
 std::vector<double> Mlp::forward_cached(std::span<const double> input, Workspace& ws) const {
+    const std::span<const double> out = forward_span(input, ws);
+    return std::vector<double>(out.begin(), out.end());
+}
+
+std::span<const double> Mlp::forward_span(std::span<const double> input, Workspace& ws) const {
     if (input.size() != layers_.front()) {
         throw std::invalid_argument("Mlp::forward: wrong input size");
     }
@@ -143,6 +151,136 @@ void Mlp::backward(const Workspace& ws, std::span<const double> grad_output,
     }
     if (grad_input != nullptr) {
         *grad_input = std::move(delta);
+    }
+}
+
+Mlp::BatchWorkspace::BatchWorkspace(const Mlp& net, std::size_t max_batch_rows)
+    : max_batch(max_batch_rows) {
+    if (max_batch == 0) {
+        throw std::invalid_argument("Mlp::BatchWorkspace: max_batch must be positive");
+    }
+    const std::vector<std::size_t>& layers = net.layer_sizes();
+    activations.resize(layers.size());
+    std::size_t widest = 0;
+    std::size_t largest_weights = 0;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+        activations[l].assign(max_batch * layers[l], 0.0);
+        widest = std::max(widest, layers[l]);
+        if (l + 1 < layers.size()) {
+            largest_weights = std::max(largest_weights, layers[l] * layers[l + 1]);
+        }
+    }
+    delta.assign(max_batch * widest, 0.0);
+    delta_next.assign(max_batch * widest, 0.0);
+    wt.assign(largest_weights, 0.0);
+    at.assign(max_batch * widest, 0.0);
+}
+
+void Mlp::forward_batch(std::span<const double> inputs, std::size_t batch, BatchWorkspace& ws,
+                        std::span<double> outputs) const {
+    const std::span<const double> out = forward_cached_batch(inputs, batch, ws);
+    if (outputs.size() != out.size()) {
+        throw std::invalid_argument("Mlp::forward_batch: wrong outputs size");
+    }
+    std::copy(out.begin(), out.end(), outputs.begin());
+}
+
+std::span<const double> Mlp::forward_cached_batch(std::span<const double> inputs,
+                                                  std::size_t batch, BatchWorkspace& ws) const {
+    if (ws.activations.size() != layers_.size() || batch > ws.max_batch) {
+        throw std::invalid_argument("Mlp::forward_cached_batch: workspace too small");
+    }
+    if (inputs.size() != batch * layers_.front()) {
+        throw std::invalid_argument("Mlp::forward_cached_batch: wrong inputs size");
+    }
+    ws.batch = batch;
+    std::copy(inputs.begin(), inputs.end(), ws.activations[0].begin());
+    const std::size_t num_layers = layers_.size();
+    for (std::size_t l = 0; l + 1 < num_layers; ++l) {
+        const std::size_t in_dim = layers_[l];
+        const std::size_t out_dim = layers_[l + 1];
+        const double* w = params_.data() + weight_offset(l); // row-major out x in
+        const double* b = params_.data() + bias_offset(l);
+        const double* x = ws.activations[l].data();
+        double* y = ws.activations[l + 1].data();
+        // Seed each output row with the bias, then accumulate X · Wᵀ in
+        // ascending input order — the same FP addition order as the scalar
+        // path (which starts its accumulator at the bias). Both operands are
+        // transposed into the workspace so the product runs through the
+        // k-major gemm_tn kernel; transposition reorders memory, never the
+        // per-element addition sequence.
+        for (std::size_t row = 0; row < batch; ++row) {
+            std::copy(b, b + out_dim, y + row * out_dim);
+        }
+        transpose(out_dim, in_dim, w, ws.wt.data());   // -> in x out
+        transpose(batch, in_dim, x, ws.at.data());     // -> in x batch
+        gemm_tn_acc(batch, out_dim, in_dim, ws.at.data(), ws.wt.data(), y);
+        if (l + 2 < num_layers) {
+            for (std::size_t idx = 0; idx < batch * out_dim; ++idx) {
+                y[idx] = std::tanh(y[idx]);
+            }
+        }
+    }
+    return std::span<const double>(ws.activations.back().data(), batch * layers_.back());
+}
+
+void Mlp::backward_batch(BatchWorkspace& ws, std::span<const double> grad_outputs,
+                         std::span<double> grad_params, std::span<double> grad_inputs) const {
+    const std::size_t batch = ws.batch;
+    if (batch == 0 || ws.activations.size() != layers_.size()) {
+        throw std::invalid_argument("Mlp::backward_batch: workspace not from forward");
+    }
+    if (grad_outputs.size() != batch * layers_.back()) {
+        throw std::invalid_argument("Mlp::backward_batch: wrong grad_outputs size");
+    }
+    if (grad_params.size() != params_.size()) {
+        throw std::invalid_argument("Mlp::backward_batch: wrong grad_params size");
+    }
+    if (!grad_inputs.empty() && grad_inputs.size() != batch * layers_.front()) {
+        throw std::invalid_argument("Mlp::backward_batch: wrong grad_inputs size");
+    }
+    std::copy(grad_outputs.begin(), grad_outputs.end(), ws.delta.begin());
+    for (std::size_t l = layers_.size() - 1; l-- > 0;) {
+        const std::size_t in_dim = layers_[l];
+        const std::size_t out_dim = layers_[l + 1];
+        const double* w = params_.data() + weight_offset(l);
+        double* gw = grad_params.data() + weight_offset(l);
+        double* gb = grad_params.data() + bias_offset(l);
+        const double* x = ws.activations[l].data();
+        const double* y = ws.activations[l + 1].data();
+        double* delta = ws.delta.data();
+        const bool is_output = (l + 2 == layers_.size());
+
+        // For hidden layers y = tanh(pre), so dpre = delta * (1 - y^2).
+        if (!is_output) {
+            for (std::size_t idx = 0; idx < batch * out_dim; ++idx) {
+                delta[idx] *= 1.0 - y[idx] * y[idx];
+            }
+        }
+        // Bias gradient: per-sample contributions in ascending row order.
+        for (std::size_t row = 0; row < batch; ++row) {
+            const double* d = delta + row * out_dim;
+            for (std::size_t o = 0; o < out_dim; ++o) {
+                gb[o] += d[o];
+            }
+        }
+        // Weight gradient: Δᵀ · X accumulated in ascending sample order.
+        gemm_tn_acc(out_dim, in_dim, batch, delta, x, gw);
+        if (l > 0 || !grad_inputs.empty()) {
+            // Input deltas Δ · W as Δᵀᵀ · W: transpose Δ to out × batch so
+            // the product is k-major too (o-ascending accumulation, exactly
+            // the scalar path's order).
+            double* next = ws.delta_next.data();
+            std::fill(next, next + batch * in_dim, 0.0);
+            transpose(batch, out_dim, delta, ws.at.data()); // -> out x batch
+            gemm_tn_acc(batch, in_dim, out_dim, ws.at.data(), w, next);
+            std::swap(ws.delta, ws.delta_next);
+        }
+    }
+    if (!grad_inputs.empty()) {
+        std::copy(ws.delta.begin(), ws.delta.begin() + static_cast<std::ptrdiff_t>(
+                                                           batch * layers_.front()),
+                  grad_inputs.begin());
     }
 }
 

@@ -3,6 +3,17 @@
 /// layer — the paper's policy/value architecture (Fig. 2 shows 256-256 tanh).
 /// Implements manual reverse-mode differentiation; parameters and gradients
 /// are flat vectors so a single Adam instance optimizes the whole model.
+///
+/// Two compute paths share the same parameters:
+///  - the per-sample path (`forward`/`forward_cached`/`backward`) used by
+///    rollout collection and policy inference (core/neural_policy.hpp), and
+///  - the batch-major path (`forward_batch`/`forward_cached_batch`/
+///    `backward_batch`) over row-major (batch × dim) buffers, built on the
+///    cache-blocked GEMM kernels of math/gemm.hpp. The GEMM kernels
+///    accumulate every reduction in ascending order, so the batched passes
+///    are bit-identical to running the per-sample path row by row.
+/// The `BatchWorkspace` is constructor-sized for a maximum batch, making the
+/// steady-state training step allocation-free.
 #pragma once
 
 #include "support/rng.hpp"
@@ -35,14 +46,51 @@ public:
         std::vector<std::vector<double>> activations; ///< act[0] = input, act[L] = output.
     };
 
-    /// Plain inference.
+    /// Plain inference (batch-of-1 semantics; equals `forward_batch` row 0).
     std::vector<double> forward(std::span<const double> input) const;
     /// Forward pass that records activations for a later backward().
     std::vector<double> forward_cached(std::span<const double> input, Workspace& ws) const;
+    /// Forward pass reusing `ws` without copying the output: returns a view
+    /// of the output activations, valid until the next call with this
+    /// workspace. Allocation-free once `ws` is warm.
+    std::span<const double> forward_span(std::span<const double> input, Workspace& ws) const;
     /// Accumulates dLoss/dparams into `grad_params` (size parameter_count())
     /// given dLoss/doutput; optionally also returns dLoss/dinput.
     void backward(const Workspace& ws, std::span<const double> grad_output,
                   std::span<double> grad_params, std::vector<double>* grad_input = nullptr) const;
+
+    /// Batch-major scratch, constructor-sized so the steady-state training
+    /// step never touches the heap. Buffers hold up to `max_batch` rows; a
+    /// forward with `batch` ≤ max_batch packs its rows contiguously.
+    struct BatchWorkspace {
+        BatchWorkspace() = default;
+        BatchWorkspace(const Mlp& net, std::size_t max_batch);
+
+        std::size_t max_batch = 0;
+        std::size_t batch = 0; ///< rows of the last forward_cached_batch.
+        std::vector<std::vector<double>> activations; ///< act[l]: batch × layers[l].
+        std::vector<double> delta;      ///< batch × widest layer scratch.
+        std::vector<double> delta_next; ///< second delta buffer (ping-pong).
+        std::vector<double> wt;         ///< largest layer's weights, transposed (in × out).
+        std::vector<double> at;         ///< batch-major operand transposed (dim × batch).
+    };
+
+    /// Batched forward over `batch` row-major input rows (batch × input_dim),
+    /// writing `batch × output_dim` rows into `outputs`. Pure inference
+    /// convenience over forward_cached_batch.
+    void forward_batch(std::span<const double> inputs, std::size_t batch, BatchWorkspace& ws,
+                       std::span<double> outputs) const;
+    /// Batched forward recording all activations for backward_batch; returns
+    /// a view of the output rows (batch × output_dim) inside `ws`.
+    std::span<const double> forward_cached_batch(std::span<const double> inputs,
+                                                 std::size_t batch, BatchWorkspace& ws) const;
+    /// Accumulates dLoss/dparams over the whole batch into `grad_params`
+    /// given per-row output gradients (batch × output_dim). Optionally writes
+    /// per-row input gradients (batch × input_dim) into `grad_inputs`.
+    /// Bit-identical to summing per-sample backward() calls in row order.
+    void backward_batch(BatchWorkspace& ws, std::span<const double> grad_outputs,
+                        std::span<double> grad_params,
+                        std::span<double> grad_inputs = {}) const;
 
     /// Mutable view of the output layer's bias vector (size output_dim()).
     /// Used to initialize policy heads (e.g. the log-std bias).

@@ -1,7 +1,8 @@
 #include "rl/ppo.hpp"
 
+#include "support/thread_pool.hpp"
+
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -16,136 +17,153 @@ std::vector<std::size_t> value_layers(std::size_t obs_dim,
     layers.push_back(1);
     return layers;
 }
+
+std::unique_ptr<Env> make_checked_env(const PpoTrainer::EnvFactory& make_env) {
+    if (!make_env) {
+        throw std::invalid_argument("PpoTrainer: null environment factory");
+    }
+    std::unique_ptr<Env> env = make_env();
+    if (env == nullptr) {
+        throw std::invalid_argument("PpoTrainer: environment factory returned null");
+    }
+    return env;
+}
+
+/// Stream id of the dedicated evaluation RNG, distinct from every rollout
+/// slot id so evaluation never shares draws with collection.
+constexpr std::uint64_t kEvalStream = ~std::uint64_t{0};
 } // namespace
 
-PpoTrainer::PpoTrainer(Env& env, PpoConfig config, Rng rng)
-    : env_(env),
-      config_(config),
+PpoTrainer::PpoTrainer(const EnvFactory& make_env, PpoConfig config, Rng rng)
+    : config_(std::move(config)),
+      eval_env_(make_checked_env(make_env)),
+      obs_dim_(eval_env_->observation_dim()),
+      act_dim_(eval_env_->action_dim()),
       rng_(rng),
-      policy_(env.observation_dim(), env.action_dim(), config.hidden, rng_),
-      value_net_(value_layers(env.observation_dim(), config.hidden), rng_, 1.0),
-      policy_opt_(policy_.parameter_count(), config.learning_rate),
-      value_opt_(value_net_.parameter_count(), config.learning_rate),
-      kl_coeff_(config.kl_coeff) {
+      policy_(obs_dim_, act_dim_, config_.hidden, rng_),
+      value_net_(value_layers(obs_dim_, config_.hidden), rng_, 1.0),
+      policy_opt_(policy_.parameter_count(), config_.learning_rate),
+      value_opt_(value_net_.parameter_count(), config_.learning_rate),
+      kl_coeff_(config_.kl_coeff),
+      buffer_(std::max<std::size_t>(config_.train_batch_size, 1), obs_dim_, act_dim_) {
     if (config_.train_batch_size == 0 || config_.minibatch_size == 0 || config_.num_epochs == 0) {
         throw std::invalid_argument("PpoTrainer: batch sizes and epochs must be positive");
+    }
+    if (config_.num_envs == 0) {
+        throw std::invalid_argument("PpoTrainer: num_envs must be positive");
+    }
+    if (config_.train_batch_size < config_.num_envs) {
+        throw std::invalid_argument("PpoTrainer: train_batch_size must be >= num_envs");
     }
     if (config_.initial_log_std != 0.0) {
         policy_.set_initial_log_std(config_.initial_log_std);
     }
+    eval_rng_ = rng_.fork(kEvalStream);
+
+    // Rollout slots: slot k collects a fixed quota of ⌈B/K⌉ or ⌊B/K⌋ steps
+    // on its own environment and fork(k) stream (slot 0 of a single-env
+    // trainer draws from the main stream instead, reproducing the legacy
+    // serial trajectory exactly).
+    const std::size_t num_envs = config_.num_envs;
+    const std::size_t base = config_.train_batch_size / num_envs;
+    const std::size_t extra = config_.train_batch_size % num_envs;
+    slots_.reserve(num_envs);
+    for (std::size_t k = 0; k < num_envs; ++k) {
+        const std::size_t quota = base + (k < extra ? 1 : 0);
+        std::unique_ptr<Env> env = make_checked_env(make_env);
+        if (env->observation_dim() != obs_dim_ || env->action_dim() != act_dim_) {
+            throw std::invalid_argument("PpoTrainer: factory environments disagree on dims");
+        }
+        slots_.emplace_back(std::move(env), quota, obs_dim_, act_dim_);
+        slots_.back().rng = rng_.fork(k);
+    }
+
+    // Update-phase workspaces, sized once for the largest minibatch.
+    const std::size_t rows = std::min(config_.minibatch_size, config_.train_batch_size);
+    order_.assign(config_.train_batch_size, 0);
+    obs_batch_.assign(rows * obs_dim_, 0.0);
+    act_batch_.assign(rows * act_dim_, 0.0);
+    old_mean_batch_.assign(rows * act_dim_, 0.0);
+    old_log_std_batch_.assign(rows * act_dim_, 0.0);
+    adv_batch_.assign(rows, 0.0);
+    target_batch_.assign(rows, 0.0);
+    logp_old_batch_.assign(rows, 0.0);
+    mean_batch_.assign(rows * act_dim_, 0.0);
+    log_std_batch_.assign(rows * act_dim_, 0.0);
+    logp_new_batch_.assign(rows, 0.0);
+    entropy_batch_.assign(rows, 0.0);
+    c_logp_batch_.assign(rows, 0.0);
+    grad_out_policy_.assign(rows * 2 * act_dim_, 0.0);
+    grad_out_value_.assign(rows, 0.0);
+    policy_bws_ = Mlp::BatchWorkspace(policy_.network(), rows);
+    value_bws_ = Mlp::BatchWorkspace(value_net_, rows);
+    policy_grad_.assign(policy_.parameter_count(), 0.0);
+    value_grad_.assign(value_net_.parameter_count(), 0.0);
+    old_moments_scratch_.mean.assign(act_dim_, 0.0);
+    old_moments_scratch_.log_std.assign(act_dim_, 0.0);
 }
 
-void PpoTrainer::collect_batch(RolloutBuffer& buffer, PpoIterationStats& stats) {
-    buffer.clear();
+void PpoTrainer::collect_slot(Slot& slot, Rng& rng) const {
+    slot.buffer.clear();
+    slot.return_sum = 0.0;
+    slot.episodes_completed = 0;
+    while (!slot.buffer.full()) {
+        if (!slot.episode_active) {
+            slot.current_obs = slot.env->reset(rng);
+            slot.episode_return = 0.0;
+            slot.episode_active = true;
+        }
+        const double log_prob = policy_.sample_with_moments(
+            slot.current_obs, rng, slot.policy_ws, slot.action, slot.mean, slot.log_std);
+        const double value = value_net_.forward_span(slot.current_obs, slot.value_ws)[0];
+        Env::StepResult step = slot.env->step(slot.action, rng);
+        slot.buffer.add(slot.current_obs, slot.action, step.reward, value, log_prob, step.done,
+                        slot.mean, slot.log_std);
+        slot.episode_return += step.reward;
+        slot.current_obs = std::move(step.observation);
+        if (step.done) {
+            slot.episode_active = false;
+            slot.return_sum += slot.episode_return;
+            ++slot.episodes_completed;
+        }
+    }
+    slot.bootstrap = slot.episode_active
+                         ? value_net_.forward_span(slot.current_obs, slot.value_ws)[0]
+                         : 0.0;
+}
+
+void PpoTrainer::collect_phase(PpoIterationStats& stats) {
+    buffer_.clear();
+    if (slots_.size() == 1) {
+        // Single-env path draws from the main stream (legacy trajectory).
+        collect_slot(slots_[0], rng_);
+    } else {
+        parallel_for(
+            slots_.size(), [this](std::size_t k) { collect_slot(slots_[k], slots_[k].rng); },
+            config_.train_threads);
+    }
     double return_sum = 0.0;
     std::size_t episodes = 0;
-    while (!buffer.full()) {
-        if (!episode_active_) {
-            current_obs_ = env_.reset(rng_);
-            episode_return_ = 0.0;
-            episode_active_ = true;
-        }
-        Transition t;
-        t.observation = current_obs_;
-        const GaussianPolicy::Sample sample = policy_.sample(current_obs_, rng_);
-        t.action = sample.action;
-        t.log_prob = sample.log_prob;
-        t.moments = policy_.moments(current_obs_);
-        t.value = value_net_.forward(current_obs_)[0];
-
-        const Env::StepResult step = env_.step(sample.action, rng_);
-        t.reward = step.reward;
-        t.terminal = step.done;
-        episode_return_ += step.reward;
-        current_obs_ = step.observation;
-        if (step.done) {
-            episode_active_ = false;
-            return_sum += episode_return_;
-            ++episodes;
-        }
-        buffer.add(std::move(t));
+    for (Slot& slot : slots_) { // fixed slot order: the serial merge reduction
+        buffer_.append_segment(slot.buffer, slot.bootstrap);
+        return_sum += slot.return_sum;
+        episodes += slot.episodes_completed;
     }
-    const double bootstrap =
-        episode_active_ ? value_net_.forward(current_obs_)[0] : 0.0;
-    buffer.compute_gae(config_.discount, config_.gae_lambda, bootstrap);
+    buffer_.compute_gae(config_.discount, config_.gae_lambda);
     if (config_.normalize_advantages) {
-        buffer.normalize_advantages();
+        buffer_.normalize_advantages();
     }
-    timesteps_total_ += buffer.size();
+    timesteps_total_ += buffer_.size();
     stats.timesteps_total = timesteps_total_;
     stats.episodes_completed = episodes;
-    stats.mean_episode_return = episodes > 0 ? return_sum / static_cast<double>(episodes) : 0.0;
+    stats.mean_episode_return =
+        episodes > 0 ? return_sum / static_cast<double>(episodes) : 0.0;
 }
 
-void PpoTrainer::optimize_batch(RolloutBuffer& buffer, PpoIterationStats& stats) {
-    const std::size_t n = buffer.size();
-    std::vector<double> policy_grad(policy_.parameter_count(), 0.0);
-    std::vector<double> value_grad(value_net_.parameter_count(), 0.0);
-    Mlp::Workspace policy_ws;
-    Mlp::Workspace value_ws;
-
-    double kl_sum = 0.0;
-    double policy_loss_sum = 0.0;
-    double value_loss_sum = 0.0;
-    double entropy_sum = 0.0;
-    std::size_t sample_count = 0;
-
-    for (std::size_t epoch = 0; epoch < config_.num_epochs; ++epoch) {
-        const std::vector<std::uint32_t> order = rng_.permutation(n);
-        for (std::size_t start = 0; start < n; start += config_.minibatch_size) {
-            const std::size_t end = std::min(n, start + config_.minibatch_size);
-            const double inv_batch = 1.0 / static_cast<double>(end - start);
-            std::fill(policy_grad.begin(), policy_grad.end(), 0.0);
-            std::fill(value_grad.begin(), value_grad.end(), 0.0);
-
-            for (std::size_t pos = start; pos < end; ++pos) {
-                const Transition& t = buffer[order[pos]];
-                const double advantage = buffer.advantage(order[pos]);
-                const double value_target = buffer.value_target(order[pos]);
-
-                // --- policy terms ---
-                const GaussianPolicy::Eval eval =
-                    policy_.evaluate(t.observation, t.action, policy_ws);
-                const double ratio = std::exp(eval.log_prob - t.log_prob);
-                const double clipped =
-                    std::clamp(ratio, 1.0 - config_.clip_param, 1.0 + config_.clip_param);
-                const double surrogate = std::min(ratio * advantage, clipped * advantage);
-                const double kl = GaussianPolicy::kl(t.moments, eval.moments);
-
-                // d(-surrogate)/d logp: active only when the unclipped branch
-                // is the binding one.
-                const bool unclipped_active = ratio * advantage <= clipped * advantage;
-                const double d_logp =
-                    unclipped_active ? -advantage * ratio * inv_batch : 0.0;
-                const double d_entropy = -config_.entropy_coeff * inv_batch;
-                const double d_kl = kl_coeff_ * inv_batch;
-                policy_.backward(policy_ws, eval, t.action, d_logp, d_entropy, d_kl, &t.moments,
-                                 policy_grad);
-
-                // --- value term (clipped squared error, RLlib-style) ---
-                const double value = value_net_.forward_cached(t.observation, value_ws)[0];
-                const double error = value - value_target;
-                const double sq = error * error;
-                double d_value = 0.0;
-                if (sq <= config_.vf_clip_param) {
-                    d_value = config_.vf_loss_coeff * 2.0 * error * inv_batch;
-                }
-                const std::array<double, 1> grad_out{d_value};
-                value_net_.backward(value_ws, grad_out, value_grad);
-
-                policy_loss_sum += -surrogate;
-                value_loss_sum += std::min(sq, config_.vf_clip_param);
-                entropy_sum += eval.entropy;
-                kl_sum += kl;
-                ++sample_count;
-            }
-            policy_opt_.step(policy_.network().parameters(), policy_grad,
-                             config_.max_grad_norm);
-            value_opt_.step(value_net_.parameters(), value_grad, config_.max_grad_norm);
-        }
-    }
-
-    const double inv = sample_count > 0 ? 1.0 / static_cast<double>(sample_count) : 0.0;
+void PpoTrainer::finish_optimize(PpoIterationStats& stats, double kl_sum,
+                                 double policy_loss_sum, double value_loss_sum,
+                                 double entropy_sum, std::size_t samples) {
+    const double inv = samples > 0 ? 1.0 / static_cast<double>(samples) : 0.0;
     stats.mean_kl = kl_sum * inv;
     stats.policy_loss = policy_loss_sum * inv;
     stats.value_loss = value_loss_sum * inv;
@@ -160,11 +178,191 @@ void PpoTrainer::optimize_batch(RolloutBuffer& buffer, PpoIterationStats& stats)
     stats.kl_coeff = kl_coeff_;
 }
 
+void PpoTrainer::optimize_batched(PpoIterationStats& stats) {
+    const std::size_t n = buffer_.size();
+    const std::size_t a_dim = act_dim_;
+    double kl_sum = 0.0;
+    double policy_loss_sum = 0.0;
+    double value_loss_sum = 0.0;
+    double entropy_sum = 0.0;
+    std::size_t sample_count = 0;
+
+    for (std::size_t epoch = 0; epoch < config_.num_epochs; ++epoch) {
+        rng_.permutation(std::span<std::uint32_t>(order_.data(), n));
+        for (std::size_t start = 0; start < n; start += config_.minibatch_size) {
+            const std::size_t end = std::min(n, start + config_.minibatch_size);
+            const std::size_t rows = end - start;
+            const double inv_batch = 1.0 / static_cast<double>(rows);
+
+            // Gather the minibatch rows into the batch-major workspaces.
+            for (std::size_t r = 0; r < rows; ++r) {
+                const std::size_t idx = order_[start + r];
+                const std::span<const double> obs = buffer_.observation(idx);
+                std::copy(obs.begin(), obs.end(), obs_batch_.begin() +
+                                                      static_cast<std::ptrdiff_t>(r * obs_dim_));
+                const std::span<const double> act = buffer_.action(idx);
+                std::copy(act.begin(), act.end(),
+                          act_batch_.begin() + static_cast<std::ptrdiff_t>(r * a_dim));
+                const std::span<const double> om = buffer_.old_mean(idx);
+                std::copy(om.begin(), om.end(),
+                          old_mean_batch_.begin() + static_cast<std::ptrdiff_t>(r * a_dim));
+                const std::span<const double> ol = buffer_.old_log_std(idx);
+                std::copy(ol.begin(), ol.end(),
+                          old_log_std_batch_.begin() + static_cast<std::ptrdiff_t>(r * a_dim));
+                adv_batch_[r] = buffer_.advantage(idx);
+                target_batch_[r] = buffer_.value_target(idx);
+                logp_old_batch_[r] = buffer_.log_prob(idx);
+            }
+
+            // --- policy terms: one batched pass over the minibatch ---
+            policy_.evaluate_batch(
+                std::span<const double>(obs_batch_.data(), rows * obs_dim_),
+                std::span<const double>(act_batch_.data(), rows * a_dim), rows, policy_bws_,
+                std::span<double>(mean_batch_.data(), rows * a_dim),
+                std::span<double>(log_std_batch_.data(), rows * a_dim),
+                std::span<double>(logp_new_batch_.data(), rows),
+                std::span<double>(entropy_batch_.data(), rows));
+            for (std::size_t r = 0; r < rows; ++r) {
+                const double advantage = adv_batch_[r];
+                const double ratio = std::exp(logp_new_batch_[r] - logp_old_batch_[r]);
+                const double clipped =
+                    std::clamp(ratio, 1.0 - config_.clip_param, 1.0 + config_.clip_param);
+                const double surrogate = std::min(ratio * advantage, clipped * advantage);
+                const double kl = GaussianPolicy::kl(
+                    std::span<const double>(old_mean_batch_.data() + r * a_dim, a_dim),
+                    std::span<const double>(old_log_std_batch_.data() + r * a_dim, a_dim),
+                    std::span<const double>(mean_batch_.data() + r * a_dim, a_dim),
+                    std::span<const double>(log_std_batch_.data() + r * a_dim, a_dim));
+                // d(-surrogate)/d logp: active only when the unclipped branch
+                // is the binding one.
+                const bool unclipped_active = ratio * advantage <= clipped * advantage;
+                c_logp_batch_[r] = unclipped_active ? -advantage * ratio * inv_batch : 0.0;
+                policy_loss_sum += -surrogate;
+                entropy_sum += entropy_batch_[r];
+                kl_sum += kl;
+                ++sample_count;
+            }
+            std::fill(policy_grad_.begin(), policy_grad_.end(), 0.0);
+            policy_.backward_batch(
+                policy_bws_, rows, std::span<const double>(act_batch_.data(), rows * a_dim),
+                std::span<const double>(mean_batch_.data(), rows * a_dim),
+                std::span<const double>(log_std_batch_.data(), rows * a_dim),
+                std::span<const double>(c_logp_batch_.data(), rows),
+                -config_.entropy_coeff * inv_batch, kl_coeff_ * inv_batch,
+                std::span<const double>(old_mean_batch_.data(), rows * a_dim),
+                std::span<const double>(old_log_std_batch_.data(), rows * a_dim),
+                std::span<double>(grad_out_policy_.data(), rows * 2 * a_dim), policy_grad_);
+
+            // --- value term (clipped squared error, RLlib-style) ---
+            const std::span<const double> values = value_net_.forward_cached_batch(
+                std::span<const double>(obs_batch_.data(), rows * obs_dim_), rows, value_bws_);
+            for (std::size_t r = 0; r < rows; ++r) {
+                const double error = values[r] - target_batch_[r];
+                const double sq = error * error;
+                grad_out_value_[r] = sq <= config_.vf_clip_param
+                                         ? config_.vf_loss_coeff * 2.0 * error * inv_batch
+                                         : 0.0;
+                value_loss_sum += std::min(sq, config_.vf_clip_param);
+            }
+            std::fill(value_grad_.begin(), value_grad_.end(), 0.0);
+            value_net_.backward_batch(value_bws_,
+                                      std::span<const double>(grad_out_value_.data(), rows),
+                                      value_grad_);
+
+            policy_opt_.step(policy_.network().parameters(), policy_grad_,
+                             config_.max_grad_norm);
+            value_opt_.step(value_net_.parameters(), value_grad_, config_.max_grad_norm);
+        }
+    }
+    finish_optimize(stats, kl_sum, policy_loss_sum, value_loss_sum, entropy_sum, sample_count);
+}
+
+void PpoTrainer::optimize_scalar(PpoIterationStats& stats) {
+    // Legacy per-sample update (the pre-batching implementation), retained
+    // as the bench_train_scale baseline and as an equivalence oracle: it
+    // produces bit-identical results to optimize_batched().
+    const std::size_t n = buffer_.size();
+    double kl_sum = 0.0;
+    double policy_loss_sum = 0.0;
+    double value_loss_sum = 0.0;
+    double entropy_sum = 0.0;
+    std::size_t sample_count = 0;
+
+    for (std::size_t epoch = 0; epoch < config_.num_epochs; ++epoch) {
+        rng_.permutation(std::span<std::uint32_t>(order_.data(), n));
+        for (std::size_t start = 0; start < n; start += config_.minibatch_size) {
+            const std::size_t end = std::min(n, start + config_.minibatch_size);
+            const double inv_batch = 1.0 / static_cast<double>(end - start);
+            std::fill(policy_grad_.begin(), policy_grad_.end(), 0.0);
+            std::fill(value_grad_.begin(), value_grad_.end(), 0.0);
+
+            for (std::size_t pos = start; pos < end; ++pos) {
+                const std::size_t idx = order_[pos];
+                const std::span<const double> obs = buffer_.observation(idx);
+                const std::span<const double> action = buffer_.action(idx);
+                const double advantage = buffer_.advantage(idx);
+                const double value_target = buffer_.value_target(idx);
+
+                // --- policy terms ---
+                const GaussianPolicy::Eval eval =
+                    policy_.evaluate(obs, action, scalar_policy_ws_);
+                const double ratio = std::exp(eval.log_prob - buffer_.log_prob(idx));
+                const double clipped =
+                    std::clamp(ratio, 1.0 - config_.clip_param, 1.0 + config_.clip_param);
+                const double surrogate = std::min(ratio * advantage, clipped * advantage);
+                const double kl =
+                    GaussianPolicy::kl(buffer_.old_mean(idx), buffer_.old_log_std(idx),
+                                       eval.moments.mean, eval.moments.log_std);
+
+                const bool unclipped_active = ratio * advantage <= clipped * advantage;
+                const double d_logp =
+                    unclipped_active ? -advantage * ratio * inv_batch : 0.0;
+                const double d_entropy = -config_.entropy_coeff * inv_batch;
+                const double d_kl = kl_coeff_ * inv_batch;
+                const std::span<const double> om = buffer_.old_mean(idx);
+                const std::span<const double> ol = buffer_.old_log_std(idx);
+                old_moments_scratch_.mean.assign(om.begin(), om.end());
+                old_moments_scratch_.log_std.assign(ol.begin(), ol.end());
+                policy_.backward(scalar_policy_ws_, eval, action, d_logp, d_entropy, d_kl,
+                                 &old_moments_scratch_, policy_grad_);
+
+                // --- value term (clipped squared error, RLlib-style) ---
+                const double value = value_net_.forward_cached(obs, scalar_value_ws_)[0];
+                const double error = value - value_target;
+                const double sq = error * error;
+                double d_value = 0.0;
+                if (sq <= config_.vf_clip_param) {
+                    d_value = config_.vf_loss_coeff * 2.0 * error * inv_batch;
+                }
+                const std::array<double, 1> grad_out{d_value};
+                value_net_.backward(scalar_value_ws_, grad_out, value_grad_);
+
+                policy_loss_sum += -surrogate;
+                value_loss_sum += std::min(sq, config_.vf_clip_param);
+                entropy_sum += eval.entropy;
+                kl_sum += kl;
+                ++sample_count;
+            }
+            policy_opt_.step(policy_.network().parameters(), policy_grad_,
+                             config_.max_grad_norm);
+            value_opt_.step(value_net_.parameters(), value_grad_, config_.max_grad_norm);
+        }
+    }
+    finish_optimize(stats, kl_sum, policy_loss_sum, value_loss_sum, entropy_sum, sample_count);
+}
+
+void PpoTrainer::optimize_phase(PpoIterationStats& stats) {
+    if (config_.batched_update) {
+        optimize_batched(stats);
+    } else {
+        optimize_scalar(stats);
+    }
+}
+
 PpoIterationStats PpoTrainer::train_iteration() {
-    RolloutBuffer buffer(config_.train_batch_size);
     PpoIterationStats stats;
-    collect_batch(buffer, stats);
-    optimize_batch(buffer, stats);
+    collect_phase(stats);
+    optimize_phase(stats);
     history_.push_back(stats);
     return stats;
 }
@@ -183,21 +381,19 @@ std::vector<PpoIterationStats> PpoTrainer::train(
 double PpoTrainer::evaluate(std::size_t episodes) {
     double total = 0.0;
     for (std::size_t e = 0; e < episodes; ++e) {
-        std::vector<double> obs = env_.reset(rng_);
+        std::vector<double> obs = eval_env_->reset(eval_rng_);
         double episode_return = 0.0;
         while (true) {
             const std::vector<double> action = policy_.mean_action(obs);
-            const Env::StepResult step = env_.step(action, rng_);
+            Env::StepResult step = eval_env_->step(action, eval_rng_);
             episode_return += step.reward;
             if (step.done) {
                 break;
             }
-            obs = step.observation;
+            obs = std::move(step.observation);
         }
         total += episode_return;
     }
-    // Evaluation interrupts any in-flight collection episode.
-    episode_active_ = false;
     return total / static_cast<double>(episodes);
 }
 

@@ -5,6 +5,18 @@
 /// epochs over each on-policy batch. Defaults reproduce Table 2 exactly
 /// (γ = 0.99, λ_RL = 1, KL coeff 0.2, clip 0.3, lr 5e-5, batch 4000,
 /// minibatch 128, 30 epochs).
+///
+/// The trainer is batch-major and parallel:
+///  - rollout collection fans out over `num_envs` independent environment
+///    slots (each with its own forked RNG stream) on the shared thread pool
+///    and merges slot trajectories into the rollout buffer by a fixed-order
+///    serial reduction — results are bit-identical for fixed
+///    (seed, num_envs) at any `train_threads` count;
+///  - the SGD epochs run whole minibatches through the GEMM-backed batched
+///    MLP passes (rl/mlp.hpp), with constructor-sized workspaces so the
+///    steady-state update is allocation-free. The legacy per-sample update
+///    is kept behind `batched_update = false` as the benchmark baseline; the
+///    two paths produce bit-identical results.
 #pragma once
 
 #include "rl/adam.hpp"
@@ -13,6 +25,7 @@
 #include "rl/rollout_buffer.hpp"
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace mflb::rl {
@@ -38,6 +51,18 @@ struct PpoConfig {
     /// default, sigma ~ 1). Negative values tighten exploration — useful for
     /// high-dimensional decision-rule actions at small step budgets.
     double initial_log_std = 0.0;
+    /// K independent rollout environments collecting each batch in parallel.
+    /// Part of the result-determining (seed, K) pair: results depend on K
+    /// but never on the number of worker threads. K = 1 reproduces the
+    /// legacy single-stream trajectory exactly.
+    std::size_t num_envs = 1;
+    /// Worker threads for the rollout fan-out (0 = all hardware threads).
+    /// Never changes results, only wall clock.
+    std::size_t train_threads = 0;
+    /// When false, runs the legacy per-sample update loop instead of the
+    /// batched GEMM path (bit-identical results; kept as the benchmark
+    /// baseline for bench_train_scale).
+    bool batched_update = true;
 };
 
 /// Per-iteration training diagnostics (one row of the Fig. 3 curve).
@@ -52,10 +77,15 @@ struct PpoIterationStats {
     double kl_coeff = 0.0;               ///< coefficient after adaptation.
 };
 
-/// Single-environment PPO trainer.
+/// PPO trainer over factory-created environment instances.
 class PpoTrainer {
 public:
-    PpoTrainer(Env& env, PpoConfig config, Rng rng);
+    /// Creates one independent environment per call. Invoked num_envs + 1
+    /// times at construction (rollout slots plus the dedicated evaluation
+    /// environment); must not share mutable state between instances.
+    using EnvFactory = std::function<std::unique_ptr<Env>()>;
+
+    PpoTrainer(const EnvFactory& make_env, PpoConfig config, Rng rng);
 
     /// Collects one on-policy batch and performs the SGD epochs.
     PpoIterationStats train_iteration();
@@ -64,35 +94,100 @@ public:
                                          const std::function<void(const PpoIterationStats&)>&
                                              on_iteration = nullptr);
 
+    /// Phase hooks for benches and the allocation tests: train_iteration()
+    /// is collect_phase() followed by optimize_phase() on the same stats
+    /// object (plus history bookkeeping). optimize_phase() requires a
+    /// preceding collect_phase().
+    void collect_phase(PpoIterationStats& stats);
+    void optimize_phase(PpoIterationStats& stats);
+
     const GaussianPolicy& policy() const noexcept { return policy_; }
     GaussianPolicy& policy() noexcept { return policy_; }
     const Mlp& value_network() const noexcept { return value_net_; }
     const std::vector<PpoIterationStats>& history() const noexcept { return history_; }
     double current_kl_coeff() const noexcept { return kl_coeff_; }
+    std::size_t num_envs() const noexcept { return slots_.size(); }
 
     /// Mean undiscounted return of the deterministic (mean-action) policy
-    /// over `episodes` fresh episodes.
+    /// over `episodes` fresh episodes, on a dedicated evaluation environment
+    /// with its own forked RNG stream — interleaved collect/evaluate calls
+    /// never perturb the training trajectory.
     double evaluate(std::size_t episodes);
 
 private:
-    void collect_batch(RolloutBuffer& buffer, PpoIterationStats& stats);
-    void optimize_batch(RolloutBuffer& buffer, PpoIterationStats& stats);
+    /// One rollout environment with its trajectory state and private
+    /// collection buffer (capacity = this slot's share of the batch).
+    struct Slot {
+        Slot(std::unique_ptr<Env> env_in, std::size_t quota, std::size_t obs_dim,
+             std::size_t act_dim)
+            : env(std::move(env_in)),
+              buffer(quota, obs_dim, act_dim),
+              action(act_dim, 0.0),
+              mean(act_dim, 0.0),
+              log_std(act_dim, 0.0) {}
 
-    Env& env_;
+        std::unique_ptr<Env> env;
+        Rng rng{0};             ///< fork(k) stream (unused when num_envs == 1).
+        RolloutBuffer buffer;
+        Mlp::Workspace policy_ws;
+        Mlp::Workspace value_ws;
+        std::vector<double> current_obs;
+        std::vector<double> action;  ///< sample_with_moments scratch rows.
+        std::vector<double> mean;
+        std::vector<double> log_std;
+        bool episode_active = false;
+        double episode_return = 0.0;
+        double bootstrap = 0.0;       ///< V(s_T) of a truncated trajectory.
+        double return_sum = 0.0;      ///< per-iteration episode-return total.
+        std::size_t episodes_completed = 0;
+    };
+
+    void collect_slot(Slot& slot, Rng& rng) const;
+    void optimize_batched(PpoIterationStats& stats);
+    void optimize_scalar(PpoIterationStats& stats);
+    void finish_optimize(PpoIterationStats& stats, double kl_sum, double policy_loss_sum,
+                         double value_loss_sum, double entropy_sum, std::size_t samples);
+
     PpoConfig config_;
+    std::unique_ptr<Env> eval_env_;
+    std::size_t obs_dim_;
+    std::size_t act_dim_;
     Rng rng_;
     GaussianPolicy policy_;
     Mlp value_net_;
     Adam policy_opt_;
     Adam value_opt_;
     double kl_coeff_;
+    Rng eval_rng_{0};
+    std::vector<Slot> slots_;
+    RolloutBuffer buffer_; ///< merged batch, capacity train_batch_size.
     std::vector<PpoIterationStats> history_;
     std::size_t timesteps_total_ = 0;
 
-    // Persistent episode state so batches can cut across episode boundaries.
-    std::vector<double> current_obs_;
-    bool episode_active_ = false;
-    double episode_return_ = 0.0;
+    // Constructor-sized update workspaces (rows = min(minibatch, batch)).
+    std::vector<std::uint32_t> order_;
+    std::vector<double> obs_batch_;
+    std::vector<double> act_batch_;
+    std::vector<double> old_mean_batch_;
+    std::vector<double> old_log_std_batch_;
+    std::vector<double> adv_batch_;
+    std::vector<double> target_batch_;
+    std::vector<double> logp_old_batch_;
+    std::vector<double> mean_batch_;
+    std::vector<double> log_std_batch_;
+    std::vector<double> logp_new_batch_;
+    std::vector<double> entropy_batch_;
+    std::vector<double> c_logp_batch_;
+    std::vector<double> grad_out_policy_;
+    std::vector<double> grad_out_value_;
+    Mlp::BatchWorkspace policy_bws_;
+    Mlp::BatchWorkspace value_bws_;
+    std::vector<double> policy_grad_;
+    std::vector<double> value_grad_;
+    // Scalar-path scratch (legacy update baseline).
+    Mlp::Workspace scalar_policy_ws_;
+    Mlp::Workspace scalar_value_ws_;
+    GaussianPolicy::Moments old_moments_scratch_;
 };
 
 } // namespace mflb::rl

@@ -1,68 +1,139 @@
 #include "rl/rollout_buffer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace mflb::rl {
 
-RolloutBuffer::RolloutBuffer(std::size_t capacity) : capacity_(capacity) {
+RolloutBuffer::RolloutBuffer(std::size_t capacity, std::size_t obs_dim, std::size_t action_dim)
+    : capacity_(capacity), obs_dim_(obs_dim), act_dim_(action_dim) {
     if (capacity == 0) {
         throw std::invalid_argument("RolloutBuffer: capacity must be positive");
     }
-    transitions_.reserve(capacity);
+    observations_.assign(capacity * obs_dim_, 0.0);
+    actions_.assign(capacity * act_dim_, 0.0);
+    old_means_.assign(capacity * act_dim_, 0.0);
+    old_log_stds_.assign(capacity * act_dim_, 0.0);
+    rewards_.assign(capacity, 0.0);
+    values_.assign(capacity, 0.0);
+    log_probs_.assign(capacity, 0.0);
+    terminals_.assign(capacity, 0);
+    advantages_.assign(capacity, 0.0);
+    returns_.assign(capacity, 0.0);
+    segments_.reserve(8);
 }
 
 void RolloutBuffer::clear() {
-    transitions_.clear();
-    advantages_.clear();
-    returns_.clear();
+    size_ = 0;
+    open_begin_ = 0;
+    segments_.clear();
 }
 
-void RolloutBuffer::add(Transition transition) {
+void RolloutBuffer::add(std::span<const double> observation, std::span<const double> action,
+                        double reward, double value, double log_prob, bool terminal,
+                        std::span<const double> old_mean,
+                        std::span<const double> old_log_std) {
     if (full()) {
         throw std::logic_error("RolloutBuffer::add: buffer full");
     }
-    transitions_.push_back(std::move(transition));
+    if (observation.size() != obs_dim_ || action.size() != act_dim_ ||
+        old_mean.size() != act_dim_ || old_log_std.size() != act_dim_) {
+        throw std::invalid_argument("RolloutBuffer::add: row size mismatch");
+    }
+    std::copy(observation.begin(), observation.end(),
+              observations_.begin() + static_cast<std::ptrdiff_t>(size_ * obs_dim_));
+    std::copy(action.begin(), action.end(),
+              actions_.begin() + static_cast<std::ptrdiff_t>(size_ * act_dim_));
+    std::copy(old_mean.begin(), old_mean.end(),
+              old_means_.begin() + static_cast<std::ptrdiff_t>(size_ * act_dim_));
+    std::copy(old_log_std.begin(), old_log_std.end(),
+              old_log_stds_.begin() + static_cast<std::ptrdiff_t>(size_ * act_dim_));
+    rewards_[size_] = reward;
+    values_[size_] = value;
+    log_probs_[size_] = log_prob;
+    terminals_[size_] = terminal ? 1 : 0;
+    ++size_;
 }
 
-void RolloutBuffer::compute_gae(double discount, double gae_lambda, double bootstrap_value) {
-    const std::size_t n = transitions_.size();
-    advantages_.assign(n, 0.0);
-    returns_.assign(n, 0.0);
-    double advantage = 0.0;
-    double next_value = bootstrap_value;
-    for (std::size_t i = n; i-- > 0;) {
-        const Transition& t = transitions_[i];
-        if (t.terminal) {
-            next_value = 0.0;
-            advantage = 0.0;
+void RolloutBuffer::seal_segment(double bootstrap_value) {
+    if (size_ == open_begin_) {
+        return;
+    }
+    segments_.push_back({open_begin_, size_, bootstrap_value});
+    open_begin_ = size_;
+}
+
+void RolloutBuffer::append_segment(const RolloutBuffer& other, double bootstrap_value) {
+    if (other.obs_dim_ != obs_dim_ || other.act_dim_ != act_dim_) {
+        throw std::invalid_argument("RolloutBuffer::append_segment: dimension mismatch");
+    }
+    if (size_ != open_begin_) {
+        throw std::logic_error("RolloutBuffer::append_segment: open segment in progress");
+    }
+    const std::size_t n = other.size_;
+    if (size_ + n > capacity_) {
+        throw std::logic_error("RolloutBuffer::append_segment: capacity exceeded");
+    }
+    if (n == 0) {
+        return;
+    }
+    auto copy_rows = [n](const std::vector<double>& src, std::vector<double>& dst,
+                         std::size_t dim, std::size_t at) {
+        std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(n * dim),
+                  dst.begin() + static_cast<std::ptrdiff_t>(at * dim));
+    };
+    copy_rows(other.observations_, observations_, obs_dim_, size_);
+    copy_rows(other.actions_, actions_, act_dim_, size_);
+    copy_rows(other.old_means_, old_means_, act_dim_, size_);
+    copy_rows(other.old_log_stds_, old_log_stds_, act_dim_, size_);
+    copy_rows(other.rewards_, rewards_, 1, size_);
+    copy_rows(other.values_, values_, 1, size_);
+    copy_rows(other.log_probs_, log_probs_, 1, size_);
+    std::copy(other.terminals_.begin(), other.terminals_.begin() + static_cast<std::ptrdiff_t>(n),
+              terminals_.begin() + static_cast<std::ptrdiff_t>(size_));
+    segments_.push_back({size_, size_ + n, bootstrap_value});
+    size_ += n;
+    open_begin_ = size_;
+}
+
+void RolloutBuffer::compute_gae(double discount, double gae_lambda) {
+    seal_segment(0.0);
+    for (const Segment& segment : segments_) {
+        double advantage = 0.0;
+        double next_value = segment.bootstrap;
+        for (std::size_t i = segment.end; i-- > segment.begin;) {
+            if (terminals_[i] != 0) {
+                next_value = 0.0;
+                advantage = 0.0;
+            }
+            const double delta = rewards_[i] + discount * next_value - values_[i];
+            advantage = delta + discount * gae_lambda * advantage;
+            advantages_[i] = advantage;
+            returns_[i] = advantage + values_[i];
+            next_value = values_[i];
         }
-        const double delta = t.reward + discount * next_value - t.value;
-        advantage = delta + discount * gae_lambda * advantage;
-        advantages_[i] = advantage;
-        returns_[i] = advantage + t.value;
-        next_value = t.value;
     }
 }
 
 void RolloutBuffer::normalize_advantages() noexcept {
-    const std::size_t n = advantages_.size();
+    const std::size_t n = size_;
     if (n < 2) {
         return;
     }
     double mean = 0.0;
-    for (double a : advantages_) {
-        mean += a;
+    for (std::size_t i = 0; i < n; ++i) {
+        mean += advantages_[i];
     }
     mean /= static_cast<double>(n);
     double var = 0.0;
-    for (double a : advantages_) {
-        var += (a - mean) * (a - mean);
+    for (std::size_t i = 0; i < n; ++i) {
+        var += (advantages_[i] - mean) * (advantages_[i] - mean);
     }
     var /= static_cast<double>(n);
     const double stddev = std::sqrt(var) + 1e-8;
-    for (double& a : advantages_) {
-        a = (a - mean) / stddev;
+    for (std::size_t i = 0; i < n; ++i) {
+        advantages_[i] = (advantages_[i] - mean) / stddev;
     }
 }
 

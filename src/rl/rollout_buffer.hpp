@@ -3,54 +3,109 @@
 /// (Schulman et al., 2016). The paper trains with GAE λ_RL = 1 (Table 2),
 /// i.e. plain discounted-return advantages; the general λ implementation is
 /// kept for ablations.
+///
+/// Storage is structure-of-arrays with fixed observation/action dimensions:
+/// every field lives in one contiguous row-major buffer sized at
+/// construction, so steady-state collection and the batched PPO update never
+/// touch the heap, and minibatch gathers are plain row copies into the GEMM
+/// batch workspaces. Transitions are grouped into *trajectory segments* —
+/// one per rollout environment — each carrying its own bootstrap value for
+/// the GAE truncation at the segment boundary; parallel rollout workers fill
+/// private buffers that are merged with `append_segment` in fixed env order
+/// (the determinism contract of the parallel trainer).
 #pragma once
 
-#include "rl/gaussian_policy.hpp"
-
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 namespace mflb::rl {
 
-/// One environment transition, with the sampling distribution's moments
-/// recorded for the PPO KL penalty.
-struct Transition {
-    std::vector<double> observation;
-    std::vector<double> action;
-    double reward = 0.0;
-    double value = 0.0;    ///< V(s) under the critic at collection time.
-    double log_prob = 0.0; ///< log π_old(a|s).
-    bool terminal = false; ///< true if the episode ended at this step.
-    GaussianPolicy::Moments moments; ///< π_old moments at s.
-};
-
 /// Fixed-capacity on-policy buffer with GAE post-processing.
 class RolloutBuffer {
 public:
-    explicit RolloutBuffer(std::size_t capacity);
+    /// `obs_dim`/`action_dim` fix the row widths of all per-transition
+    /// vector fields (old policy moments included).
+    RolloutBuffer(std::size_t capacity, std::size_t obs_dim, std::size_t action_dim);
 
     void clear();
-    bool full() const noexcept { return transitions_.size() >= capacity_; }
-    std::size_t size() const noexcept { return transitions_.size(); }
-    const Transition& operator[](std::size_t i) const { return transitions_[i]; }
+    bool full() const noexcept { return size_ >= capacity_; }
+    std::size_t size() const noexcept { return size_; }
+    std::size_t capacity() const noexcept { return capacity_; }
+    std::size_t obs_dim() const noexcept { return obs_dim_; }
+    std::size_t action_dim() const noexcept { return act_dim_; }
 
-    void add(Transition transition);
+    /// Appends one transition to the currently open segment. `old_mean`/
+    /// `old_log_std` are the sampling distribution's (clamped) moments,
+    /// recorded for the PPO KL penalty.
+    void add(std::span<const double> observation, std::span<const double> action, double reward,
+             double value, double log_prob, bool terminal, std::span<const double> old_mean,
+             std::span<const double> old_log_std);
 
-    /// Computes advantages and returns-to-go. `bootstrap_value` is V(s_T)
-    /// for a trajectory truncated (not terminated) at the buffer boundary.
-    void compute_gae(double discount, double gae_lambda, double bootstrap_value);
+    /// Closes the currently open segment, recording V(s_T) for a trajectory
+    /// truncated (not terminated) at the segment boundary. No-op when the
+    /// open segment is empty.
+    void seal_segment(double bootstrap_value);
+
+    /// Copies all of `other`'s transitions as one sealed segment with the
+    /// given bootstrap. This is the fixed-order serial reduction step of the
+    /// parallel rollout merge; `other` must have matching dimensions and no
+    /// open segment state is required of it (its transitions form exactly
+    /// one segment here).
+    void append_segment(const RolloutBuffer& other, double bootstrap_value);
+
+    /// Computes advantages and returns-to-go per sealed segment (reverse
+    /// scan within each segment, using its bootstrap at the boundary). Any
+    /// still-open segment is sealed with bootstrap 0 first.
+    void compute_gae(double discount, double gae_lambda);
 
     /// Standardizes advantages to zero mean / unit std (RLlib default).
     void normalize_advantages() noexcept;
 
+    // Row accessors.
+    std::span<const double> observation(std::size_t i) const {
+        return {observations_.data() + i * obs_dim_, obs_dim_};
+    }
+    std::span<const double> action(std::size_t i) const {
+        return {actions_.data() + i * act_dim_, act_dim_};
+    }
+    std::span<const double> old_mean(std::size_t i) const {
+        return {old_means_.data() + i * act_dim_, act_dim_};
+    }
+    std::span<const double> old_log_std(std::size_t i) const {
+        return {old_log_stds_.data() + i * act_dim_, act_dim_};
+    }
+    double reward(std::size_t i) const { return rewards_[i]; }
+    double value(std::size_t i) const { return values_[i]; }
+    double log_prob(std::size_t i) const { return log_probs_[i]; }
+    bool terminal(std::size_t i) const { return terminals_[i] != 0; }
     double advantage(std::size_t i) const { return advantages_[i]; }
     double value_target(std::size_t i) const { return returns_[i]; }
 
 private:
+    struct Segment {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        double bootstrap = 0.0;
+    };
+
     std::size_t capacity_;
-    std::vector<Transition> transitions_;
+    std::size_t obs_dim_;
+    std::size_t act_dim_;
+    std::size_t size_ = 0;
+    std::size_t open_begin_ = 0; ///< start of the currently open segment.
+    std::vector<double> observations_; ///< capacity × obs_dim.
+    std::vector<double> actions_;      ///< capacity × action_dim.
+    std::vector<double> old_means_;    ///< capacity × action_dim.
+    std::vector<double> old_log_stds_; ///< capacity × action_dim.
+    std::vector<double> rewards_;
+    std::vector<double> values_;
+    std::vector<double> log_probs_;
+    std::vector<std::uint8_t> terminals_;
     std::vector<double> advantages_;
     std::vector<double> returns_;
+    std::vector<Segment> segments_;
 };
 
 } // namespace mflb::rl

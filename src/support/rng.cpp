@@ -263,14 +263,19 @@ void Rng::multinomial(std::uint64_t n, std::span<const double> weights, double t
 
 std::vector<std::uint32_t> Rng::permutation(std::size_t n) noexcept {
     std::vector<std::uint32_t> perm(n);
+    permutation(std::span<std::uint32_t>(perm));
+    return perm;
+}
+
+void Rng::permutation(std::span<std::uint32_t> out) noexcept {
+    const std::size_t n = out.size();
     for (std::size_t i = 0; i < n; ++i) {
-        perm[i] = static_cast<std::uint32_t>(i);
+        out[i] = static_cast<std::uint32_t>(i);
     }
     for (std::size_t i = n; i > 1; --i) {
         const std::size_t j = static_cast<std::size_t>(uniform_below(i));
-        std::swap(perm[i - 1], perm[j]);
+        std::swap(out[i - 1], out[j]);
     }
-    return perm;
 }
 
 } // namespace mflb

@@ -90,6 +90,10 @@ public:
 
     /// Fisher-Yates shuffle of an index permutation [0, n).
     std::vector<std::uint32_t> permutation(std::size_t n) noexcept;
+    /// Allocation-free variant filling `out` with a shuffled [0, out.size())
+    /// permutation; consumes the same draw sequence as permutation(n). Used
+    /// by the minibatch shuffle of the batched PPO update.
+    void permutation(std::span<std::uint32_t> out) noexcept;
 
 private:
     std::array<std::uint64_t, 4> state_{};

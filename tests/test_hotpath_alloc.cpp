@@ -10,9 +10,12 @@
 #include "field/transition.hpp"
 #include "policies/fixed.hpp"
 #include "queueing/finite_system.hpp"
+#include "rl/ppo.hpp"
 #include "support/counting_allocator.inc"
 
 #include <gtest/gtest.h>
+
+#include <memory>
 
 namespace mflb {
 namespace {
@@ -145,6 +148,78 @@ TEST(HotPathAllocations, MfcEnvStepReusesItsBuffer) {
     const std::size_t before = counting_allocator::count();
     for (int i = 0; i < 100; ++i) {
         (void)env.step(h, rng);
+    }
+    EXPECT_EQ(counting_allocator::count() - before, 0u);
+}
+
+/// Minimal stochastic env for the training-step sections; reset()/step()
+/// may allocate (the Env interface returns vectors by value), which is why
+/// only the *update* phase carries the allocation-free contract.
+class ProbeEnv final : public rl::Env {
+public:
+    std::size_t observation_dim() const override { return 3; }
+    std::size_t action_dim() const override { return 2; }
+
+    std::vector<double> reset(Rng& rng) override {
+        t_ = 0;
+        state_ = rng.uniform();
+        return {state_, 1.0 - state_, 0.5};
+    }
+
+    rl::Env::StepResult step(std::span<const double> action, Rng& rng) override {
+        rl::Env::StepResult r;
+        r.reward = -(action[0] - state_) * (action[0] - state_) - action[1] * action[1];
+        ++t_;
+        r.done = t_ >= 4;
+        state_ = rng.uniform();
+        r.observation = {state_, 1.0 - state_, 0.5};
+        return r;
+    }
+
+private:
+    int t_ = 0;
+    double state_ = 0.0;
+};
+
+TEST(HotPathAllocations, PpoOptimizePhaseIsAllocationFree) {
+    rl::PpoConfig config;
+    config.hidden = {32, 32};
+    config.train_batch_size = 128;
+    config.minibatch_size = 32;
+    config.num_epochs = 2;
+    config.num_envs = 2;
+    config.train_threads = 1;
+    rl::PpoTrainer trainer([] { return std::make_unique<ProbeEnv>(); }, config, Rng(11));
+    (void)trainer.train_iteration(); // warmup sizes every workspace
+    rl::PpoIterationStats stats;
+    trainer.collect_phase(stats);
+    const std::size_t before = counting_allocator::count();
+    trainer.optimize_phase(stats);
+    EXPECT_EQ(counting_allocator::count() - before, 0u);
+    // A second full update stays allocation-free too (steady state).
+    trainer.collect_phase(stats);
+    const std::size_t again = counting_allocator::count();
+    trainer.optimize_phase(stats);
+    EXPECT_EQ(counting_allocator::count() - again, 0u);
+}
+
+TEST(HotPathAllocations, BatchedMlpPassesAreAllocationFree) {
+    Rng rng(13);
+    rl::Mlp net({8, 64, 64, 6}, rng, 1.0);
+    const std::size_t batch = 32;
+    std::vector<double> inputs(batch * 8);
+    for (double& v : inputs) {
+        v = rng.normal();
+    }
+    std::vector<double> grad_out(batch * 6, 0.25);
+    std::vector<double> grads(net.parameter_count(), 0.0);
+    std::vector<double> grad_inputs(batch * 8, 0.0);
+    rl::Mlp::BatchWorkspace ws(net, batch);
+
+    const std::size_t before = counting_allocator::count();
+    for (int i = 0; i < 20; ++i) {
+        (void)net.forward_cached_batch(inputs, batch, ws);
+        net.backward_batch(ws, grad_out, grads, grad_inputs);
     }
     EXPECT_EQ(counting_allocator::count() - before, 0u);
 }

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 namespace mflb::rl {
@@ -116,6 +117,95 @@ TEST(Mlp, BackwardAccumulates) {
     net.backward(ws, g, grad_twice);
     for (std::size_t i = 0; i < grad_once.size(); ++i) {
         EXPECT_NEAR(grad_twice[i], 2.0 * grad_once[i], 1e-12);
+    }
+}
+
+TEST(Mlp, BatchedForwardMatchesScalarRows) {
+    Rng rng(21);
+    Mlp net({4, 16, 9, 3}, rng, 1.0);
+    const std::size_t batch = 7;
+    std::vector<double> inputs(batch * 4);
+    for (double& v : inputs) {
+        v = rng.normal();
+    }
+    Mlp::BatchWorkspace bws(net, batch);
+    const std::span<const double> out = net.forward_cached_batch(inputs, batch, bws);
+    ASSERT_EQ(out.size(), batch * 3);
+    for (std::size_t row = 0; row < batch; ++row) {
+        const auto scalar =
+            net.forward(std::span<const double>(inputs.data() + row * 4, 4));
+        for (std::size_t o = 0; o < 3; ++o) {
+            EXPECT_NEAR(out[row * 3 + o], scalar[o], 1e-12) << "row " << row << " out " << o;
+        }
+    }
+    // forward_batch copies the same rows into a caller buffer.
+    std::vector<double> copied(batch * 3, 0.0);
+    net.forward_batch(inputs, batch, bws, copied);
+    for (std::size_t i = 0; i < copied.size(); ++i) {
+        EXPECT_DOUBLE_EQ(copied[i], out[i]);
+    }
+    // A smaller batch through the same constructor-sized workspace.
+    const std::span<const double> small = net.forward_cached_batch(
+        std::span<const double>(inputs.data(), 2 * 4), 2, bws);
+    EXPECT_EQ(small.size(), 2u * 3);
+    EXPECT_THROW(net.forward_cached_batch(inputs, batch + 1, bws), std::invalid_argument);
+}
+
+TEST(Mlp, BatchedBackwardMatchesScalarSum) {
+    Rng rng(22);
+    Mlp net({3, 12, 5, 2}, rng, 1.0);
+    const std::size_t batch = 6;
+    std::vector<double> inputs(batch * 3), grad_out(batch * 2);
+    for (double& v : inputs) {
+        v = rng.normal();
+    }
+    for (double& v : grad_out) {
+        v = rng.normal();
+    }
+
+    // Scalar reference: per-sample backward() accumulated in row order.
+    std::vector<double> scalar_grad(net.parameter_count(), 0.0);
+    std::vector<std::vector<double>> scalar_grad_inputs(batch);
+    for (std::size_t row = 0; row < batch; ++row) {
+        Mlp::Workspace ws;
+        net.forward_cached(std::span<const double>(inputs.data() + row * 3, 3), ws);
+        net.backward(ws, std::span<const double>(grad_out.data() + row * 2, 2), scalar_grad,
+                     &scalar_grad_inputs[row]);
+    }
+
+    Mlp::BatchWorkspace bws(net, batch);
+    net.forward_cached_batch(inputs, batch, bws);
+    std::vector<double> batched_grad(net.parameter_count(), 0.0);
+    std::vector<double> batched_grad_inputs(batch * 3, 0.0);
+    net.backward_batch(bws, grad_out, batched_grad, batched_grad_inputs);
+
+    for (std::size_t i = 0; i < scalar_grad.size(); ++i) {
+        EXPECT_NEAR(batched_grad[i], scalar_grad[i],
+                    1e-12 * std::max(1.0, std::abs(scalar_grad[i])))
+            << "param " << i;
+    }
+    for (std::size_t row = 0; row < batch; ++row) {
+        for (std::size_t i = 0; i < 3; ++i) {
+            EXPECT_NEAR(batched_grad_inputs[row * 3 + i], scalar_grad_inputs[row][i], 1e-12)
+                << "row " << row << " input " << i;
+        }
+    }
+}
+
+TEST(Mlp, BatchedBackwardAccumulates) {
+    Rng rng(23);
+    Mlp net({2, 4, 1}, rng, 1.0);
+    const std::vector<double> inputs{0.5, -0.5, 0.25, 0.75};
+    const std::vector<double> grad_out{1.0, -2.0};
+    Mlp::BatchWorkspace bws(net, 2);
+    net.forward_cached_batch(inputs, 2, bws);
+    std::vector<double> once(net.parameter_count(), 0.0);
+    net.backward_batch(bws, grad_out, once);
+    std::vector<double> twice(net.parameter_count(), 0.0);
+    net.backward_batch(bws, grad_out, twice);
+    net.backward_batch(bws, grad_out, twice);
+    for (std::size_t i = 0; i < once.size(); ++i) {
+        EXPECT_NEAR(twice[i], 2.0 * once[i], 1e-12);
     }
 }
 

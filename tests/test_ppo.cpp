@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 namespace mflb::rl {
 namespace {
@@ -77,16 +78,24 @@ PpoConfig fast_config() {
     return config;
 }
 
+PpoTrainer::EnvFactory target_env(double target) {
+    return [target] { return std::make_unique<TargetEnv>(target); };
+}
+
 TEST(Ppo, ValidatesConfig) {
-    TargetEnv env(0.0);
     PpoConfig bad = fast_config();
     bad.train_batch_size = 0;
-    EXPECT_THROW(PpoTrainer(env, bad, Rng(1)), std::invalid_argument);
+    EXPECT_THROW(PpoTrainer(target_env(0.0), bad, Rng(1)), std::invalid_argument);
+    PpoConfig no_envs = fast_config();
+    no_envs.num_envs = 0;
+    EXPECT_THROW(PpoTrainer(target_env(0.0), no_envs, Rng(1)), std::invalid_argument);
+    PpoConfig too_many = fast_config();
+    too_many.num_envs = too_many.train_batch_size + 1;
+    EXPECT_THROW(PpoTrainer(target_env(0.0), too_many, Rng(1)), std::invalid_argument);
 }
 
 TEST(Ppo, IterationProducesStats) {
-    TargetEnv env(0.3);
-    PpoTrainer trainer(env, fast_config(), Rng(2));
+    PpoTrainer trainer(target_env(0.3), fast_config(), Rng(2));
     const auto stats = trainer.train_iteration();
     EXPECT_EQ(stats.timesteps_total, 512u);
     EXPECT_GT(stats.episodes_completed, 0u);
@@ -95,8 +104,7 @@ TEST(Ppo, IterationProducesStats) {
 }
 
 TEST(Ppo, LearnsConstantTarget) {
-    TargetEnv env(0.7);
-    PpoTrainer trainer(env, fast_config(), Rng(3));
+    PpoTrainer trainer(target_env(0.7), fast_config(), Rng(3));
     const double before = trainer.evaluate(20);
     trainer.train(25);
     const double after = trainer.evaluate(20);
@@ -106,8 +114,7 @@ TEST(Ppo, LearnsConstantTarget) {
 }
 
 TEST(Ppo, LearnsContextualTargets) {
-    ContextualEnv env;
-    PpoTrainer trainer(env, fast_config(), Rng(4));
+    PpoTrainer trainer([] { return std::make_unique<ContextualEnv>(); }, fast_config(), Rng(4));
     trainer.train(35);
     // Check the mean action is state-dependent with the right signs.
     const auto low = trainer.policy().mean_action(std::vector<double>{0.0});
@@ -117,26 +124,23 @@ TEST(Ppo, LearnsContextualTargets) {
 }
 
 TEST(Ppo, KlCoefficientAdapts) {
-    TargetEnv env(0.0);
     PpoConfig config = fast_config();
     config.kl_target = 1e-9; // practically unattainable: coeff must grow
-    PpoTrainer trainer(env, config, Rng(5));
+    PpoTrainer trainer(target_env(0.0), config, Rng(5));
     const double initial = trainer.current_kl_coeff();
     trainer.train(3);
     EXPECT_GT(trainer.current_kl_coeff(), initial);
 }
 
 TEST(Ppo, TimestepsAccumulateAcrossIterations) {
-    TargetEnv env(0.0);
-    PpoTrainer trainer(env, fast_config(), Rng(6));
+    PpoTrainer trainer(target_env(0.0), fast_config(), Rng(6));
     trainer.train(3);
     EXPECT_EQ(trainer.history().back().timesteps_total, 3u * 512u);
 }
 
 TEST(Ppo, DeterministicGivenSeed) {
     auto run = [] {
-        TargetEnv env(0.4);
-        PpoTrainer trainer(env, fast_config(), Rng(77));
+        PpoTrainer trainer(target_env(0.4), fast_config(), Rng(77));
         trainer.train(2);
         return trainer.history().back().mean_episode_return;
     };

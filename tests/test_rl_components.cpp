@@ -165,19 +165,104 @@ TEST(GaussianPolicy, BackwardMatchesFiniteDifferenceKl) {
     }
 }
 
+namespace {
+/// Appends a scalar-free transition (the buffer tests exercise only the GAE
+/// bookkeeping, so observation/action dimensions are zero).
+void add_step(RolloutBuffer& buffer, double reward, double value, bool terminal,
+              double log_prob = 0.0) {
+    buffer.add({}, {}, reward, value, log_prob, terminal, {}, {});
+}
+} // namespace
+
+TEST(GaussianPolicy, BatchedEvaluateMatchesScalar) {
+    Rng rng(7);
+    GaussianPolicy policy(3, 2, {8, 8}, rng);
+    const std::size_t batch = 5;
+    std::vector<double> obs(batch * 3), actions(batch * 2);
+    for (double& v : obs) {
+        v = rng.normal();
+    }
+    for (double& v : actions) {
+        v = rng.normal();
+    }
+    Mlp::BatchWorkspace bws(policy.network(), batch);
+    std::vector<double> means(batch * 2), log_stds(batch * 2), log_probs(batch),
+        entropies(batch);
+    policy.evaluate_batch(obs, actions, batch, bws, means, log_stds, log_probs, entropies);
+    for (std::size_t row = 0; row < batch; ++row) {
+        Mlp::Workspace ws;
+        const auto eval = policy.evaluate(std::span<const double>(obs.data() + row * 3, 3),
+                                          std::span<const double>(actions.data() + row * 2, 2),
+                                          ws);
+        EXPECT_NEAR(log_probs[row], eval.log_prob, 1e-12) << "row " << row;
+        EXPECT_NEAR(entropies[row], eval.entropy, 1e-12) << "row " << row;
+        for (std::size_t i = 0; i < 2; ++i) {
+            EXPECT_NEAR(means[row * 2 + i], eval.moments.mean[i], 1e-12);
+            EXPECT_NEAR(log_stds[row * 2 + i], eval.moments.log_std[i], 1e-12);
+        }
+    }
+}
+
+TEST(GaussianPolicy, BatchedBackwardMatchesScalarSum) {
+    Rng rng(8);
+    GaussianPolicy policy(3, 2, {8}, rng);
+    const std::size_t batch = 4;
+    std::vector<double> obs(batch * 3), actions(batch * 2), old_means(batch * 2),
+        old_log_stds(batch * 2), c_logp(batch);
+    for (double& v : obs) {
+        v = rng.normal();
+    }
+    for (double& v : actions) {
+        v = rng.normal();
+    }
+    for (double& v : old_means) {
+        v = 0.1 * rng.normal();
+    }
+    for (double& v : old_log_stds) {
+        v = -0.5 + 0.1 * rng.normal();
+    }
+    for (double& v : c_logp) {
+        v = rng.normal();
+    }
+    const double c_entropy = 0.3;
+    const double c_kl = 0.7;
+
+    // Scalar reference: per-row backward() accumulated in row order.
+    std::vector<double> scalar_grad(policy.parameter_count(), 0.0);
+    for (std::size_t row = 0; row < batch; ++row) {
+        Mlp::Workspace ws;
+        const std::span<const double> o(obs.data() + row * 3, 3);
+        const std::span<const double> a(actions.data() + row * 2, 2);
+        const auto eval = policy.evaluate(o, a, ws);
+        GaussianPolicy::Moments old;
+        old.mean.assign(old_means.begin() + static_cast<std::ptrdiff_t>(row * 2),
+                        old_means.begin() + static_cast<std::ptrdiff_t>(row * 2 + 2));
+        old.log_std.assign(old_log_stds.begin() + static_cast<std::ptrdiff_t>(row * 2),
+                           old_log_stds.begin() + static_cast<std::ptrdiff_t>(row * 2 + 2));
+        policy.backward(ws, eval, a, c_logp[row], c_entropy, c_kl, &old, scalar_grad);
+    }
+
+    Mlp::BatchWorkspace bws(policy.network(), batch);
+    std::vector<double> means(batch * 2), log_stds(batch * 2), log_probs(batch),
+        entropies(batch), grad_out(batch * 4);
+    policy.evaluate_batch(obs, actions, batch, bws, means, log_stds, log_probs, entropies);
+    std::vector<double> batched_grad(policy.parameter_count(), 0.0);
+    policy.backward_batch(bws, batch, actions, means, log_stds, c_logp, c_entropy, c_kl,
+                          old_means, old_log_stds, grad_out, batched_grad);
+    for (std::size_t i = 0; i < scalar_grad.size(); ++i) {
+        EXPECT_NEAR(batched_grad[i], scalar_grad[i],
+                    1e-12 * std::max(1.0, std::abs(scalar_grad[i])))
+            << "param " << i;
+    }
+}
+
 TEST(RolloutBuffer, GaeMatchesHandComputation) {
     // Two-step episode, gamma=0.5, lambda=1: plain discounted advantages.
-    RolloutBuffer buffer(4);
-    Transition t1;
-    t1.reward = 1.0;
-    t1.value = 0.5;
-    Transition t2;
-    t2.reward = 2.0;
-    t2.value = 0.25;
-    t2.terminal = true;
-    buffer.add(t1);
-    buffer.add(t2);
-    buffer.compute_gae(0.5, 1.0, /*bootstrap=*/0.0);
+    RolloutBuffer buffer(4, 0, 0);
+    add_step(buffer, 1.0, 0.5, false);
+    add_step(buffer, 2.0, 0.25, true);
+    buffer.seal_segment(/*bootstrap=*/0.0);
+    buffer.compute_gae(0.5, 1.0);
     // Returns: R2 = 2, R1 = 1 + 0.5*2 = 2. Advantages: A2 = 2-0.25, A1 = 2-0.5.
     EXPECT_NEAR(buffer.value_target(1), 2.0, 1e-12);
     EXPECT_NEAR(buffer.value_target(0), 2.0, 1e-12);
@@ -186,60 +271,81 @@ TEST(RolloutBuffer, GaeMatchesHandComputation) {
 }
 
 TEST(RolloutBuffer, GaeLambdaZeroIsTdError) {
-    RolloutBuffer buffer(3);
-    Transition t1;
-    t1.reward = 1.0;
-    t1.value = 0.3;
-    Transition t2;
-    t2.reward = 0.0;
-    t2.value = 0.7;
-    t2.terminal = true;
-    buffer.add(t1);
-    buffer.add(t2);
-    buffer.compute_gae(0.9, 0.0, 0.0);
+    RolloutBuffer buffer(3, 0, 0);
+    add_step(buffer, 1.0, 0.3, false);
+    add_step(buffer, 0.0, 0.7, true);
+    buffer.compute_gae(0.9, 0.0); // open segment auto-sealed with bootstrap 0
     EXPECT_NEAR(buffer.advantage(0), 1.0 + 0.9 * 0.7 - 0.3, 1e-12);
     EXPECT_NEAR(buffer.advantage(1), 0.0 - 0.7, 1e-12);
 }
 
 TEST(RolloutBuffer, BootstrapUsedForTruncation) {
-    RolloutBuffer buffer(1);
-    Transition t;
-    t.reward = 1.0;
-    t.value = 0.0;
-    t.terminal = false; // truncated, not terminal
-    buffer.add(t);
-    buffer.compute_gae(1.0, 1.0, /*bootstrap=*/10.0);
+    RolloutBuffer buffer(1, 0, 0);
+    add_step(buffer, 1.0, 0.0, false); // truncated, not terminal
+    buffer.seal_segment(/*bootstrap=*/10.0);
+    buffer.compute_gae(1.0, 1.0);
     EXPECT_NEAR(buffer.advantage(0), 11.0, 1e-12);
 }
 
 TEST(RolloutBuffer, TerminalResetsAccumulation) {
-    RolloutBuffer buffer(3);
-    Transition a;
-    a.reward = 5.0;
-    a.value = 0.0;
-    a.terminal = true;
-    Transition b;
-    b.reward = 1.0;
-    b.value = 0.0;
-    b.terminal = true;
-    buffer.add(a);
-    buffer.add(b);
-    buffer.compute_gae(0.9, 1.0, 0.0);
+    RolloutBuffer buffer(3, 0, 0);
+    add_step(buffer, 5.0, 0.0, true);
+    add_step(buffer, 1.0, 0.0, true);
+    buffer.compute_gae(0.9, 1.0);
     // Episode boundary: second episode's return must not leak into first.
     EXPECT_NEAR(buffer.value_target(0), 5.0, 1e-12);
     EXPECT_NEAR(buffer.value_target(1), 1.0, 1e-12);
 }
 
+TEST(RolloutBuffer, SegmentsBootstrapIndependently) {
+    // Two merged env segments, each truncated mid-episode: the second
+    // segment's bootstrap must not leak into the first (and vice versa).
+    RolloutBuffer worker_a(2, 0, 0), worker_b(2, 0, 0);
+    add_step(worker_a, 1.0, 0.0, false);
+    add_step(worker_a, 1.0, 0.0, false);
+    add_step(worker_b, 2.0, 0.0, false);
+    add_step(worker_b, 2.0, 0.0, false);
+    RolloutBuffer merged(4, 0, 0);
+    merged.append_segment(worker_a, /*bootstrap=*/10.0);
+    merged.append_segment(worker_b, /*bootstrap=*/100.0);
+    merged.compute_gae(1.0, 1.0);
+    EXPECT_NEAR(merged.value_target(0), 1.0 + 1.0 + 10.0, 1e-12);
+    EXPECT_NEAR(merged.value_target(1), 1.0 + 10.0, 1e-12);
+    EXPECT_NEAR(merged.value_target(2), 2.0 + 2.0 + 100.0, 1e-12);
+    EXPECT_NEAR(merged.value_target(3), 2.0 + 100.0, 1e-12);
+}
+
+TEST(RolloutBuffer, AppendSegmentCopiesRows) {
+    RolloutBuffer worker(1, 2, 1);
+    const std::vector<double> obs{0.25, -0.5};
+    const std::vector<double> act{1.5};
+    const std::vector<double> mean{0.75};
+    const std::vector<double> log_std{-0.25};
+    worker.add(obs, act, 3.0, 0.5, -1.25, true, mean, log_std);
+    RolloutBuffer merged(2, 2, 1);
+    merged.append_segment(worker, 0.0);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged.observation(0)[0], 0.25);
+    EXPECT_EQ(merged.observation(0)[1], -0.5);
+    EXPECT_EQ(merged.action(0)[0], 1.5);
+    EXPECT_EQ(merged.old_mean(0)[0], 0.75);
+    EXPECT_EQ(merged.old_log_std(0)[0], -0.25);
+    EXPECT_EQ(merged.reward(0), 3.0);
+    EXPECT_EQ(merged.value(0), 0.5);
+    EXPECT_EQ(merged.log_prob(0), -1.25);
+    EXPECT_TRUE(merged.terminal(0));
+    // Overflow and dimension mismatches are rejected.
+    EXPECT_THROW(merged.append_segment(RolloutBuffer(1, 3, 1), 0.0), std::invalid_argument);
+    merged.append_segment(worker, 0.0);
+    EXPECT_THROW(merged.append_segment(worker, 0.0), std::logic_error);
+}
+
 TEST(RolloutBuffer, NormalizeAdvantagesZeroMeanUnitStd) {
-    RolloutBuffer buffer(8);
+    RolloutBuffer buffer(8, 0, 0);
     for (int i = 0; i < 8; ++i) {
-        Transition t;
-        t.reward = static_cast<double>(i);
-        t.value = 0.0;
-        t.terminal = true;
-        buffer.add(t);
+        add_step(buffer, static_cast<double>(i), 0.0, true);
     }
-    buffer.compute_gae(1.0, 1.0, 0.0);
+    buffer.compute_gae(1.0, 1.0);
     buffer.normalize_advantages();
     double mean = 0.0, sq = 0.0;
     for (std::size_t i = 0; i < 8; ++i) {
@@ -252,13 +358,13 @@ TEST(RolloutBuffer, NormalizeAdvantagesZeroMeanUnitStd) {
 }
 
 TEST(RolloutBuffer, CapacityEnforced) {
-    RolloutBuffer buffer(1);
-    buffer.add(Transition{});
+    RolloutBuffer buffer(1, 0, 0);
+    add_step(buffer, 0.0, 0.0, false);
     EXPECT_TRUE(buffer.full());
-    EXPECT_THROW(buffer.add(Transition{}), std::logic_error);
+    EXPECT_THROW(add_step(buffer, 0.0, 0.0, false), std::logic_error);
     buffer.clear();
     EXPECT_EQ(buffer.size(), 0u);
-    EXPECT_THROW(RolloutBuffer(0), std::invalid_argument);
+    EXPECT_THROW(RolloutBuffer(0, 0, 0), std::invalid_argument);
 }
 
 } // namespace
