@@ -141,13 +141,36 @@ int run_eval(const CliParser& cli) {
     // Simulator backend: the scenario's choice unless --backend overrides
     // (the large-n scenario defaults to the event-driven engine).
     SimBackend backend = experiment.backend;
-    if (cli.provided("backend")) {
-        try {
+    try {
+        if (cli.provided("backend")) {
             backend = parse_backend(cli.get("backend"));
-        } catch (const std::invalid_argument& error) {
-            std::fprintf(stderr, "error: %s\n", error.what());
-            return 2;
         }
+        // Routing discipline and service-time law: scenario values unless
+        // overridden (the staleness-sweep / heavy-tail scenarios preset them).
+        if (cli.provided("router")) {
+            experiment.router.kind = parse_router(cli.get("router"));
+        }
+        if (cli.provided("router-d")) {
+            experiment.router.d = cli.get_int("router-d");
+        }
+        if (cli.provided("stale-period")) {
+            experiment.router.stale_period = cli.get_double("stale-period");
+        }
+        if (cli.provided("service-dist")) {
+            experiment.service.kind = parse_service_dist(cli.get("service-dist"));
+        }
+        if (cli.provided("pareto-alpha")) {
+            experiment.service.pareto_alpha = cli.get_double("pareto-alpha");
+        }
+        if (cli.provided("pareto-cap")) {
+            experiment.service.pareto_cap = cli.get_double("pareto-cap");
+        }
+        if (cli.provided("hyper-scv")) {
+            experiment.service.hyper_scv = cli.get_double("hyper-scv");
+        }
+    } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
     }
     const TupleSpace space(experiment.queue.num_states(), experiment.d);
     const std::size_t episodes = static_cast<std::size_t>(cli.get_int("episodes"));
@@ -162,29 +185,41 @@ int run_eval(const CliParser& cli) {
     const bool des = backend != SimBackend::Finite;
     Table table({"policy", "drops/queue (95% CI)", "mean fill", "utilization",
                  "sojourn p50/p95/p99"});
-    auto add = [&](const UpperLevelPolicy& policy) {
+    auto add = [&](const ExperimentConfig& config, const UpperLevelPolicy& policy,
+                   const std::string& label) {
         SojournSummary sojourn;
         const EvaluationResult r =
-            evaluate_backend(backend, experiment.finite_system(), policy, episodes,
+            evaluate_backend(backend, config.finite_system(), policy, episodes,
                              cli.get_int("seed"), threads, &sojourn);
         char percentiles[64];
         std::snprintf(percentiles, sizeof(percentiles), "%.2f / %.2f / %.2f",
                       sojourn.p50.mean, sojourn.p95.mean, sojourn.p99.mean);
         table.row()
-            .cell(policy.name())
+            .cell(label)
             .cell_ci(r.total_drops.mean, r.total_drops.half_width)
             .cell(r.mean_queue_length.mean, 3)
             .cell(r.utilization.mean, 3)
             .cell(des ? percentiles : "-");
     };
-    if (learned) {
-        add(*learned);
+    if (experiment.router.kind != RouterKind::Policy) {
+        // A classical router bypasses the upper-level policy; evaluate it
+        // first, then the decision-rule baselines on the same system for
+        // comparison (router reset to the policy path).
+        add(experiment, make_rnd_policy(space),
+            std::string(router_name(experiment.router.kind)));
+        experiment.router = RouterSpec{};
     }
-    add(make_jsq_policy(space));
-    add(make_rnd_policy(space));
-    std::printf("M=%zu N=%llu dt=%.1f, %zu episodes, backend=%s\n%s", experiment.num_queues,
+    if (learned) {
+        add(experiment, *learned, learned->name());
+    }
+    add(experiment, make_jsq_policy(space), "JSQ(d)");
+    add(experiment, make_rnd_policy(space), "RND(d)");
+    std::printf("M=%zu N=%llu dt=%.1f, %zu episodes, backend=%s, service=%s\n%s",
+                experiment.num_queues,
                 static_cast<unsigned long long>(experiment.num_clients), experiment.dt,
-                episodes, std::string(backend_name(backend)).c_str(), table.to_text().c_str());
+                episodes, std::string(backend_name(backend)).c_str(),
+                std::string(service_dist_name(experiment.service.kind)).c_str(),
+                table.to_text().c_str());
     return 0;
 }
 
@@ -265,6 +300,22 @@ int main(int argc, char** argv) {
                   "the reduced CI-sized budget (paper scale: ~2.5e7 steps, hours)");
     cli.flag_int("shards", 0,
                  "Queue shards K for the sharded-des backend (0 = scenario's, or min(8, M))");
+    cli.flag("router", "policy",
+             "Routing discipline for eval mode: 'policy' (decision-rule path), "
+             "'random', 'round-robin', 'jsq', 'jsq-d', or 'sq-stale'; default = "
+             "scenario's router");
+    cli.flag_int("router-d", 2, "Choices d for the jsq-d router");
+    cli.flag_double("stale-period", 10,
+                    "Snapshot refresh period (time units) for the sq-stale router; "
+                    "0 = refresh every epoch (exact JSQ)");
+    cli.flag("service-dist", "exponential",
+             "Service-time law: 'exponential', 'deterministic', 'hyperexp', or "
+             "'pareto' (bounded); all have mean 1/alpha; default = scenario's");
+    cli.flag_double("pareto-alpha", 1.5, "Tail index for --service-dist pareto");
+    cli.flag_double("pareto-cap", 1000,
+                    "Truncation ratio H/L for --service-dist pareto");
+    cli.flag_double("hyper-scv", 4,
+                    "Squared coefficient of variation for --service-dist hyperexp");
     cli.flag_double("dt", 5, "Synchronization delay");
     cli.flag_double_list("dts", "1,3,5,10", "Delays for sweep mode");
     cli.flag_int("m", 100, "Queues for eval mode (sets clients to M^2 unless --n is given)");

@@ -65,6 +65,9 @@ FiniteSystemConfig ExperimentConfig::finite_system() const {
     config.histogram_sample_size = histogram_sample_size;
     config.shards = shards;
     config.threads = threads;
+    config.router = router;
+    config.service = service;
+    config.server_speeds = server_speeds;
     return config;
 }
 

@@ -75,6 +75,16 @@ struct ExperimentConfig {
     /// K parallel rollout environments for PPO training; part of the
     /// result-determining (seed, K) pair (`--num-envs` CLI/bench flag).
     std::size_t num_envs = 1;
+    /// Routing discipline: `Policy` (default) is the decision-rule path;
+    /// classical kinds (random, round-robin, jsq, jsq-d, sq-stale) bypass
+    /// the upper-level policy entirely (`--router` CLI/bench flag).
+    RouterSpec router{};
+    /// Service-time law (exponential, deterministic, hyperexp, pareto), mean
+    /// 1/α for every kind (`--service-dist` CLI/bench flag).
+    ServiceConfig service{};
+    /// Per-queue relative server speeds (empty = homogeneous). Resolved
+    /// verbatim into `FiniteSystemConfig::server_speeds`.
+    std::vector<double> server_speeds;
 
     /// T_e = nearest integer to eval_total_time / Δt (paper, Section 4).
     int eval_horizon() const noexcept;

@@ -47,6 +47,8 @@
 #include "queueing/gillespie.hpp"
 #include "queueing/heterogeneous.hpp"
 #include "queueing/memory_system.hpp"
+#include "queueing/router.hpp"
+#include "queueing/service_distribution.hpp"
 #include "queueing/sojourn.hpp"
 #include "queueing/system_base.hpp"
 #include "rl/cem.hpp"

@@ -98,6 +98,45 @@ Scenario make_large_n_sharded() {
     return s;
 }
 
+Scenario make_staleness_sweep() {
+    Scenario s;
+    s.name = "staleness-sweep";
+    s.summary = "Classical-baseline staleness cell: SQ(stale) vs JSQ at dt=2; sweep "
+                "--stale-period (router defaults to sq-stale, 10 time units)";
+    s.experiment.dt = 2.0;
+    s.experiment.backend = SimBackend::Des;
+    s.experiment.router.kind = RouterKind::SqStale;
+    s.experiment.router.stale_period = 10.0;
+    return s;
+}
+
+Scenario make_heavy_tail() {
+    Scenario s;
+    s.name = "heavy-tail";
+    s.summary = "Bounded-Pareto service (alpha=1.5, cap=10^3, mean 1/alpha): stresses the "
+                "exponential-service assumption; sweep --pareto-alpha";
+    s.experiment.dt = 2.0;
+    s.experiment.backend = SimBackend::Des;
+    s.experiment.service.kind = ServiceDistKind::BoundedPareto;
+    s.experiment.service.pareto_alpha = 1.5;
+    s.experiment.service.pareto_cap = 1000.0;
+    return s;
+}
+
+Scenario make_hetero_speeds() {
+    Scenario s;
+    s.name = "hetero-speeds";
+    s.summary = "Two-class server speeds (half 0.5x, half 1.5x) on the event-driven "
+                "backends: speed-blind classical routing vs learned MFC";
+    s.experiment.dt = 2.0;
+    s.experiment.backend = SimBackend::Des;
+    s.experiment.server_speeds.assign(s.experiment.num_queues, 0.5);
+    for (std::size_t j = s.experiment.num_queues / 2; j < s.experiment.num_queues; ++j) {
+        s.experiment.server_speeds[j] = 1.5;
+    }
+    return s;
+}
+
 std::vector<Scenario> build_registry() {
     std::vector<Scenario> registry;
     registry.push_back(make_table1());
@@ -108,6 +147,9 @@ std::vector<Scenario> build_registry() {
     registry.push_back(make_partial_info());
     registry.push_back(make_large_n());
     registry.push_back(make_large_n_sharded());
+    registry.push_back(make_staleness_sweep());
+    registry.push_back(make_heavy_tail());
+    registry.push_back(make_hetero_speeds());
     return registry;
 }
 

@@ -10,9 +10,22 @@ namespace mflb {
 DesSystem::DesSystem(FiniteSystemConfig config)
     : SystemBase(config.arrivals, config.dt, config.horizon, config.num_queues),
       config_(std::move(config)), space_(config_.queue.num_states(), config_.d),
+      router_(config_.router, config_.num_queues,
+              static_cast<std::size_t>(config_.queue.num_states()), config_.dt),
+      service_(config_.service, config_.queue.service_rate),
       fel_(config_.num_queues + 1), arrival_slot_(config_.num_queues) {
     if (config_.num_clients == 0 && config_.client_model != ClientModel::InfiniteClients) {
         throw std::invalid_argument("DesSystem: need at least one client");
+    }
+    if (!config_.server_speeds.empty()) {
+        if (config_.server_speeds.size() != config_.num_queues) {
+            throw std::invalid_argument("DesSystem: server_speeds size mismatch");
+        }
+        for (const double s : config_.server_speeds) {
+            if (!(s > 0.0)) {
+                throw std::invalid_argument("DesSystem: server speeds must be > 0");
+            }
+        }
     }
     if (config_.nu0.empty()) {
         config_.nu0.assign(static_cast<std::size_t>(config_.queue.num_states()), 0.0);
@@ -35,6 +48,14 @@ DesSystem::DesSystem(FiniteSystemConfig config)
     if (config_.client_model != ClientModel::InfiniteClients) {
         counts_.assign(m, 0);
         cum_.assign(m, 0.0);
+    }
+    // Classical weight-law routers thin arrivals by prefix-sum search no
+    // matter the client model; round-robin routes by cursor and needs none.
+    if (router_.active() && router_.kind() != RouterKind::RoundRobin) {
+        weights_.assign(m, 0.0);
+        if (cum_.empty()) {
+            cum_.assign(m, 0.0);
+        }
     }
     if (config_.client_model == ClientModel::Aggregated) {
         hist_.assign(num_z, 0.0);
@@ -63,13 +84,15 @@ void DesSystem::reset(Rng& rng) {
     cursor_ = 0.0;
 
     // Seed the FEL: initially busy queues have a job in service whose
-    // (memoryless) completion is exponential from time zero.
+    // completion time is drawn from the service law from time zero.
     fel_.clear();
     for (std::size_t j = 0; j < queues_.size(); ++j) {
         if (queues_[j] > 0) {
-            fel_.schedule(j, rng.exponential(config_.queue.service_rate));
+            fel_.schedule(j, service_time(j, rng));
         }
     }
+    rr_next_ = 0;
+    router_.reset();
 
     if (config_.track_sojourn) {
         jobs_.clear();
@@ -150,8 +173,34 @@ void DesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
     fel_.schedule(arrival_slot_, cursor_ + rng.exponential(arrival_rate_));
 }
 
-std::size_t DesSystem::sample_destination(const DecisionRule& h, Rng& rng) {
-    if (config_.client_model == ClientModel::InfiniteClients) {
+void DesSystem::begin_epoch_router(Rng& rng) {
+    const std::size_t m = queues_.size();
+    arrival_rate_ = static_cast<double>(m) * lambda_value();
+    if (router_.kind() != RouterKind::RoundRobin) {
+        // Epoch-barrier weight law from the epoch-start snapshot; arrivals
+        // within the epoch thin the aggregated stream over these weights
+        // (identical semantics to the finite backend's frozen rates).
+        router_.epoch_weights(queues_, time(), weights_);
+        double running = 0.0;
+        for (std::size_t j = 0; j < m; ++j) {
+            running += weights_[j];
+            cum_[j] = running;
+        }
+        total_weight_ = running;
+    }
+    fel_.schedule(arrival_slot_, cursor_ + rng.exponential(arrival_rate_));
+}
+
+std::size_t DesSystem::sample_destination(const DecisionRule* h, Rng& rng) {
+    if (router_.active()) {
+        if (router_.kind() == RouterKind::RoundRobin) {
+            // Per-arrival cyclic cursor — the literal discipline, which a
+            // weight law cannot express (Erlang interarrivals per queue).
+            const std::size_t j = rr_next_;
+            rr_next_ = rr_next_ + 1 == queues_.size() ? 0 : rr_next_ + 1;
+            return j;
+        }
+    } else if (config_.client_model == ClientModel::InfiniteClients) {
         // The arriving job itself samples d queues and applies h to their
         // stale snapshot states (eq. (18)-(19) by Poisson thinning).
         const int d = config_.d;
@@ -161,7 +210,7 @@ std::size_t DesSystem::sample_destination(const DecisionRule& h, Rng& rng) {
             states_[static_cast<std::size_t>(k)] = snapshot_state(id);
         }
         const std::size_t row = space_.index_of(states_);
-        const std::size_t u = rng.categorical(h.row(row));
+        const std::size_t u = rng.categorical(h->row(row));
         return static_cast<std::size_t>(sampled_[u]);
     }
     const double target = rng.uniform() * total_weight_;
@@ -179,7 +228,7 @@ void DesSystem::advance_areas_to(double t) noexcept {
     }
 }
 
-void DesSystem::handle_arrival(const DecisionRule& h, double t, Rng& rng, EpochStats& stats) {
+void DesSystem::handle_arrival(const DecisionRule* h, double t, Rng& rng, EpochStats& stats) {
     const std::size_t j = sample_destination(h, rng);
     if (queues_[j] < config_.queue.buffer) {
         save_snapshot(j);
@@ -191,7 +240,7 @@ void DesSystem::handle_arrival(const DecisionRule& h, double t, Rng& rng, EpochS
         ++stats.accepted_packets;
         if (queues_[j] == 1) {
             ++busy_queues_;
-            fel_.schedule(j, t + rng.exponential(config_.queue.service_rate));
+            fel_.schedule(j, t + service_time(j, rng));
         }
         if (config_.track_sojourn) {
             jobs_[j].push(t);
@@ -219,21 +268,13 @@ void DesSystem::handle_departure(std::size_t j, double t, Rng& rng, EpochStats& 
         p99_.add(sojourn);
     }
     if (queues_[j] > 0) {
-        fel_.schedule(j, t + rng.exponential(config_.queue.service_rate));
+        fel_.schedule(j, t + service_time(j, rng));
     } else {
         --busy_queues_;
     }
 }
 
-EpochStats DesSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
-    if (done()) {
-        throw std::logic_error("DesSystem::step: episode already finished");
-    }
-    if (!(h.space() == space_)) {
-        throw std::invalid_argument("DesSystem::step: decision rule on wrong tuple space");
-    }
-    begin_epoch(h, rng);
-
+EpochStats DesSystem::run_events(const DecisionRule* h, Rng& rng) {
     // Drift-free epoch boundary: absolute time of epoch t_ + 1.
     const double epoch_end = epoch_end_time();
     EpochStats stats;
@@ -263,7 +304,32 @@ EpochStats DesSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
     return stats;
 }
 
+EpochStats DesSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
+    if (done()) {
+        throw std::logic_error("DesSystem::step: episode already finished");
+    }
+    if (!(h.space() == space_)) {
+        throw std::invalid_argument("DesSystem::step: decision rule on wrong tuple space");
+    }
+    begin_epoch(h, rng);
+    return run_events(&h, rng);
+}
+
+EpochStats DesSystem::step_router(Rng& rng) {
+    if (!router_.active()) {
+        throw std::logic_error("DesSystem::step_router: no classical router configured");
+    }
+    if (done()) {
+        throw std::logic_error("DesSystem::step: episode already finished");
+    }
+    begin_epoch_router(rng);
+    return run_events(nullptr, rng);
+}
+
 EpochStats DesSystem::step(const UpperLevelPolicy& policy, Rng& rng) {
+    if (router_.active()) {
+        return step_router(rng);
+    }
     const DecisionRule h = policy.decide(observed_distribution(rng), lambda_state(), rng);
     return step_with_rule(h, rng);
 }
@@ -272,6 +338,16 @@ DesEpisodeStats DesSystem::run_episode(const UpperLevelPolicy& policy, Rng& rng)
     DesEpisodeStats stats;
     static_cast<EpisodeStats&>(stats) =
         run_episode_loop(config_.discount, [&] { return step(policy, rng); });
+    stats.sojourn_p50 = p50_.value();
+    stats.sojourn_p95 = p95_.value();
+    stats.sojourn_p99 = p99_.value();
+    return stats;
+}
+
+DesEpisodeStats DesSystem::run_episode(Rng& rng) {
+    DesEpisodeStats stats;
+    static_cast<EpisodeStats&>(stats) =
+        run_episode_loop(config_.discount, [&] { return step_router(rng); });
     stats.sojourn_p50 = p50_.value();
     stats.sojourn_p95 = p95_.value();
     stats.sojourn_p99 = p99_.value();

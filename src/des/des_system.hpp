@@ -92,11 +92,19 @@ public:
     /// processes arrival/departure events in time order. Allocation-free in
     /// steady state.
     EpochStats step_with_rule(const DecisionRule& h, Rng& rng);
-    /// Queries the policy on (observed H_t^M, λ_t) first.
+    /// One decision epoch under the configured classical router: the weight
+    /// law from the epoch-start snapshot feeds the arrival-thinning prefix
+    /// sums (round-robin: a cyclic per-arrival cursor instead); requires
+    /// `config().router.kind != RouterKind::Policy`.
+    EpochStats step_router(Rng& rng);
+    /// Queries the policy on (observed H_t^M, λ_t) first. With a classical
+    /// router configured the policy is ignored (forwards to step_router).
     EpochStats step(const UpperLevelPolicy& policy, Rng& rng);
 
     /// Full episode from reset state, with sojourn percentiles attached.
     DesEpisodeStats run_episode(const UpperLevelPolicy& policy, Rng& rng);
+    /// Router-only episode (requires a classical router configured).
+    DesEpisodeStats run_episode(Rng& rng);
 
     /// Streaming sojourn percentile estimates so far (track_sojourn only).
     double sojourn_p50() const noexcept { return p50_.value(); }
@@ -124,16 +132,30 @@ private:
     /// Rebuilds the epoch's routing (client counts / nothing for
     /// InfiniteClients) and reschedules the arrival-stream event.
     void begin_epoch(const DecisionRule& h, Rng& rng);
+    /// Router variant: weight law → thinning prefix sums (see step_router).
+    void begin_epoch_router(Rng& rng);
+    /// The event loop shared by the policy and router paths; `h` is null on
+    /// the router path (only InfiniteClients per-job sampling reads it).
+    EpochStats run_events(const DecisionRule* h, Rng& rng);
     /// Destination queue of one arriving job under the epoch's routing.
-    std::size_t sample_destination(const DecisionRule& h, Rng& rng);
+    std::size_t sample_destination(const DecisionRule* h, Rng& rng);
+    /// One service time at queue j: `ServiceDistribution` sample divided by
+    /// the queue's speed (1 when homogeneous). Exponential + homogeneous is
+    /// exactly the legacy `rng.exponential(α)` draw — goldens stay bit-exact.
+    double service_time(std::size_t j, Rng& rng) const noexcept {
+        const double s = service_.sample(rng);
+        return config_.server_speeds.empty() ? s : s / config_.server_speeds[j];
+    }
     /// Advances the piecewise-constant area integrals to absolute time `t`.
     void advance_areas_to(double t) noexcept;
 
-    void handle_arrival(const DecisionRule& h, double t, Rng& rng, EpochStats& stats);
+    void handle_arrival(const DecisionRule* h, double t, Rng& rng, EpochStats& stats);
     void handle_departure(std::size_t j, double t, Rng& rng, EpochStats& stats);
 
     FiniteSystemConfig config_;
     TupleSpace space_;
+    EpochRouter router_;
+    ServiceDistribution service_;
     EventQueue fel_;
     std::size_t arrival_slot_; ///< = num_queues; slots below are departures.
 
@@ -154,10 +176,12 @@ private:
     std::vector<double> dest_p_;        ///< per-queue destination law (M).
     std::vector<std::uint64_t> counts_; ///< per-queue client counts (M).
     std::vector<double> cum_;           ///< count prefix sums (M).
+    std::vector<double> weights_;       ///< router weight law (M, router mode).
     std::vector<int> sampled_;          ///< per-job sampled queues (d).
     std::vector<int> states_;           ///< their snapshot states (d).
     double total_weight_ = 0.0;         ///< prefix-sum total (= N).
     double arrival_rate_ = 0.0;         ///< aggregated rate M·λ_t.
+    std::size_t rr_next_ = 0;           ///< round-robin arrival cursor.
 
     // Time accounting.
     double cursor_ = 0.0;     ///< last area-integration time point.

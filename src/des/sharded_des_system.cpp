@@ -12,9 +12,21 @@ namespace mflb {
 ShardedDesSystem::ShardedDesSystem(FiniteSystemConfig config)
     : SystemBase(config.arrivals, config.dt, config.horizon, config.num_queues),
       config_(std::move(config)), space_(config_.queue.num_states(), config_.d),
-      threads_(config_.threads) {
+      router_(config_.router, config_.num_queues,
+              static_cast<std::size_t>(config_.queue.num_states()), config_.dt),
+      service_(config_.service, config_.queue.service_rate), threads_(config_.threads) {
     if (config_.num_clients == 0 && config_.client_model != ClientModel::InfiniteClients) {
         throw std::invalid_argument("ShardedDesSystem: need at least one client");
+    }
+    if (!config_.server_speeds.empty()) {
+        if (config_.server_speeds.size() != config_.num_queues) {
+            throw std::invalid_argument("ShardedDesSystem: server_speeds size mismatch");
+        }
+        for (const double s : config_.server_speeds) {
+            if (!(s > 0.0)) {
+                throw std::invalid_argument("ShardedDesSystem: server speeds must be > 0");
+            }
+        }
     }
     if (config_.nu0.empty()) {
         config_.nu0.assign(static_cast<std::size_t>(config_.queue.num_states()), 0.0);
@@ -59,6 +71,11 @@ ShardedDesSystem::ShardedDesSystem(FiniteSystemConfig config)
         suffix_.assign(d + 1, 1.0);
         dest_p_.assign(m, 0.0);
     }
+    // Classical weight-law routers reuse the destination-law buffer as the
+    // barrier-phase weight vector (round-robin needs none).
+    if (router_.active() && router_.kind() != RouterKind::RoundRobin && dest_p_.empty()) {
+        dest_p_.assign(m, 0.0);
+    }
     if (config_.client_model != ClientModel::InfiniteClients) {
         counts_.assign(m, 0);
     }
@@ -76,6 +93,7 @@ void ShardedDesSystem::reset(Rng& rng) {
         z = static_cast<int>(rng.categorical(config_.nu0));
     }
     reset_base(rng);
+    router_.reset();
 
     if (config_.track_sojourn) {
         jobs_.clear();
@@ -100,6 +118,7 @@ void ShardedDesSystem::reset(Rng& rng) {
         shard.total_jobs = 0;
         shard.busy_queues = 0;
         shard.cursor = 0.0;
+        shard.rr_next = 0;
         shard.p50 = P2Quantile(0.5);
         shard.p95 = P2Quantile(0.95);
         shard.p99 = P2Quantile(0.99);
@@ -109,8 +128,7 @@ void ShardedDesSystem::reset(Rng& rng) {
             shard.total_jobs += z;
             if (z > 0) {
                 ++shard.busy_queues;
-                shard.fel.schedule(j - shard.begin,
-                                   shard.rng.exponential(config_.queue.service_rate));
+                shard.fel.schedule(j - shard.begin, service_time(j, shard.rng));
             }
         }
         for (std::size_t z = 0; z < state_counts_.size(); ++z) {
@@ -199,14 +217,45 @@ void ShardedDesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
     }
 }
 
+void ShardedDesSystem::begin_epoch_router() {
+    const std::size_t m = queues_.size();
+    const double total_rate = static_cast<double>(m) * lambda_value();
+
+    if (router_.kind() == RouterKind::RoundRobin) {
+        // Shard-local cyclic cursors over shard-size-proportional thinned
+        // streams: each shard's cycle is near-deterministic at rate ∝ its
+        // queue count, the epoch-scale equal-split behavior of round-robin.
+        const double inv_m = 1.0 / static_cast<double>(m);
+        for (Shard& shard : shards_) {
+            shard.arrival_rate =
+                total_rate * static_cast<double>(shard.end - shard.begin) * inv_m;
+        }
+        return;
+    }
+    // Weight law from the epoch-start snapshot, partitioned into shard
+    // masses exactly like the policy path's destination law.
+    router_.epoch_weights(queues_, time(), dest_p_);
+    const double total =
+        partition_shard_mass(std::span<const double>(dest_p_), shard_begin_, shard_mass_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        shards_[s].arrival_rate = total > 0.0 ? total_rate * shard_mass_[s] / total : 0.0;
+    }
+}
+
 void ShardedDesSystem::handle_arrival(Shard& shard, double t) {
-    // Conditional destination law inside the shard: binary search on the
-    // shard-local prefix sums (exact thinning of the global law).
-    const double target = shard.rng.uniform() * shard.total_weight;
-    const auto it = std::upper_bound(shard.cum.begin(), shard.cum.end(), target);
-    std::size_t local = static_cast<std::size_t>(it - shard.cum.begin());
-    if (local >= shard.cum.size()) {
-        local = shard.cum.size() - 1;
+    std::size_t local;
+    if (router_.kind() == RouterKind::RoundRobin) {
+        local = shard.rr_next;
+        shard.rr_next = shard.rr_next + 1 == shard.cum.size() ? 0 : shard.rr_next + 1;
+    } else {
+        // Conditional destination law inside the shard: binary search on the
+        // shard-local prefix sums (exact thinning of the global law).
+        const double target = shard.rng.uniform() * shard.total_weight;
+        const auto it = std::upper_bound(shard.cum.begin(), shard.cum.end(), target);
+        local = static_cast<std::size_t>(it - shard.cum.begin());
+        if (local >= shard.cum.size()) {
+            local = shard.cum.size() - 1;
+        }
     }
     const std::size_t j = shard.begin + local;
     if (queues_[j] < config_.queue.buffer) {
@@ -218,7 +267,7 @@ void ShardedDesSystem::handle_arrival(Shard& shard, double t) {
         ++shard.stats.accepted_packets;
         if (queues_[j] == 1) {
             ++shard.busy_queues;
-            shard.fel.schedule(local, t + shard.rng.exponential(config_.queue.service_rate));
+            shard.fel.schedule(local, t + service_time(j, shard.rng));
         }
         if (config_.track_sojourn) {
             jobs_[j].push(t);
@@ -247,7 +296,7 @@ void ShardedDesSystem::handle_departure(Shard& shard, std::size_t local_id, doub
         shard.p99.add(sojourn);
     }
     if (queues_[j] > 0) {
-        shard.fel.schedule(local_id, t + shard.rng.exponential(config_.queue.service_rate));
+        shard.fel.schedule(local_id, t + service_time(j, shard.rng));
     } else {
         --shard.busy_queues;
     }
@@ -259,35 +308,49 @@ void ShardedDesSystem::run_shard_epoch(std::size_t s, double epoch_start, double
 
     // Shard-local destination prefix sums for this epoch's routing weights.
     double running = 0.0;
-    switch (config_.client_model) {
-    case ClientModel::Aggregated: {
-        const std::span<const double> weights(dest_p_.data() + shard.begin, local_n);
-        const std::span<std::uint64_t> counts(counts_.data() + shard.begin, local_n);
-        if (shard.clients > 0 && shard_mass_[s] > 0.0) {
-            shard.rng.multinomial(shard.clients, weights, shard_mass_[s], counts);
+    if (router_.active()) {
+        if (router_.kind() == RouterKind::RoundRobin) {
+            // Cursor-routed: no prefix sums; a positive weight just keeps
+            // the thinned arrival stream scheduled below.
+            running = static_cast<double>(local_n);
         } else {
-            std::fill(counts.begin(), counts.end(), 0);
+            for (std::size_t i = 0; i < local_n; ++i) {
+                running += dest_p_[shard.begin + i];
+                shard.cum[i] = running;
+            }
         }
-        for (std::size_t i = 0; i < local_n; ++i) {
-            running += static_cast<double>(counts[i]);
-            shard.cum[i] = running;
+        shard.total_weight = running;
+    } else {
+        switch (config_.client_model) {
+        case ClientModel::Aggregated: {
+            const std::span<const double> weights(dest_p_.data() + shard.begin, local_n);
+            const std::span<std::uint64_t> counts(counts_.data() + shard.begin, local_n);
+            if (shard.clients > 0 && shard_mass_[s] > 0.0) {
+                shard.rng.multinomial(shard.clients, weights, shard_mass_[s], counts);
+            } else {
+                std::fill(counts.begin(), counts.end(), 0);
+            }
+            for (std::size_t i = 0; i < local_n; ++i) {
+                running += static_cast<double>(counts[i]);
+                shard.cum[i] = running;
+            }
+            break;
         }
-        break;
+        case ClientModel::PerClient:
+            for (std::size_t i = 0; i < local_n; ++i) {
+                running += static_cast<double>(counts_[shard.begin + i]);
+                shard.cum[i] = running;
+            }
+            break;
+        case ClientModel::InfiniteClients:
+            for (std::size_t i = 0; i < local_n; ++i) {
+                running += dest_p_[shard.begin + i];
+                shard.cum[i] = running;
+            }
+            break;
+        }
+        shard.total_weight = running;
     }
-    case ClientModel::PerClient:
-        for (std::size_t i = 0; i < local_n; ++i) {
-            running += static_cast<double>(counts_[shard.begin + i]);
-            shard.cum[i] = running;
-        }
-        break;
-    case ClientModel::InfiniteClients:
-        for (std::size_t i = 0; i < local_n; ++i) {
-            running += dest_p_[shard.begin + i];
-            shard.cum[i] = running;
-        }
-        break;
-    }
-    shard.total_weight = running;
 
     // (Re)schedule the shard's thinned arrival stream: the pending
     // next-arrival was drawn under the previous epoch's rate and routing;
@@ -354,15 +417,7 @@ EpochStats ShardedDesSystem::reduce_epoch() {
     return stats;
 }
 
-EpochStats ShardedDesSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
-    if (done()) {
-        throw std::logic_error("ShardedDesSystem::step: episode already finished");
-    }
-    if (!(h.space() == space_)) {
-        throw std::invalid_argument("ShardedDesSystem::step: decision rule on wrong tuple space");
-    }
-    begin_epoch(h, rng);
-
+EpochStats ShardedDesSystem::run_parallel_epoch(Rng& rng) {
     const double epoch_start = epoch_start_time();
     const double epoch_end = epoch_end_time();
     // The lock-free parallel phase: each shard task reads the barrier-phase
@@ -377,7 +432,33 @@ EpochStats ShardedDesSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
     return stats;
 }
 
+EpochStats ShardedDesSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
+    if (done()) {
+        throw std::logic_error("ShardedDesSystem::step: episode already finished");
+    }
+    if (!(h.space() == space_)) {
+        throw std::invalid_argument("ShardedDesSystem::step: decision rule on wrong tuple space");
+    }
+    begin_epoch(h, rng);
+    return run_parallel_epoch(rng);
+}
+
+EpochStats ShardedDesSystem::step_router(Rng& rng) {
+    if (!router_.active()) {
+        throw std::logic_error(
+            "ShardedDesSystem::step_router: no classical router configured");
+    }
+    if (done()) {
+        throw std::logic_error("ShardedDesSystem::step: episode already finished");
+    }
+    begin_epoch_router();
+    return run_parallel_epoch(rng);
+}
+
 EpochStats ShardedDesSystem::step(const UpperLevelPolicy& policy, Rng& rng) {
+    if (router_.active()) {
+        return step_router(rng);
+    }
     const DecisionRule h = policy.decide(observed_distribution(rng), lambda_state(), rng);
     return step_with_rule(h, rng);
 }
@@ -386,6 +467,16 @@ DesEpisodeStats ShardedDesSystem::run_episode(const UpperLevelPolicy& policy, Rn
     DesEpisodeStats stats;
     static_cast<EpisodeStats&>(stats) =
         run_episode_loop(config_.discount, [&] { return step(policy, rng); });
+    stats.sojourn_p50 = sojourn_p50();
+    stats.sojourn_p95 = sojourn_p95();
+    stats.sojourn_p99 = sojourn_p99();
+    return stats;
+}
+
+DesEpisodeStats ShardedDesSystem::run_episode(Rng& rng) {
+    DesEpisodeStats stats;
+    static_cast<EpisodeStats&>(stats) =
+        run_episode_loop(config_.discount, [&] { return step_router(rng); });
     stats.sojourn_p50 = sojourn_p50();
     stats.sojourn_p95 = sojourn_p95();
     stats.sojourn_p99 = sojourn_p99();

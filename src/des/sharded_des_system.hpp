@@ -95,12 +95,21 @@ public:
     /// One decision epoch: serial barrier phase, parallel shard event loops,
     /// serial reduction (see file comment).
     EpochStats step_with_rule(const DecisionRule& h, Rng& rng);
-    /// Queries the policy on (observed H_t^M, λ_t) first.
+    /// One decision epoch under the configured classical router: the weight
+    /// law is partitioned into shard masses at the barrier exactly like the
+    /// policy path's destination law (round-robin: shard-local cyclic
+    /// cursors over shard-size-proportional thinned streams); requires
+    /// `config().router.kind != RouterKind::Policy`.
+    EpochStats step_router(Rng& rng);
+    /// Queries the policy on (observed H_t^M, λ_t) first. With a classical
+    /// router configured the policy is ignored (forwards to step_router).
     EpochStats step(const UpperLevelPolicy& policy, Rng& rng);
 
     /// Full episode from reset state, with cross-shard-merged sojourn
     /// percentiles attached (`P2Quantile::merge` in fixed shard order).
     DesEpisodeStats run_episode(const UpperLevelPolicy& policy, Rng& rng);
+    /// Router-only episode (requires a classical router configured).
+    DesEpisodeStats run_episode(Rng& rng);
 
     /// Streaming sojourn percentile estimates so far (track_sojourn only),
     /// merged across shards.
@@ -128,6 +137,7 @@ private:
         double job_area = 0.0;            ///< ∫ Σ z_j dτ within the epoch.
         double busy_area = 0.0;           ///< ∫ #busy dτ within the epoch.
         EpochStats stats;                 ///< this epoch's local counters.
+        std::size_t rr_next = 0;          ///< shard-local round-robin cursor.
         P2Quantile p50{0.5};              ///< local sojourn percentiles
         P2Quantile p95{0.95};             ///< (track_sojourn only; merged
         P2Quantile p99{0.99};             ///< across shards on demand).
@@ -142,6 +152,13 @@ private:
     /// Barrier phase 1: routing weights, per-shard masses/rates, shard
     /// client totals — everything the parallel phase consumes read-only.
     void begin_epoch(const DecisionRule& h, Rng& rng);
+    /// Router variant of the barrier phase: weight law → shard masses.
+    /// Consumes no RNG draws (the classical weight laws are deterministic
+    /// functions of the snapshot).
+    void begin_epoch_router();
+    /// Parallel shard loops + fixed-order reduction + λ advance — the tail
+    /// shared by the policy and router paths.
+    EpochStats run_parallel_epoch(Rng& rng);
     /// Parallel phase: shard s's epoch on [epoch_start, epoch_end).
     void run_shard_epoch(std::size_t s, double epoch_start, double epoch_end);
     /// Barrier phase 2: fixed-order reduction into the epoch's EpochStats
@@ -151,10 +168,19 @@ private:
     void handle_arrival(Shard& shard, double t);
     void handle_departure(Shard& shard, std::size_t local_id, double t);
 
+    /// One service time at queue j from the shard's own stream (see
+    /// DesSystem::service_time; identical exponential-homogeneous draws).
+    double service_time(std::size_t j, Rng& rng) const noexcept {
+        const double s = service_.sample(rng);
+        return config_.server_speeds.empty() ? s : s / config_.server_speeds[j];
+    }
+
     double merged_quantile(int which) const;
 
     FiniteSystemConfig config_;
     TupleSpace space_;
+    EpochRouter router_;
+    ServiceDistribution service_;
     std::size_t threads_ = 0;
 
     std::vector<Shard> shards_;

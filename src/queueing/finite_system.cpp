@@ -2,15 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace mflb {
 
 FiniteSystem::FiniteSystem(FiniteSystemConfig config)
     : SystemBase(config.arrivals, config.dt, config.horizon, config.num_queues),
-      config_(std::move(config)), space_(config_.queue.num_states(), config_.d) {
+      config_(std::move(config)), space_(config_.queue.num_states(), config_.d),
+      router_(config_.router, config_.num_queues,
+              static_cast<std::size_t>(config_.queue.num_states()), config_.dt),
+      service_(config_.service, config_.queue.service_rate) {
     if (config_.num_clients == 0 && config_.client_model != ClientModel::InfiniteClients) {
         throw std::invalid_argument("FiniteSystem: need at least one client");
+    }
+    if (!config_.server_speeds.empty()) {
+        if (config_.server_speeds.size() != config_.num_queues) {
+            throw std::invalid_argument("FiniteSystem: server_speeds size mismatch");
+        }
+        for (const double s : config_.server_speeds) {
+            if (!(s > 0.0)) {
+                throw std::invalid_argument("FiniteSystem: server speeds must be > 0");
+            }
+        }
     }
     if (config_.nu0.empty()) {
         config_.nu0.assign(static_cast<std::size_t>(config_.queue.num_states()), 0.0);
@@ -33,6 +47,12 @@ FiniteSystem::FiniteSystem(FiniteSystemConfig config)
     ws_.rates.assign(m, 0.0);
     ws_.flow.inflow_by_state.assign(num_z, 0.0);
     ws_.flow.rate_by_state.assign(num_z, 0.0);
+    if (router_.active()) {
+        ws_.weights.assign(m, 0.0);
+    }
+    if (general_service()) {
+        next_completion_.assign(m, std::numeric_limits<double>::infinity());
+    }
 }
 
 void FiniteSystem::reset(Rng& rng) {
@@ -41,6 +61,16 @@ void FiniteSystem::reset(Rng& rng) {
     }
     reset_base(rng);
     clock_ = 0.0;
+    router_.reset();
+    if (general_service()) {
+        // Initially busy queues have a job in service from time zero whose
+        // completion clock is carried across epochs by the general kernel.
+        for (std::size_t j = 0; j < queues_.size(); ++j) {
+            next_completion_[j] = queues_[j] > 0
+                                      ? service_.sample(rng) / speed(j)
+                                      : std::numeric_limits<double>::infinity();
+        }
+    }
     if (config_.track_sojourn) {
         jobs_.clear();
         jobs_.reserve(queues_.size());
@@ -142,15 +172,25 @@ std::vector<double> FiniteSystem::compute_queue_rates(const DecisionRule& h, Rng
     return ws_.rates;
 }
 
-EpochStats FiniteSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
-    if (done()) {
-        throw std::logic_error("FiniteSystem::step: episode already finished");
+void FiniteSystem::compute_router_rates_into() {
+    // Router weight law → frozen per-queue Poisson rates M·λ_t·w_j/Σw: the
+    // exact rate realization of "each arriving job lands on queue j with
+    // probability w_j/Σw" for the aggregated stream of rate M·λ_t.
+    router_.epoch_weights(queues_, time(), ws_.weights);
+    double total = 0.0;
+    for (const double w : ws_.weights) {
+        total += w;
     }
-    if (!(h.space() == space_)) {
-        throw std::invalid_argument("FiniteSystem::step: decision rule on wrong tuple space");
+    const double scale =
+        total > 0.0 ? static_cast<double>(queues_.size()) * lambda_value() / total : 0.0;
+    for (std::size_t j = 0; j < queues_.size(); ++j) {
+        ws_.rates[j] = scale * ws_.weights[j];
     }
-    compute_queue_rates_into(h, rng);
+}
+
+EpochStats FiniteSystem::simulate_epoch_from_rates(Rng& rng) {
     const std::vector<double>& rates = ws_.rates;
+    const bool general = general_service();
 
     EpochStats stats;
     double area = 0.0;
@@ -158,7 +198,15 @@ EpochStats FiniteSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
     double sojourn_sum = 0.0;
     for (std::size_t j = 0; j < queues_.size(); ++j) {
         QueueEpochResult r;
-        if (config_.track_sojourn) {
+        if (general) {
+            const SojournEpochResult s = simulate_queue_epoch_general(
+                queues_[j], rates[j], service_, speed(j), config_.queue.buffer, clock_,
+                config_.dt, next_completion_[j], rng,
+                config_.track_sojourn ? &jobs_[j] : nullptr);
+            r = s.queue;
+            sojourn_sum += s.sojourn.mean() * static_cast<double>(s.sojourn.count());
+            stats.completed_jobs += s.sojourn.count();
+        } else if (config_.track_sojourn) {
             const SojournEpochResult s = simulate_queue_epoch_sojourn(
                 jobs_[j], clock_, rates[j], config_.queue.service_rate, config_.queue.buffer,
                 config_.dt, rng);
@@ -190,13 +238,42 @@ EpochStats FiniteSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
     return stats;
 }
 
+EpochStats FiniteSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
+    if (done()) {
+        throw std::logic_error("FiniteSystem::step: episode already finished");
+    }
+    if (!(h.space() == space_)) {
+        throw std::invalid_argument("FiniteSystem::step: decision rule on wrong tuple space");
+    }
+    compute_queue_rates_into(h, rng);
+    return simulate_epoch_from_rates(rng);
+}
+
+EpochStats FiniteSystem::step_router(Rng& rng) {
+    if (!router_.active()) {
+        throw std::logic_error("FiniteSystem::step_router: no classical router configured");
+    }
+    if (done()) {
+        throw std::logic_error("FiniteSystem::step: episode already finished");
+    }
+    compute_router_rates_into();
+    return simulate_epoch_from_rates(rng);
+}
+
 EpochStats FiniteSystem::step(const UpperLevelPolicy& policy, Rng& rng) {
+    if (router_.active()) {
+        return step_router(rng);
+    }
     const DecisionRule h = policy.decide(observed_distribution(rng), lambda_state(), rng);
     return step_with_rule(h, rng);
 }
 
 EpisodeStats FiniteSystem::run_episode(const UpperLevelPolicy& policy, Rng& rng) {
     return run_episode_loop(config_.discount, [&] { return step(policy, rng); });
+}
+
+EpisodeStats FiniteSystem::run_episode(Rng& rng) {
+    return run_episode_loop(config_.discount, [&] { return step_router(rng); });
 }
 
 } // namespace mflb

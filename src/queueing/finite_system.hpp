@@ -32,6 +32,8 @@
 #include "field/mfc_env.hpp"
 #include "field/transition.hpp"
 #include "queueing/gillespie.hpp"
+#include "queueing/router.hpp"
+#include "queueing/service_distribution.hpp"
 #include "queueing/sojourn.hpp"
 #include "queueing/system_base.hpp"
 #include "support/rng.hpp"
@@ -73,6 +75,17 @@ struct FiniteSystemConfig {
     /// Sharded backend only: worker threads for the epoch-parallel phase
     /// (0 = all hardware threads). Never affects results, only wall clock.
     std::size_t threads = 0;
+    /// Routing discipline. `Policy` (default) is the paper's decision-rule
+    /// path; any classical kind makes the backends ignore the upper-level
+    /// policy and route at the job-stream level (see queueing/router.hpp).
+    RouterSpec router{};
+    /// Service-time law, mean 1/queue.service_rate for every kind so the
+    /// offered load is comparable across laws (queueing/service_distribution.hpp).
+    ServiceConfig service{};
+    /// Per-queue relative server speeds (heterogeneity): queue j serves at
+    /// rate speed_j · α, i.e. its service times are sample / speed_j. Empty
+    /// (default) = homogeneous; otherwise one positive entry per queue.
+    std::vector<double> server_speeds;
 };
 
 /// Exact simulator of the finite (or infinite-client) queuing system.
@@ -96,14 +109,20 @@ public:
     std::vector<double> observed_distribution(Rng& rng) const;
 
     /// One decision epoch: query the policy on (H_t^M, λ_t), route clients,
-    /// simulate all queues for Δt, advance λ.
+    /// simulate all queues for Δt, advance λ. With a classical router
+    /// configured the policy is ignored and this forwards to step_router.
     EpochStats step(const UpperLevelPolicy& policy, Rng& rng);
     /// Same with an explicit decision rule (skips the policy query).
     /// Allocation-free in steady state (see file comment).
     EpochStats step_with_rule(const DecisionRule& h, Rng& rng);
+    /// One decision epoch under the configured classical router (no policy
+    /// involved); requires `config().router.kind != RouterKind::Policy`.
+    EpochStats step_router(Rng& rng);
 
     /// Runs a full episode from reset state; accumulates per-epoch stats.
     EpisodeStats run_episode(const UpperLevelPolicy& policy, Rng& rng);
+    /// Router-only episode (requires a classical router configured).
+    EpisodeStats run_episode(Rng& rng);
 
     /// Per-queue arrival rates computed for the *current* snapshot under `h`
     /// — exposed for tests validating eq. (5) and its aggregation.
@@ -124,6 +143,7 @@ private:
         std::vector<int> sampled;          ///< per-client sampled queues (d).
         std::vector<int> states;           ///< their snapshot states (d).
         std::vector<double> rates;         ///< per-queue arrival rates (M).
+        std::vector<double> weights;       ///< router weight law (M, router mode).
         ArrivalFlow flow;                  ///< InfiniteClients rate buffers.
     };
 
@@ -132,10 +152,29 @@ private:
     void destination_probabilities(const DecisionRule& h) const;
     /// Fills ws_.rates with the per-queue arrival rates of eq. (5).
     void compute_queue_rates_into(const DecisionRule& h, Rng& rng) const;
+    /// Fills ws_.rates with M·λ_t·w_j/Σw from the router's weight law.
+    void compute_router_rates_into();
+    /// Shared epoch tail: per-queue kernels on ws_.rates + epoch accounting.
+    EpochStats simulate_epoch_from_rates(Rng& rng);
+    /// True when the general-service kernel must run (non-exponential law
+    /// or heterogeneous speeds); the legacy exponential Gillespie kernels
+    /// are kept for the default so goldens stay bit-identical.
+    bool general_service() const noexcept {
+        return config_.service.kind != ServiceDistKind::Exponential ||
+               !config_.server_speeds.empty();
+    }
+    double speed(std::size_t j) const noexcept {
+        return config_.server_speeds.empty() ? 1.0 : config_.server_speeds[j];
+    }
 
     FiniteSystemConfig config_;
     TupleSpace space_;
+    EpochRouter router_;
+    ServiceDistribution service_;
     std::vector<JobTimestamps> jobs_; ///< per-queue FIFO timestamps (sojourn mode).
+    /// General-service kernel state: absolute completion time of the job in
+    /// service at queue j (+inf when idle), carried across epochs.
+    std::vector<double> next_completion_;
     double clock_ = 0.0;              ///< absolute simulation time (sojourn mode).
     mutable Workspace ws_;
 };

@@ -1,6 +1,7 @@
 #include "queueing/sojourn.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace mflb {
@@ -68,6 +69,65 @@ SojournEpochResult simulate_queue_epoch_sojourn(JobTimestamps& jobs, double t0,
     if (z > 0) {
         result.queue.busy_time += dt - t;
     }
+    result.queue.final_state = z;
+    return result;
+}
+
+SojournEpochResult simulate_queue_epoch_general(int z0, double arrival_rate,
+                                                const ServiceDistribution& service,
+                                                double speed, int buffer, double t0,
+                                                double dt, double& next_completion,
+                                                Rng& rng, JobTimestamps* jobs) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    SojournEpochResult result;
+    const double end = t0 + dt;
+    int z = z0;
+    double cursor = t0;
+    // The arrival clock is memoryless, so redrawing it at the epoch start is
+    // exact; the service clock is not and arrives via `next_completion`.
+    double next_arrival =
+        arrival_rate > 0.0 ? t0 + rng.exponential(arrival_rate) : kInf;
+    const auto advance_to = [&](double t) {
+        const double span = t - cursor;
+        result.queue.queue_length_area += static_cast<double>(z) * span;
+        if (z > 0) {
+            result.queue.busy_time += span;
+        }
+        cursor = t;
+    };
+    while (true) {
+        // Ties (possible with deterministic service) resolve departure
+        // first, opening a buffer slot for the simultaneous arrival.
+        const bool departure_next = next_completion <= next_arrival;
+        const double t = departure_next ? next_completion : next_arrival;
+        if (t > end) {
+            break;
+        }
+        advance_to(t);
+        if (departure_next) {
+            --z;
+            ++result.queue.services;
+            if (jobs != nullptr) {
+                result.sojourn.add(jobs->pop(t));
+            }
+            next_completion = z > 0 ? t + service.sample(rng) / speed : kInf;
+        } else {
+            if (z < buffer) {
+                ++z;
+                ++result.queue.arrivals;
+                if (jobs != nullptr) {
+                    jobs->push(t);
+                }
+                if (z == 1) {
+                    next_completion = t + service.sample(rng) / speed;
+                }
+            } else {
+                ++result.queue.drops;
+            }
+            next_arrival = t + rng.exponential(arrival_rate);
+        }
+    }
+    advance_to(end);
     result.queue.final_state = z;
     return result;
 }

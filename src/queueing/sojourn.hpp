@@ -12,6 +12,7 @@
 #pragma once
 
 #include "queueing/gillespie.hpp"
+#include "queueing/service_distribution.hpp"
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
 
@@ -48,6 +49,23 @@ struct SojournEpochResult {
 SojournEpochResult simulate_queue_epoch_sojourn(JobTimestamps& jobs, double t0,
                                                 double arrival_rate, double service_rate,
                                                 int buffer, double dt, Rng& rng);
+
+/// General-service (M/G/1/B) variant of the per-queue epoch kernel: the
+/// `FiniteSystem` path for non-exponential `ServiceDistribution`s and
+/// heterogeneous server speeds, where the service-completion clock is *not*
+/// memoryless and must be carried across epochs. `next_completion` is the
+/// absolute completion time of the job in service (+infinity when idle),
+/// updated in place; Poisson arrivals are redrawn each epoch (exact by
+/// memorylessness of the arrival process, whose rate is frozen per epoch).
+/// Queue j's service times are `service.sample(rng) / speed`. When `jobs`
+/// is non-null, accepted arrivals / completions are timestamped through it
+/// and completed sojourns land in `result.sojourn`. Starts at absolute time
+/// `t0` with fill `z0`; allocation-free.
+SojournEpochResult simulate_queue_epoch_general(int z0, double arrival_rate,
+                                                const ServiceDistribution& service,
+                                                double speed, int buffer, double t0,
+                                                double dt, double& next_completion,
+                                                Rng& rng, JobTimestamps* jobs);
 
 /// Stationary M/M/1/B mean sojourn time via Little's law: E[T] = E[L] /
 /// (λ (1 - P_B)) under the truncated-geometric stationary law. Oracle for

@@ -153,6 +153,86 @@ TEST(GoldenTrajectories, MemorySystemAllDisciplines) {
     EXPECT_EQ(rnd.memory_hit_rate, 0.0);
 }
 
+// The DES constants below were recorded immediately before the classical-
+// router / service-distribution refactor (PR 6) by running the pre-refactor
+// library with exactly these configurations and printing every field at
+// %.17g. They pin that making the learned-policy path "just another router"
+// and threading `ServiceDistribution` through the departure sampling changed
+// no draw order: default-configured (exponential service, homogeneous,
+// RouterKind::Policy) trajectories are bit-identical.
+
+TEST(GoldenTrajectories, DesSystemAggregatedJsq) {
+    FiniteSystemConfig config;
+    config.dt = 2.0;
+    config.num_queues = 32;
+    config.num_clients = 1024;
+    config.horizon = 25;
+    DesSystem system(config);
+    const FixedRulePolicy jsq = make_jsq_policy(system.tuple_space());
+    Rng rng(42);
+    system.reset(rng);
+    const DesEpisodeStats stats = system.run_episode(jsq, rng);
+    EXPECT_EQ(stats.total_drops_per_queue, 1.0);
+    EXPECT_EQ(stats.discounted_return, -0.86067758478825251);
+    EXPECT_EQ(stats.dropped_packets, 32u);
+    EXPECT_EQ(stats.accepted_packets, 1256u);
+    EXPECT_EQ(stats.mean_queue_length, 1.6507903627875129);
+    EXPECT_EQ(stats.server_utilization, 0.74747060449519764);
+}
+
+TEST(GoldenTrajectories, DesSystemInfiniteClientsSojourn) {
+    FiniteSystemConfig config;
+    config.dt = 2.0;
+    config.num_queues = 20;
+    config.horizon = 12;
+    config.client_model = ClientModel::InfiniteClients;
+    config.track_sojourn = true;
+    config.histogram_sample_size = 8;
+    DesSystem system(config);
+    const FixedRulePolicy jsq = make_jsq_policy(system.tuple_space());
+    Rng rng(11);
+    system.reset(rng);
+    const DesEpisodeStats stats = system.run_episode(jsq, rng);
+    EXPECT_EQ(stats.total_drops_per_queue, 0.39999999999999997);
+    EXPECT_EQ(stats.discounted_return, -0.36636664714822881);
+    EXPECT_EQ(stats.dropped_packets, 8u);
+    EXPECT_EQ(stats.accepted_packets, 390u);
+    EXPECT_EQ(stats.mean_queue_length, 1.8958546041809639);
+    EXPECT_EQ(stats.server_utilization, 0.74700190425917834);
+    EXPECT_EQ(stats.mean_sojourn, 2.265656641594195);
+    EXPECT_EQ(stats.completed_jobs, 344u);
+    EXPECT_EQ(stats.sojourn_p50, 2.0447252678176548);
+    EXPECT_EQ(stats.sojourn_p95, 6.5737123388702763);
+    EXPECT_EQ(stats.sojourn_p99, 8.3995788166603766);
+}
+
+TEST(GoldenTrajectories, ShardedDesSystemJsqFourShards) {
+    FiniteSystemConfig config;
+    config.dt = 2.0;
+    config.num_queues = 32;
+    config.num_clients = 1024;
+    config.horizon = 20;
+    config.shards = 4;
+    config.threads = 1;
+    config.track_sojourn = true;
+    ShardedDesSystem system(config);
+    const FixedRulePolicy jsq = make_jsq_policy(system.tuple_space());
+    Rng rng(17);
+    system.reset(rng);
+    const DesEpisodeStats stats = system.run_episode(jsq, rng);
+    EXPECT_EQ(stats.total_drops_per_queue, 1.40625);
+    EXPECT_EQ(stats.discounted_return, -1.285366496445121);
+    EXPECT_EQ(stats.dropped_packets, 45u);
+    EXPECT_EQ(stats.accepted_packets, 1107u);
+    EXPECT_EQ(stats.mean_queue_length, 2.181333954344479);
+    EXPECT_EQ(stats.server_utilization, 0.82121935764764054);
+    EXPECT_EQ(stats.mean_sojourn, 2.5498712371932548);
+    EXPECT_EQ(stats.completed_jobs, 1040u);
+    EXPECT_EQ(stats.sojourn_p50, 2.1218704901352634);
+    EXPECT_EQ(stats.sojourn_p95, 6.4929983753803757);
+    EXPECT_EQ(stats.sojourn_p99, 9.9516727812447687);
+}
+
 TEST(GoldenTrajectories, MfcEnvUniformizationArithmetic) {
     // Pins the ExactDiscretization workspace rewrite: a 20-epoch mean-field
     // rollout must match the seed implementation's per-call uniformization

@@ -87,6 +87,60 @@ TEST(HotPathAllocations, DesSystemStepWithRuleAllClientModels) {
     }
 }
 
+TEST(HotPathAllocations, DesSystemRouterStepNonExponentialService) {
+    // The classical-router epoch path (weight law + prefix sums + arrival
+    // reschedule) and the general-service departure path (multi-draw
+    // hyperexponential sampling, per-queue speeds) must stay allocation-free
+    // in steady state, like the decision-rule path they sit beside.
+    for (const RouterKind kind : {RouterKind::Jsq, RouterKind::JsqD,
+                                  RouterKind::RoundRobin, RouterKind::SqStale}) {
+        FiniteSystemConfig config;
+        config.num_queues = 50;
+        config.num_clients = 2500;
+        config.dt = 2.0;
+        config.horizon = 1 << 20;
+        config.router.kind = kind;
+        config.router.stale_period = 6.0;
+        config.service.kind = ServiceDistKind::HyperExp;
+        config.server_speeds.assign(50, 1.0);
+        config.track_sojourn = true;
+        DesSystem system(config);
+        Rng rng(7);
+        system.reset(rng);
+
+        (void)system.step_router(rng); // warmup sizes every buffer
+        const std::size_t before = counting_allocator::count();
+        for (int i = 0; i < 50; ++i) {
+            (void)system.step_router(rng);
+        }
+        EXPECT_EQ(counting_allocator::count() - before, 0u)
+            << "router " << router_name(kind);
+    }
+}
+
+TEST(HotPathAllocations, FiniteSystemGeneralServiceKernel) {
+    // The carried-completion-time mini-DES kernel that replaces the Gillespie
+    // loop for non-exponential laws runs per queue per epoch — it must not
+    // allocate either.
+    FiniteSystemConfig config;
+    config.num_queues = 50;
+    config.num_clients = 2500;
+    config.dt = 2.0;
+    config.horizon = 1 << 20;
+    config.service.kind = ServiceDistKind::BoundedPareto;
+    FiniteSystem system(config);
+    Rng rng(8);
+    system.reset(rng);
+    const DecisionRule h = DecisionRule::mf_jsq(system.tuple_space());
+
+    (void)system.step_with_rule(h, rng);
+    const std::size_t before = counting_allocator::count();
+    for (int i = 0; i < 50; ++i) {
+        (void)system.step_with_rule(h, rng);
+    }
+    EXPECT_EQ(counting_allocator::count() - before, 0u);
+}
+
 TEST(HotPathAllocations, EventQueueOperationsAfterConstruction) {
     EventQueue fel(128);
     Rng rng(9);
