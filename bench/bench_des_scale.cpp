@@ -20,7 +20,12 @@
 ///  4. Thread/shard scaling of the sharded backend on the `large-n`
 ///     configuration (M = 10^4, N = 10^6): one episode per thread count in
 ///     {1, 2, 4, 8} against the single-threaded unsharded DES baseline,
-///     with per-point `sharded_speedup_*` rows in the --json artifact.
+///     with per-point `sharded_speedup_*` rows — and the fused barrier's
+///     serial/parallel wall-clock split (`sharded_barrier_*` rows, the
+///     Amdahl accounting of the epoch barrier) — in the --json artifact.
+///  5. A single sharded episode at M = 10^7 queues (InfiniteClients, short
+///     horizon), guarding that the fused barrier keeps ten-million-queue
+///     epochs tractable.
 ///
 /// All timings are appended to --json for the CI benchmark artifact.
 #include "bench_common.hpp"
@@ -74,6 +79,38 @@ EpisodeRun run_one_episode(const FiniteSystemConfig& config, const DecisionRule&
         drops += system.step_with_rule(rule, rng).drops_per_queue;
     }
     return {seconds_since(start), drops};
+}
+
+/// Sharded episode with the backend's own barrier accounting attached: how
+/// much wall clock the epochs spent in the serial barrier phases (policy
+/// realization + reduction) vs the parallel shard loops — the Amdahl split
+/// that bounds thread scaling.
+struct ShardedRun {
+    EpisodeRun episode;
+    double serial_s = 0.0;
+    double parallel_s = 0.0;
+
+    double serial_fraction() const {
+        const double total = serial_s + parallel_s;
+        return total > 0.0 ? serial_s / total : 0.0;
+    }
+};
+
+ShardedRun run_sharded_episode(const FiniteSystemConfig& config, const DecisionRule& rule,
+                               std::uint64_t seed) {
+    ShardedDesSystem system(config);
+    Rng rng(seed);
+    system.reset(rng);
+    const auto start = Clock::now();
+    double drops = 0.0;
+    while (!system.done()) {
+        drops += system.step_with_rule(rule, rng).drops_per_queue;
+    }
+    ShardedRun out;
+    out.episode = {seconds_since(start), drops};
+    out.serial_s = system.barrier_profile().serial_seconds;
+    out.parallel_s = system.barrier_profile().parallel_seconds;
+    return out;
 }
 
 } // namespace
@@ -235,31 +272,68 @@ int main(int argc, char** argv) {
                     baseline.seconds, baseline.drops_per_queue);
 
         config.shards = shards;
-        Table scaling({"threads", "sharded (s/episode)", "speedup vs DES", "drops/queue"});
+        Table scaling({"threads", "sharded (s/episode)", "speedup vs DES", "serial frac",
+                       "drops/queue"});
         for (const std::int64_t t : cli.get_int_list("threads")) {
             config.threads = static_cast<std::size_t>(t);
-            const EpisodeRun run = run_one_episode<ShardedDesSystem>(config, jsq, seed);
-            const double speedup = baseline.seconds / run.seconds;
+            const ShardedRun run = run_sharded_episode(config, jsq, seed);
+            const double speedup = baseline.seconds / run.episode.seconds;
             std::snprintf(label, sizeof(label), "sharded_episode_K=%zu_T=%lld", shards,
                           static_cast<long long>(t));
-            timings.record(label, run.seconds);
+            timings.record(label, run.episode.seconds);
             // Speedup rows: the value column carries the ratio, not seconds,
             // so the CI artifact tracks scaling directly.
             std::snprintf(label, sizeof(label), "sharded_speedup_K=%zu_T=%lld", shards,
                           static_cast<long long>(t));
             timings.record(label, speedup);
+            // Barrier-cost rows: the serial/parallel wall-clock split of the
+            // epoch barrier (Amdahl accounting; "fraction" rows are ratios,
+            // not seconds, and are skipped by check-bench-regression.sh).
+            std::snprintf(label, sizeof(label), "sharded_barrier_serial_s_K=%zu_T=%lld",
+                          shards, static_cast<long long>(t));
+            timings.record(label, run.serial_s);
+            std::snprintf(label, sizeof(label), "sharded_barrier_parallel_s_K=%zu_T=%lld",
+                          shards, static_cast<long long>(t));
+            timings.record(label, run.parallel_s);
+            std::snprintf(label, sizeof(label),
+                          "sharded_barrier_serial_fraction_K=%zu_T=%lld", shards,
+                          static_cast<long long>(t));
+            timings.record(label, run.serial_fraction());
             char cell[32];
             std::snprintf(cell, sizeof(cell), "%.2fx", speedup);
+            char frac[32];
+            std::snprintf(frac, sizeof(frac), "%.3f", run.serial_fraction());
             scaling.row()
                 .cell(t)
-                .cell(run.seconds, 4)
+                .cell(run.episode.seconds, 4)
                 .cell(std::string(cell))
-                .cell(run.drops_per_queue, 4);
+                .cell(std::string(frac))
+                .cell(run.episode.drops_per_queue, 4);
         }
         std::printf("%s", scaling.to_text().c_str());
         std::printf("(hardware: %u threads available; results are identical across thread "
-                    "counts by the (seed, K) determinism contract)\n",
+                    "counts by the (seed, K) determinism contract)\n\n",
                     std::thread::hardware_concurrency());
+    }
+
+    // --- 5. Fused-barrier headroom: one episode at M = 10^7 queues --------
+    {
+        // Ten million queues under the fixed total load, InfiniteClients (no
+        // per-client state), short horizon: the point is that the fused
+        // barrier — vectorized law realization, parallel reduction up to the
+        // occupied high-water mark — keeps the O(M) epoch cost tractable at
+        // a fleet size three decades past the epoch-synchronous backend's
+        // budget. One row in the CI artifact guards it.
+        const std::size_t m = 10000000;
+        const int short_horizon = MfcConfig::horizon_for_total_time(5.0, dt);
+        FiniteSystemConfig config = scale_config(m, lambda_total, dt, short_horizon,
+                                                 ClientModel::InfiniteClients, 0);
+        const ShardedRun run = run_sharded_episode(config, jsq, seed);
+        timings.record("sharded_episode_M=10000000", run.episode.seconds);
+        std::printf("sharded episode at M=10^7 (K=%zu default shards, %d epochs): %.3f s "
+                    "(serial fraction %.3f), drops/queue %.6f\n",
+                    ShardedDesSystem::kDefaultShards, short_horizon, run.episode.seconds,
+                    run.serial_fraction(), run.episode.drops_per_queue);
     }
 
     timings.write(cli.get("json"));

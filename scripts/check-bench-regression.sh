@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Compare two TimingLog JSON artifacts (e.g. bench_des_scale --json outputs
+# from two commits) and fail when any row regressed by more than the
+# threshold (default 15%).
+#
+#   usage: check-bench-regression.sh OLD.json NEW.json [THRESHOLD_PCT]
+#
+# Row semantics, matching the bench label conventions:
+#   - plain rows carry seconds: regression = new > old * (1 + threshold);
+#   - "*speedup*" rows carry ratios where bigger is better:
+#       regression = new < old / (1 + threshold);
+#   - "*fraction*" rows are dimensionless splits (e.g. the barrier's serial
+#     fraction) whose healthy value depends on the host's core count — they
+#     are reported but never gate.
+# Rows present in only one file are reported and skipped. Exits non-zero iff
+# at least one gating row regressed.
+set -euo pipefail
+
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+    echo "usage: $0 OLD.json NEW.json [THRESHOLD_PCT]" >&2
+    exit 2
+fi
+
+OLD_JSON="$1" NEW_JSON="$2" THRESHOLD_PCT="${3:-15}" python3 - <<'PY'
+import json
+import os
+import sys
+
+old_path = os.environ["OLD_JSON"]
+new_path = os.environ["NEW_JSON"]
+threshold = float(os.environ["THRESHOLD_PCT"]) / 100.0
+
+
+def load(path):
+    with open(path) as f:
+        rows = json.load(f)
+    out = {}
+    for row in rows:
+        out[f"{row['bench']}/{row['label']}"] = float(row["seconds"])
+    return out
+
+
+old = load(old_path)
+new = load(new_path)
+
+regressions = []
+for key in sorted(old.keys() | new.keys()):
+    if key not in old or key not in new:
+        print(f"  only in {'new' if key in new else 'old'}: {key} (skipped)")
+        continue
+    a, b = old[key], new[key]
+    if "fraction" in key:
+        print(f"  info {key}: {a:.4f} -> {b:.4f} (not gated)")
+        continue
+    if "speedup" in key:
+        ok = b >= a / (1.0 + threshold)
+        change = f"{a:.3f}x -> {b:.3f}x"
+    else:
+        ok = b <= a * (1.0 + threshold)
+        change = f"{a:.4f}s -> {b:.4f}s"
+    if not ok:
+        regressions.append(key)
+        print(f"  REGRESSED {key}: {change}")
+    else:
+        print(f"  ok {key}: {change}")
+
+if regressions:
+    print(f"{len(regressions)} benchmark row(s) regressed beyond "
+          f"{100 * threshold:.0f}%: " + ", ".join(regressions))
+    sys.exit(1)
+print("no benchmark regressions")
+PY

@@ -1,5 +1,6 @@
 #include "core/neural_policy.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mflb {
@@ -26,28 +27,52 @@ NeuralUpperPolicy::NeuralUpperPolicy(const TupleSpace& space, std::size_t num_la
     }
 }
 
-DecisionRule NeuralUpperPolicy::decide(std::span<const double> nu, std::size_t lambda_state,
-                                       Rng& /*rng*/) const {
+NeuralUpperPolicy::BatchScratch::BatchScratch(const rl::GaussianPolicy& policy)
+    : obs(policy.obs_dim(), 0.0), raw(policy.action_dim(), 0.0), ws(policy.network(), 1) {}
+
+std::unique_ptr<UpperLevelPolicy::Scratch> NeuralUpperPolicy::make_scratch() const {
+    return std::make_unique<BatchScratch>(*policy_);
+}
+
+void NeuralUpperPolicy::decide_impl(std::span<const double> nu, std::size_t lambda_state,
+                                    BatchScratch& scratch, DecisionRule& out) const {
     if (nu.size() != static_cast<std::size_t>(space_.num_states())) {
         throw std::invalid_argument("NeuralUpperPolicy::decide: nu size mismatch");
     }
     if (lambda_state >= num_lambda_states_) {
         throw std::out_of_range("NeuralUpperPolicy::decide: lambda state out of range");
     }
-    std::vector<double> obs;
-    obs.reserve(nu.size() + num_lambda_states_);
-    obs.insert(obs.end(), nu.begin(), nu.end());
+    std::copy(nu.begin(), nu.end(), scratch.obs.begin());
     for (std::size_t s = 0; s < num_lambda_states_; ++s) {
-        obs.push_back(s == lambda_state ? 1.0 : 0.0);
+        scratch.obs[nu.size() + s] = s == lambda_state ? 1.0 : 0.0;
     }
-    const std::vector<double> raw = policy_->mean_action(obs);
+    policy_->mean_action_batch(scratch.obs, 1, scratch.ws, scratch.raw);
     switch (parameterization_) {
     case RuleParameterization::Logits:
-        return DecisionRule::from_logits(space_, raw);
+        out.set_from_logits(scratch.raw);
+        break;
     case RuleParameterization::Simplex:
-        return DecisionRule::from_probabilities(space_, raw);
+        out.set_from_probabilities(scratch.raw);
+        break;
     }
-    return DecisionRule(space_);
+}
+
+DecisionRule NeuralUpperPolicy::decide(std::span<const double> nu, std::size_t lambda_state,
+                                       Rng& /*rng*/) const {
+    BatchScratch scratch(*policy_);
+    DecisionRule out(space_);
+    decide_impl(nu, lambda_state, scratch, out);
+    return out;
+}
+
+void NeuralUpperPolicy::decide_into(std::span<const double> nu, std::size_t lambda_state,
+                                    Rng& /*rng*/, Scratch* scratch, DecisionRule& out) const {
+    if (auto* batch = dynamic_cast<BatchScratch*>(scratch)) {
+        decide_impl(nu, lambda_state, *batch, out);
+        return;
+    }
+    BatchScratch local(*policy_);
+    decide_impl(nu, lambda_state, local, out);
 }
 
 } // namespace mflb

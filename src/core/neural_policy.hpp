@@ -30,9 +30,30 @@ public:
 
     DecisionRule decide(std::span<const double> nu, std::size_t lambda_state,
                         Rng& rng) const override;
+
+    /// Workspace for the batched (GEMM) epoch query. One per calling system,
+    /// never shared: the policy itself stays const and thread-safe.
+    struct BatchScratch final : UpperLevelPolicy::Scratch {
+        explicit BatchScratch(const rl::GaussianPolicy& policy);
+        std::vector<double> obs;    ///< 1 × obs_dim observation row.
+        std::vector<double> raw;    ///< 1 × action_dim mean-action row.
+        rl::Mlp::BatchWorkspace ws; ///< batch-of-1 forward workspace.
+    };
+    std::unique_ptr<UpperLevelPolicy::Scratch> make_scratch() const override;
+
+    /// Batched epoch inference: runs the network through the GEMM batch path
+    /// (rl::GaussianPolicy::mean_action_batch) and realizes the rule in place
+    /// via DecisionRule::set_from_*. Allocation-free once warm; bit-identical
+    /// to decide(), which routes through the same path.
+    void decide_into(std::span<const double> nu, std::size_t lambda_state, Rng& rng,
+                     Scratch* scratch, DecisionRule& out) const override;
+
     std::string name() const override { return name_; }
 
 private:
+    void decide_impl(std::span<const double> nu, std::size_t lambda_state, BatchScratch& scratch,
+                     DecisionRule& out) const;
+
     TupleSpace space_;
     std::size_t num_lambda_states_;
     std::shared_ptr<const rl::GaussianPolicy> policy_;

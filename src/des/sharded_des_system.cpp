@@ -1,20 +1,53 @@
 #include "des/sharded_des_system.hpp"
 
 #include "field/arrival_flow.hpp"
+#include "math/vec_ops.hpp"
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <span>
 #include <stdexcept>
 
 namespace mflb {
+
+namespace {
+
+/// Below this many combined histogram entries per tree level the pool
+/// fan-out costs more than the adds; the gate depends only on (K, |Z|), so
+/// the schedule stays a pure function of the configuration.
+constexpr std::size_t kMinParallelReduceWork = std::size_t{1} << 14;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// out[0, max_hi) = a + b on the shared prefix, then the taller child's
+/// tail. Entries at and above max_hi are left stale — both children are
+/// all-zero there by the high-water invariant, and readers never look.
+void combine_counts(std::vector<int>& out, std::size_t& out_hi, const std::vector<int>& a,
+                    std::size_t a_hi, const std::vector<int>& b, std::size_t b_hi) {
+    const std::size_t lo = std::min(a_hi, b_hi);
+    const std::size_t hi = std::max(a_hi, b_hi);
+    for (std::size_t z = 0; z < lo; ++z) {
+        out[z] = a[z] + b[z];
+    }
+    const std::vector<int>& tall = a_hi >= b_hi ? a : b;
+    std::copy(tall.begin() + static_cast<std::ptrdiff_t>(lo),
+              tall.begin() + static_cast<std::ptrdiff_t>(hi),
+              out.begin() + static_cast<std::ptrdiff_t>(lo));
+    out_hi = hi;
+}
+
+} // namespace
 
 ShardedDesSystem::ShardedDesSystem(FiniteSystemConfig config)
     : SystemBase(config.arrivals, config.dt, config.horizon, config.num_queues),
       config_(std::move(config)), space_(config_.queue.num_states(), config_.d),
       router_(config_.router, config_.num_queues,
               static_cast<std::size_t>(config_.queue.num_states()), config_.dt),
-      service_(config_.service, config_.queue.service_rate), threads_(config_.threads) {
+      service_(config_.service, config_.queue.service_rate), threads_(config_.threads),
+      rule_(space_) {
     if (config_.num_clients == 0 && config_.client_model != ClientModel::InfiniteClients) {
         throw std::invalid_argument("ShardedDesSystem: need at least one client");
     }
@@ -59,7 +92,20 @@ ShardedDesSystem::ShardedDesSystem(FiniteSystemConfig config)
     }
 
     state_counts_.assign(num_z, 0);
+    state_hi_ = num_z;
     shard_mass_.assign(k, 0.0);
+
+    // Reduction-tree shape (level widths K, ⌈K/2⌉, …, 1) is fixed by K
+    // alone, never by thread count; K == 1 reduces straight off the shard.
+    std::size_t width = k;
+    while (width > 1) {
+        const std::size_t next = (width + 1) / 2;
+        tree_off_.push_back(tree_.size());
+        for (std::size_t i = 0; i < next; ++i) {
+            tree_.emplace_back(num_z);
+        }
+        width = next;
+    }
     // The routing table / destination-law buffers serve both the Aggregated
     // client counts and the InfiniteClients per-job law (unlike the
     // unsharded DES, which realizes InfiniteClients by per-job d-sampling,
@@ -108,6 +154,12 @@ void ShardedDesSystem::reset(Rng& rng) {
     }
 
     std::fill(state_counts_.begin(), state_counts_.end(), 0);
+    state_hi_ = state_counts_.size();
+    epochs_run_ = 0;
+    merged_for_ = ~std::uint64_t{0};
+    profile_ = BarrierProfile{};
+    scratch_policy_ = nullptr;
+    policy_scratch_.reset();
     for (std::size_t s = 0; s < shards_.size(); ++s) {
         Shard& shard = shards_[s];
         // One independent O(1)-derived stream per shard: fork(s) never
@@ -115,6 +167,7 @@ void ShardedDesSystem::reset(Rng& rng) {
         shard.rng = rng.fork(s);
         shard.fel.clear();
         std::fill(shard.state_counts.begin(), shard.state_counts.end(), 0);
+        shard.hot_hi = 1;
         shard.total_jobs = 0;
         shard.busy_queues = 0;
         shard.cursor = 0.0;
@@ -125,6 +178,7 @@ void ShardedDesSystem::reset(Rng& rng) {
         for (std::size_t j = shard.begin; j < shard.end; ++j) {
             const int z = queues_[j];
             ++shard.state_counts[static_cast<std::size_t>(z)];
+            shard.hot_hi = std::max(shard.hot_hi, static_cast<std::size_t>(z) + 1);
             shard.total_jobs += z;
             if (z > 0) {
                 ++shard.busy_queues;
@@ -156,7 +210,6 @@ std::vector<double> ShardedDesSystem::observed_distribution(Rng& rng) const {
 
 void ShardedDesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
     const std::size_t m = queues_.size();
-    const double inv_m = 1.0 / static_cast<double>(m);
     const double total_rate = static_cast<double>(m) * lambda_value();
 
     switch (config_.client_model) {
@@ -179,12 +232,7 @@ void ShardedDesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
         // N_s ~ Multinomial(N, P_s); each shard later draws its own queues'
         // counts Multinomial(N_s, p_j / P_s) from its own stream. Jointly
         // exactly Multinomial(N, p) — FiniteSystem's aggregation.
-        for (std::size_t z = 0; z < hist_.size(); ++z) {
-            hist_[z] = inv_m * static_cast<double>(state_counts_[z]);
-        }
-        compute_destination_law_into(queues_, hist_, h, tuple_, suffix_, g_, dest_p_);
-        const double total = partition_shard_mass(std::span<const double>(dest_p_),
-                                                  shard_begin_, shard_mass_);
+        const double total = destination_law_shard_masses(h);
         if (total > 0.0) {
             rng.multinomial(config_.num_clients, shard_mass_, total, shard_clients_);
         } else {
@@ -202,12 +250,7 @@ void ShardedDesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
         // The per-job destination law (1/M) Σ_k g(k, z_j) is exactly the law
         // realized by the unsharded DES's per-job d-sampling on the frozen
         // snapshot; thinning it per shard is therefore exact.
-        for (std::size_t z = 0; z < hist_.size(); ++z) {
-            hist_[z] = inv_m * static_cast<double>(state_counts_[z]);
-        }
-        compute_destination_law_into(queues_, hist_, h, tuple_, suffix_, g_, dest_p_);
-        const double total = partition_shard_mass(std::span<const double>(dest_p_),
-                                                  shard_begin_, shard_mass_);
+        const double total = destination_law_shard_masses(h);
         for (std::size_t s = 0; s < shards_.size(); ++s) {
             shards_[s].arrival_rate =
                 total > 0.0 ? total_rate * shard_mass_[s] / total : 0.0;
@@ -215,6 +258,39 @@ void ShardedDesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
         break;
     }
     }
+}
+
+double ShardedDesSystem::destination_law_shard_masses(const DecisionRule& h) {
+    const std::size_t m = queues_.size();
+    const double inv_m = 1.0 / static_cast<double>(m);
+    for (std::size_t z = 0; z < hist_.size(); ++z) {
+        hist_[z] = inv_m * static_cast<double>(state_counts_[z]);
+    }
+    // The O(d·|Z|^d) routing table and its O(d·|Z|) fold stay serial; the
+    // O(M) per-queue gather and the per-shard vec_sum masses fan out over
+    // the pool. Each task writes only its own dest_p_ slice and mass slot,
+    // and the values match the full-span gather element for element, so the
+    // result is identical at any thread count — and bit-identical to the
+    // historical compute_destination_law_into + partition_shard_mass pair.
+    compute_routing_table_into(hist_, h, tuple_, suffix_, g_);
+    const std::span<const double> sums =
+        fold_routing_table_rows(g_, hist_.size(), config_.d);
+    parallel_for(
+        shards_.size(),
+        [&](std::size_t s) {
+            const std::size_t begin = shard_begin_[s];
+            const std::size_t n = shard_begin_[s + 1] - begin;
+            gather_scale(std::span<const int>(queues_.data() + begin, n), sums, inv_m,
+                         std::span<double>(dest_p_.data() + begin, n));
+            shard_mass_[s] =
+                vec_sum(std::span<const double>(dest_p_.data() + begin, n));
+        },
+        threads_);
+    double total = 0.0;
+    for (const double mass : shard_mass_) { // fixed K-term order, as before.
+        total += mass;
+    }
+    return total;
 }
 
 void ShardedDesSystem::begin_epoch_router() {
@@ -262,6 +338,7 @@ void ShardedDesSystem::handle_arrival(Shard& shard, double t) {
         const auto z = static_cast<std::size_t>(queues_[j]);
         --shard.state_counts[z];
         ++shard.state_counts[z + 1];
+        shard.hot_hi = std::max(shard.hot_hi, z + 2);
         ++queues_[j];
         ++shard.total_jobs;
         ++shard.stats.accepted_packets;
@@ -306,20 +383,21 @@ void ShardedDesSystem::run_shard_epoch(std::size_t s, double epoch_start, double
     Shard& shard = shards_[s];
     const std::size_t local_n = shard.end - shard.begin;
 
-    // Shard-local destination prefix sums for this epoch's routing weights.
-    double running = 0.0;
+    // Shard-local destination prefix sums for this epoch's routing weights,
+    // realized with the vectorized scan (exact for the integer-count client
+    // models; block-boundary reassociation only, and thread-count
+    // independent, for the probability laws).
     if (router_.active()) {
         if (router_.kind() == RouterKind::RoundRobin) {
             // Cursor-routed: no prefix sums; a positive weight just keeps
             // the thinned arrival stream scheduled below.
-            running = static_cast<double>(local_n);
+            shard.total_weight = static_cast<double>(local_n);
         } else {
-            for (std::size_t i = 0; i < local_n; ++i) {
-                running += dest_p_[shard.begin + i];
-                shard.cum[i] = running;
-            }
+            inclusive_prefix_sum(
+                std::span<const double>(dest_p_.data() + shard.begin, local_n),
+                std::span<double>(shard.cum));
+            shard.total_weight = shard.cum.back();
         }
-        shard.total_weight = running;
     } else {
         switch (config_.client_model) {
         case ClientModel::Aggregated: {
@@ -330,26 +408,22 @@ void ShardedDesSystem::run_shard_epoch(std::size_t s, double epoch_start, double
             } else {
                 std::fill(counts.begin(), counts.end(), 0);
             }
-            for (std::size_t i = 0; i < local_n; ++i) {
-                running += static_cast<double>(counts[i]);
-                shard.cum[i] = running;
-            }
+            inclusive_prefix_sum(std::span<const std::uint64_t>(counts),
+                                 std::span<double>(shard.cum));
             break;
         }
         case ClientModel::PerClient:
-            for (std::size_t i = 0; i < local_n; ++i) {
-                running += static_cast<double>(counts_[shard.begin + i]);
-                shard.cum[i] = running;
-            }
+            inclusive_prefix_sum(
+                std::span<const std::uint64_t>(counts_.data() + shard.begin, local_n),
+                std::span<double>(shard.cum));
             break;
         case ClientModel::InfiniteClients:
-            for (std::size_t i = 0; i < local_n; ++i) {
-                running += dest_p_[shard.begin + i];
-                shard.cum[i] = running;
-            }
+            inclusive_prefix_sum(
+                std::span<const double>(dest_p_.data() + shard.begin, local_n),
+                std::span<double>(shard.cum));
             break;
         }
-        shard.total_weight = running;
+        shard.total_weight = shard.cum.back();
     }
 
     // (Re)schedule the shard's thinned arrival stream: the pending
@@ -385,26 +459,118 @@ void ShardedDesSystem::run_shard_epoch(std::size_t s, double epoch_start, double
         }
     }
     advance_to(epoch_end);
+    // Lower the high-water mark past any emptied top states so the barrier
+    // reduction walks only the occupied prefix next epoch.
+    while (shard.hot_hi > 1 && shard.state_counts[shard.hot_hi - 1] == 0) {
+        --shard.hot_hi;
+    }
 }
 
 EpochStats ShardedDesSystem::reduce_epoch() {
     EpochStats stats;
+    const std::size_t num_z = state_counts_.size();
+
+    // Integer payloads (state counts up to each shard's high-water mark,
+    // packet counters) combine through the fixed-shape pairwise tree. Every
+    // node writes only its own slot and sums integers, so fanning a level
+    // out over the pool cannot perturb results; the size gate below depends
+    // only on (K, |Z|), never on the thread count.
+    std::size_t root_hi;
+    if (shards_.size() == 1) {
+        const Shard& shard = shards_[0];
+        root_hi = shard.hot_hi;
+        std::copy_n(shard.state_counts.data(), root_hi, state_counts_.data());
+        stats.dropped_packets = shard.stats.dropped_packets;
+        stats.accepted_packets = shard.stats.accepted_packets;
+        stats.served_packets = shard.stats.served_packets;
+        stats.completed_jobs = shard.stats.completed_jobs;
+    } else {
+        std::size_t width = shards_.size();
+        for (std::size_t level = 0; level < tree_off_.size(); ++level) {
+            const std::size_t next = (width + 1) / 2;
+            ReduceNode* out = tree_.data() + tree_off_[level];
+            const ReduceNode* in =
+                level > 0 ? tree_.data() + tree_off_[level - 1] : nullptr;
+            const auto combine = [&, width, out, in](std::size_t i) {
+                ReduceNode& node = out[i];
+                const std::size_t a = 2 * i;
+                const std::size_t b = a + 1;
+                if (in == nullptr) {
+                    const Shard& sa = shards_[a];
+                    if (b < width) {
+                        const Shard& sb = shards_[b];
+                        combine_counts(node.counts, node.hi, sa.state_counts, sa.hot_hi,
+                                       sb.state_counts, sb.hot_hi);
+                        node.dropped =
+                            sa.stats.dropped_packets + sb.stats.dropped_packets;
+                        node.accepted =
+                            sa.stats.accepted_packets + sb.stats.accepted_packets;
+                        node.served = sa.stats.served_packets + sb.stats.served_packets;
+                        node.completed =
+                            sa.stats.completed_jobs + sb.stats.completed_jobs;
+                    } else { // odd level width: pass the orphan child through.
+                        std::copy_n(sa.state_counts.data(), sa.hot_hi,
+                                    node.counts.data());
+                        node.hi = sa.hot_hi;
+                        node.dropped = sa.stats.dropped_packets;
+                        node.accepted = sa.stats.accepted_packets;
+                        node.served = sa.stats.served_packets;
+                        node.completed = sa.stats.completed_jobs;
+                    }
+                } else {
+                    const ReduceNode& na = in[a];
+                    if (b < width) {
+                        const ReduceNode& nb = in[b];
+                        combine_counts(node.counts, node.hi, na.counts, na.hi, nb.counts,
+                                       nb.hi);
+                        node.dropped = na.dropped + nb.dropped;
+                        node.accepted = na.accepted + nb.accepted;
+                        node.served = na.served + nb.served;
+                        node.completed = na.completed + nb.completed;
+                    } else {
+                        std::copy_n(na.counts.data(), na.hi, node.counts.data());
+                        node.hi = na.hi;
+                        node.dropped = na.dropped;
+                        node.accepted = na.accepted;
+                        node.served = na.served;
+                        node.completed = na.completed;
+                    }
+                }
+            };
+            if (next * num_z >= kMinParallelReduceWork) {
+                parallel_for(next, combine, threads_);
+            } else {
+                for (std::size_t i = 0; i < next; ++i) {
+                    combine(i);
+                }
+            }
+            width = next;
+        }
+        const ReduceNode& root = tree_[tree_off_.back()];
+        root_hi = root.hi;
+        std::copy_n(root.counts.data(), root_hi, state_counts_.data());
+        stats.dropped_packets = root.dropped;
+        stats.accepted_packets = root.accepted;
+        stats.served_packets = root.served;
+        stats.completed_jobs = root.completed;
+    }
+    // Zero exactly the stale tail left by the previous (possibly taller)
+    // histogram; entries at state_hi_ and above are already zero.
+    if (state_hi_ > root_hi) {
+        std::fill(state_counts_.begin() + static_cast<std::ptrdiff_t>(root_hi),
+                  state_counts_.begin() + static_cast<std::ptrdiff_t>(state_hi_), 0);
+    }
+    state_hi_ = root_hi;
+
+    // The floating-point accumulators keep their fixed serial shard order —
+    // part of the determinism contract, and what keeps the golden sharded
+    // trajectories bit-exact across this reduction's parallelization.
     double job_area = 0.0;
     double busy_area = 0.0;
-    std::fill(state_counts_.begin(), state_counts_.end(), 0);
-    // Fixed shard order: floating-point sums are part of the determinism
-    // contract (thread-count independent by construction).
     for (const Shard& shard : shards_) {
-        stats.dropped_packets += shard.stats.dropped_packets;
-        stats.accepted_packets += shard.stats.accepted_packets;
-        stats.served_packets += shard.stats.served_packets;
         stats.mean_sojourn += shard.stats.mean_sojourn;
-        stats.completed_jobs += shard.stats.completed_jobs;
         job_area += shard.job_area;
         busy_area += shard.busy_area;
-        for (std::size_t z = 0; z < state_counts_.size(); ++z) {
-            state_counts_[z] += shard.state_counts[z];
-        }
     }
     const auto m = static_cast<double>(queues_.size());
     const double m_dt = m * config_.dt;
@@ -423,12 +589,18 @@ EpochStats ShardedDesSystem::run_parallel_epoch(Rng& rng) {
     // The lock-free parallel phase: each shard task reads the barrier-phase
     // outputs and touches only its own state. Thread count never changes
     // which shard consumes which draws, only which core runs them.
+    const auto t0 = std::chrono::steady_clock::now();
     parallel_for(
         shards_.size(),
         [&](std::size_t s) { run_shard_epoch(s, epoch_start, epoch_end); }, threads_);
+    const auto t1 = std::chrono::steady_clock::now();
 
     const EpochStats stats = reduce_epoch();
     advance_epoch(rng);
+    profile_.parallel_seconds += std::chrono::duration<double>(t1 - t0).count();
+    profile_.serial_seconds += seconds_since(t1);
+    ++profile_.epochs;
+    ++epochs_run_; // invalidates the merged-quantile cache.
     return stats;
 }
 
@@ -439,7 +611,9 @@ EpochStats ShardedDesSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
     if (!(h.space() == space_)) {
         throw std::invalid_argument("ShardedDesSystem::step: decision rule on wrong tuple space");
     }
+    const auto t0 = std::chrono::steady_clock::now();
     begin_epoch(h, rng);
+    profile_.serial_seconds += seconds_since(t0);
     return run_parallel_epoch(rng);
 }
 
@@ -451,7 +625,9 @@ EpochStats ShardedDesSystem::step_router(Rng& rng) {
     if (done()) {
         throw std::logic_error("ShardedDesSystem::step: episode already finished");
     }
+    const auto t0 = std::chrono::steady_clock::now();
     begin_epoch_router();
+    profile_.serial_seconds += seconds_since(t0);
     return run_parallel_epoch(rng);
 }
 
@@ -459,8 +635,20 @@ EpochStats ShardedDesSystem::step(const UpperLevelPolicy& policy, Rng& rng) {
     if (router_.active()) {
         return step_router(rng);
     }
-    const DecisionRule h = policy.decide(observed_distribution(rng), lambda_state(), rng);
-    return step_with_rule(h, rng);
+    // Batched epoch query into persistent buffers: the observation, the
+    // policy's scratch (e.g. the neural policy's GEMM workspace), and the
+    // realized rule are all reused across epochs — the policy query is
+    // allocation-free at steady state. Identical draws and rule as the
+    // decide() path (decide_into's contract).
+    const auto t0 = std::chrono::steady_clock::now();
+    if (scratch_policy_ != &policy) {
+        policy_scratch_ = policy.make_scratch();
+        scratch_policy_ = &policy;
+    }
+    observed_distribution_into(rng, obs_);
+    policy.decide_into(obs_, lambda_state(), rng, policy_scratch_.get(), rule_);
+    profile_.serial_seconds += seconds_since(t0);
+    return step_with_rule(rule_, rng);
 }
 
 DesEpisodeStats ShardedDesSystem::run_episode(const UpperLevelPolicy& policy, Rng& rng) {
@@ -484,11 +672,31 @@ DesEpisodeStats ShardedDesSystem::run_episode(Rng& rng) {
 }
 
 double ShardedDesSystem::merged_quantile(int which) const {
-    P2Quantile merged(which == 0 ? 0.5 : which == 1 ? 0.95 : 0.99);
-    for (const Shard& shard : shards_) {
-        merged.merge(which == 0 ? shard.p50 : which == 1 ? shard.p95 : shard.p99);
+    if (merged_for_ != epochs_run_) {
+        // One pass over the shards merges all three percentiles (same
+        // per-quantile merge order as the historical per-call loops, so the
+        // cached values are identical); re-merged only after a new epoch.
+        P2Quantile p50(0.5);
+        P2Quantile p95(0.95);
+        P2Quantile p99(0.99);
+        for (const Shard& shard : shards_) {
+            p50.merge(shard.p50);
+            p95.merge(shard.p95);
+            p99.merge(shard.p99);
+        }
+        merged_q_ = {p50.value(), p95.value(), p99.value()};
+        merged_for_ = epochs_run_;
     }
-    return merged.value();
+    return merged_q_[static_cast<std::size_t>(which)];
+}
+
+void ShardedDesSystem::observed_distribution_into(Rng& rng, std::vector<double>& out) const {
+    if (config_.histogram_sample_size == 0) {
+        histogram_from_counts_into(state_counts_, queues_.size(), out);
+        return;
+    }
+    sampled_histogram_into(queues_, state_counts_.size(), config_.histogram_sample_size, rng,
+                           out);
 }
 
 } // namespace mflb

@@ -34,15 +34,21 @@
 ///     and drains its own `EventQueue` to the epoch end, drawing only from
 ///     its own `Rng::fork(shard)` stream and touching only its own queue
 ///     slice — lock-free, no atomics, no cross-shard reads;
-///  3. *Barrier (serial)* — per-shard `EpochStats`/areas/state counts are
-///     reduced in shard order, λ advances.
+///  3. *Barrier (reduction)* — the integer payloads (state counts up to each
+///     shard's occupied high-water mark, packet counters) combine through a
+///     fixed-shape pairwise tree whose nodes can themselves fan out over the
+///     pool, while the few floating-point accumulators (areas, sojourn sums)
+///     stay a fixed-order serial pass over the K shards; λ advances.
 ///
 /// Determinism contract: results are a function of (seed, K) only — never
 /// of the thread count — because every RNG stream is owned by exactly one
-/// shard (or the serial phase), shard work is self-contained, and the
-/// reduction order is fixed. tests/test_sharded_des.cpp pins bit-identical
-/// episodes across 1/2/8 threads for all three client models, and CI
-/// overlap against `DesSystem` (which is itself pinned to `FiniteSystem`).
+/// shard (or the serial phase), shard work is self-contained, the reduction
+/// tree's shape is fixed by K alone (each node writes only its own slot, and
+/// its payloads are integers, so the combine order within a level is
+/// immaterial), and the floating-point sums keep their fixed serial shard
+/// order. tests/test_sharded_des.cpp pins bit-identical episodes across
+/// 1/2/8 threads for all three client models, and CI overlap against
+/// `DesSystem` (which is itself pinned to `FiniteSystem`).
 #pragma once
 
 #include "des/des_system.hpp"
@@ -53,7 +59,9 @@
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -112,10 +120,22 @@ public:
     DesEpisodeStats run_episode(Rng& rng);
 
     /// Streaming sojourn percentile estimates so far (track_sojourn only),
-    /// merged across shards.
+    /// merged across shards. One shard pass merges all three percentiles and
+    /// is cached per epoch, so reading p50/p95/p99 back to back costs a
+    /// single merge instead of three.
     double sojourn_p50() const { return merged_quantile(0); }
     double sojourn_p95() const { return merged_quantile(1); }
     double sojourn_p99() const { return merged_quantile(2); }
+
+    /// Cumulative wall-clock split of the epoch barrier vs the parallel
+    /// shard phase since the last reset — the serial-fraction numerator that
+    /// `bench_des_scale` reports (Amdahl accounting of the fused barrier).
+    struct BarrierProfile {
+        double serial_seconds = 0.0;   ///< policy query + barrier phases 1 and 3.
+        double parallel_seconds = 0.0; ///< shard event loops (wall clock).
+        std::uint64_t epochs = 0;      ///< epochs accumulated.
+    };
+    const BarrierProfile& barrier_profile() const noexcept { return profile_; }
 
 private:
     /// All state one shard touches during the parallel phase. Shards never
@@ -127,6 +147,10 @@ private:
         EventQueue fel;                   ///< (end-begin) departures + 1 arrival slot.
         Rng rng{0};                       ///< fork(shard_id) stream, reset-owned.
         std::vector<int> state_counts;    ///< local histogram over Z.
+        std::size_t hot_hi = 0;           ///< 1 + highest occupied state index:
+                                          ///< state_counts[z] == 0 for z >= hot_hi,
+                                          ///< so reductions stop at the high-water
+                                          ///< mark instead of walking all of Z.
         std::vector<double> cum;          ///< local destination prefix sums.
         double total_weight = 0.0;        ///< prefix-sum total (= W_s).
         double arrival_rate = 0.0;        ///< thinned Poisson rate M·λ_t·W_s/W.
@@ -152,6 +176,13 @@ private:
     /// Barrier phase 1: routing weights, per-shard masses/rates, shard
     /// client totals — everything the parallel phase consumes read-only.
     void begin_epoch(const DecisionRule& h, Rng& rng);
+    /// Shared Aggregated/InfiniteClients barrier piece: realizes the
+    /// per-queue destination law (routing table + fold serially, then the
+    /// O(M) gather and per-shard `vec_sum` masses fanned out over the pool —
+    /// each shard task writes only its own `dest_p_` slice and mass slot)
+    /// and returns the total mass as the fixed-order K-term sum,
+    /// bit-identical to `partition_shard_mass` over the full law.
+    double destination_law_shard_masses(const DecisionRule& h);
     /// Router variant of the barrier phase: weight law → shard masses.
     /// Consumes no RNG draws (the classical weight laws are deterministic
     /// functions of the snapshot).
@@ -176,6 +207,22 @@ private:
     }
 
     double merged_quantile(int which) const;
+    /// `observed_distribution` into a reusable buffer (identical draws).
+    void observed_distribution_into(Rng& rng, std::vector<double>& out) const;
+
+    /// One node of the pairwise reduction tree. Only integer-exact payloads
+    /// travel through the tree (state counts, packet counters) so the combine
+    /// order within a level cannot perturb results; `counts` entries at and
+    /// above `hi` are stale leftovers from earlier epochs and are never read.
+    struct ReduceNode {
+        explicit ReduceNode(std::size_t num_states) : counts(num_states, 0) {}
+        std::vector<int> counts;
+        std::size_t hi = 0;
+        std::uint64_t dropped = 0;
+        std::uint64_t accepted = 0;
+        std::uint64_t served = 0;
+        std::uint64_t completed = 0;
+    };
 
     FiniteSystemConfig config_;
     TupleSpace space_;
@@ -185,6 +232,13 @@ private:
 
     std::vector<Shard> shards_;
     std::vector<std::size_t> shard_begin_; ///< K+1 fence posts over [0, M].
+
+    // Fixed-shape pairwise reduction tree over the K shards: level widths
+    // K, ⌈K/2⌉, …, 1, flattened into `tree_` with `tree_off_[l]` the offset
+    // of level l's first node (empty when K == 1).
+    std::vector<ReduceNode> tree_;
+    std::vector<std::size_t> tree_off_;
+    std::size_t state_hi_ = 0; ///< valid extent of state_counts_; zeros above.
 
     // Global barrier-phase state.
     std::vector<int> state_counts_;        ///< cross-shard reduction (|Z|).
@@ -202,6 +256,21 @@ private:
     // Per-job sojourn tracking (track_sojourn only); jobs_[j] is touched
     // only by the shard owning queue j.
     std::vector<JobTimestamps> jobs_;
+
+    // Epoch-keyed cache of the cross-shard sojourn percentiles: one merge
+    // pass fills all three; invalidated by advancing an epoch or resetting.
+    std::uint64_t epochs_run_ = 0;
+    mutable std::array<double, 3> merged_q_{};
+    mutable std::uint64_t merged_for_ = ~std::uint64_t{0};
+
+    BarrierProfile profile_;
+
+    // Policy-query hot path: reusable observation / rule buffers plus the
+    // policy's opaque scratch (rebuilt when a different policy is passed).
+    std::vector<double> obs_;
+    DecisionRule rule_;
+    std::unique_ptr<UpperLevelPolicy::Scratch> policy_scratch_;
+    const UpperLevelPolicy* scratch_policy_ = nullptr;
 };
 
 } // namespace mflb

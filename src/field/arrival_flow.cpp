@@ -1,6 +1,7 @@
 #include "field/arrival_flow.hpp"
 
 #include "math/simplex.hpp"
+#include "math/vec_ops.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -94,12 +95,45 @@ void compute_routing_table_into(std::span<const double> hist, const DecisionRule
     }
 }
 
+std::span<const double> fold_routing_table_rows(std::span<double> g, std::size_t num_z,
+                                                int d) noexcept {
+    // g[z] ← Σ_k g(k, z) accumulated in ascending k. Starting the sum at the
+    // row-0 value and adding rows 1..d-1 is the same addition order as the
+    // historical per-queue loop (total = (0 + g(0,z)) + g(1,z) + ... minus
+    // the exact no-op leading zero), so the fold is bit-identical to it.
+    double* __restrict row0 = g.data();
+    for (int k = 1; k < d; ++k) {
+        const double* __restrict rowk = g.data() + static_cast<std::size_t>(k) * num_z;
+        for (std::size_t z = 0; z < num_z; ++z) {
+            row0[z] += rowk[z];
+        }
+    }
+    return g.first(num_z);
+}
+
 void compute_destination_law_into(std::span<const int> queue_states,
                                   std::span<const double> hist, const DecisionRule& h,
                                   std::span<int> tuple, std::span<double> suffix,
                                   std::span<double> g, std::span<double> dest_p) {
     if (dest_p.size() != queue_states.size()) {
         throw std::invalid_argument("compute_destination_law_into: dest_p size mismatch");
+    }
+    compute_routing_table_into(hist, h, tuple, suffix, g);
+    const auto num_z = static_cast<std::size_t>(h.space().num_states());
+    const std::span<const double> sums =
+        fold_routing_table_rows(g, num_z, h.space().d());
+    const double inv_m = 1.0 / static_cast<double>(queue_states.size());
+    gather_scale(queue_states, sums, inv_m, dest_p);
+}
+
+void compute_destination_law_reference_into(std::span<const int> queue_states,
+                                            std::span<const double> hist,
+                                            const DecisionRule& h, std::span<int> tuple,
+                                            std::span<double> suffix, std::span<double> g,
+                                            std::span<double> dest_p) {
+    if (dest_p.size() != queue_states.size()) {
+        throw std::invalid_argument(
+            "compute_destination_law_reference_into: dest_p size mismatch");
     }
     compute_routing_table_into(hist, h, tuple, suffix, g);
     const auto num_z = static_cast<std::size_t>(h.space().num_states());
@@ -147,12 +181,12 @@ double partition_shard_mass_impl(std::span<const Weight> weights,
         shard_begin.front() != 0 || shard_begin.back() != weights.size()) {
         throw std::invalid_argument("partition_shard_mass: bad shard fence posts");
     }
+    // Per-shard sums via the dispatched 4-lane kernel; the K-term total
+    // stays a fixed-order serial sum (part of the determinism contract).
     double total = 0.0;
     for (std::size_t s = 0; s < mass.size(); ++s) {
-        double sum = 0.0;
-        for (std::size_t j = shard_begin[s]; j < shard_begin[s + 1]; ++j) {
-            sum += static_cast<double>(weights[j]);
-        }
+        const double sum =
+            vec_sum(weights.subspan(shard_begin[s], shard_begin[s + 1] - shard_begin[s]));
         mass[s] = sum;
         total += sum;
     }

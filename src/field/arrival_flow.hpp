@@ -55,18 +55,42 @@ void compute_routing_table_into(std::span<const double> hist, const DecisionRule
                                 std::span<int> tuple, std::span<double> suffix,
                                 std::span<double> g);
 
+/// Folds the routing table `g` (d rows of num_z) into its first row:
+/// g[z] ← Σ_k g(k, z), accumulated in ascending k — the same addition order
+/// as the historical per-queue loop (total = g(0,z) + g(1,z) + ...), so the
+/// folded per-state sums are bit-identical to what that loop produced.
+/// Returns a view of the folded first row. O(d·|Z|) once, instead of
+/// O(M·d) gathers.
+std::span<const double> fold_routing_table_rows(std::span<double> g, std::size_t num_z,
+                                                int d) noexcept;
+
 /// Per-queue destination law under rule `h` given the frozen snapshot: fills
 /// `dest_p[j] = (1/M) Σ_k g(k, z_j)` — the exact probability that one
 /// client's (equivalently, by Poisson thinning, one arriving job's) routing
 /// decision lands on queue j when the d sampled queue states are i.i.d. from
-/// `hist`. One `compute_routing_table_into` pass plus an O(M·d) scan; shared
-/// by the epoch-synchronous `FiniteSystem` aggregation and both event-driven
-/// backends. `tuple` (d), `suffix` (d + 1), `g` (d · |Z|) are caller-owned
-/// scratch; `queue_states` and `dest_p` have one entry per queue.
+/// `hist`. One `compute_routing_table_into` pass, a `fold_routing_table_rows`
+/// over the d·|Z| table, then a vectorized O(M) `gather_scale` — bit-identical
+/// to the historical O(M·d) per-queue scan (same addition order per state),
+/// which survives as `compute_destination_law_reference_into` for the kernel
+/// agreement tests. Shared by the epoch-synchronous `FiniteSystem`
+/// aggregation and both event-driven backends. `tuple` (d), `suffix` (d + 1),
+/// `g` (d · |Z|) are caller-owned scratch; `queue_states` and `dest_p` have
+/// one entry per queue. Postcondition: `g`'s first row holds the folded
+/// per-state sums (callers treating `g` as per-coordinate rows must re-run
+/// `compute_routing_table_into`).
 void compute_destination_law_into(std::span<const int> queue_states,
                                   std::span<const double> hist, const DecisionRule& h,
                                   std::span<int> tuple, std::span<double> suffix,
                                   std::span<double> g, std::span<double> dest_p);
+
+/// Scalar reference path of the destination law (the pre-vectorization
+/// per-queue O(M·d) scan, g left untouched); agreement pinned in
+/// tests/test_vec_kernels.cpp.
+void compute_destination_law_reference_into(std::span<const int> queue_states,
+                                            std::span<const double> hist,
+                                            const DecisionRule& h, std::span<int> tuple,
+                                            std::span<double> suffix, std::span<double> g,
+                                            std::span<double> dest_p);
 
 /// Literal Algorithm 1 client sampling on the frozen snapshot (the
 /// `PerClient` model): each of the N clients draws d queues uniformly at
@@ -85,7 +109,10 @@ void sample_per_client_counts(std::span<const int> queue_states, const DecisionR
 /// `shard_begin`. By the Poisson thinning property, the aggregated arrival
 /// stream of rate M·λ_t splits *exactly* into independent per-shard streams
 /// of rate M·λ_t · mass[s] / Σ mass — this is the quantity the sharded DES
-/// backend hands each shard at the epoch barrier. Returns Σ mass.
+/// backend hands each shard at the epoch barrier. Per-shard sums use the
+/// dispatched `vec_sum` (fixed 4-lane split; exact for integer weights,
+/// 1e-12 vs the serial sum otherwise); the K-term total stays a fixed-order
+/// serial sum. Returns Σ mass.
 double partition_shard_mass(std::span<const double> weights,
                             std::span<const std::size_t> shard_begin,
                             std::span<double> mass);

@@ -58,35 +58,52 @@ DecisionRule DecisionRule::greedy_softmax(const TupleSpace& space, double beta) 
 }
 
 DecisionRule DecisionRule::from_logits(const TupleSpace& space, std::span<const double> logits) {
-    const std::size_t expected = space.size() * static_cast<std::size_t>(space.d());
-    if (logits.size() != expected) {
-        throw std::invalid_argument("DecisionRule::from_logits: wrong logits length");
-    }
     DecisionRule rule(space);
-    const std::size_t d = static_cast<std::size_t>(space.d());
-    for (std::size_t idx = 0; idx < space.size(); ++idx) {
-        rule.set_row(idx, softmax(logits.subspan(idx * d, d)));
-    }
+    rule.set_from_logits(logits);
     return rule;
 }
 
 DecisionRule DecisionRule::from_probabilities(const TupleSpace& space,
                                               std::span<const double> probs) {
-    const std::size_t expected = space.size() * static_cast<std::size_t>(space.d());
-    if (probs.size() != expected) {
-        throw std::invalid_argument("DecisionRule::from_probabilities: wrong length");
-    }
     DecisionRule rule(space);
-    const std::size_t d = static_cast<std::size_t>(space.d());
-    std::vector<double> row(d);
-    for (std::size_t idx = 0; idx < space.size(); ++idx) {
+    rule.set_from_probabilities(probs);
+    return rule;
+}
+
+void DecisionRule::set_from_logits(std::span<const double> logits) {
+    if (logits.size() != table_.size()) {
+        throw std::invalid_argument("DecisionRule::set_from_logits: wrong logits length");
+    }
+    const std::size_t d = static_cast<std::size_t>(space_.d());
+    for (std::size_t idx = 0; idx < space_.size(); ++idx) {
+        // Stable per-row softmax, the same arithmetic (and order) as
+        // math/simplex.hpp's softmax(), writing straight into the table.
+        const std::span<const double> in = logits.subspan(idx * d, d);
+        const std::span<double> row(table_.data() + idx * d, d);
+        const double peak = *std::max_element(in.begin(), in.end());
+        double sum = 0.0;
+        for (std::size_t u = 0; u < d; ++u) {
+            row[u] = std::exp(in[u] - peak);
+            sum += row[u];
+        }
+        for (std::size_t u = 0; u < d; ++u) {
+            row[u] /= sum;
+        }
+    }
+}
+
+void DecisionRule::set_from_probabilities(std::span<const double> probs) {
+    if (probs.size() != table_.size()) {
+        throw std::invalid_argument("DecisionRule::set_from_probabilities: wrong length");
+    }
+    const std::size_t d = static_cast<std::size_t>(space_.d());
+    for (std::size_t idx = 0; idx < space_.size(); ++idx) {
+        const std::span<double> row(table_.data() + idx * d, d);
         for (std::size_t u = 0; u < d; ++u) {
             row[u] = std::max(0.0, probs[idx * d + u]);
         }
         normalize_in_place(row);
-        rule.set_row(idx, row);
     }
-    return rule;
 }
 
 std::span<const double> DecisionRule::row(std::size_t r) const noexcept {

@@ -40,6 +40,13 @@ public:
     /// each row is clamped to be non-negative and renormalized.
     static DecisionRule from_probabilities(const TupleSpace& space, std::span<const double> probs);
 
+    /// In-place counterparts for the epoch hot paths (the sharded backend
+    /// realizes the policy's rule into a persistent table every epoch): same
+    /// per-row arithmetic as the static factories bit for bit, zero heap
+    /// traffic.
+    void set_from_logits(std::span<const double> logits);
+    void set_from_probabilities(std::span<const double> probs);
+
     const TupleSpace& space() const noexcept { return space_; }
     std::size_t rows() const noexcept { return space_.size(); }
     int choices() const noexcept { return space_.d(); }

@@ -5,6 +5,11 @@
 
 namespace mflb {
 
+void UpperLevelPolicy::decide_into(std::span<const double> nu, std::size_t lambda_state,
+                                   Rng& rng, Scratch* /*scratch*/, DecisionRule& out) const {
+    out = decide(nu, lambda_state, rng);
+}
+
 int MfcConfig::horizon_for_total_time(double total_time, double dt) noexcept {
     const int epochs = static_cast<int>(std::lround(total_time / dt));
     return epochs > 0 ? epochs : 1;

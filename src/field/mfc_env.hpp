@@ -48,6 +48,26 @@ public:
     /// current arrival-rate modulation state.
     virtual DecisionRule decide(std::span<const double> nu, std::size_t lambda_state,
                                 Rng& rng) const = 0;
+
+    /// Opaque per-caller scratch for `decide_into`. Policies whose epoch
+    /// query needs workspace (e.g. the neural policy's batched forward pass)
+    /// keep it here rather than in mutable members, so one policy instance
+    /// stays shareable across concurrently running systems (the evaluator
+    /// fans replications out over the thread pool against a single const
+    /// policy).
+    struct Scratch {
+        virtual ~Scratch() = default;
+    };
+    /// Scratch for this policy's `decide_into`; nullptr when none is needed.
+    virtual std::unique_ptr<Scratch> make_scratch() const { return nullptr; }
+
+    /// In-place epoch query for the simulation hot paths: writes the rule
+    /// into `out` (same draws, same result as `decide`). The default
+    /// forwards to `decide` and move-assigns; overrides (neural policy) are
+    /// allocation-free once `scratch` and `out` are warm.
+    virtual void decide_into(std::span<const double> nu, std::size_t lambda_state, Rng& rng,
+                             Scratch* scratch, DecisionRule& out) const;
+
     virtual std::string name() const = 0;
 };
 

@@ -1,23 +1,18 @@
 #include "math/gemm.hpp"
 
+#include "math/simd_dispatch.hpp"
+
 #include <algorithm>
 
-// Runtime ISA dispatch: each kernel is cloned for AVX2+FMA (4-wide double
-// lanes, fused multiply-add) with the baseline build as fallback, selected
-// once by the loader. Lanes map one-to-one onto output elements and no
-// reduction is ever split, so results stay deterministic for a fixed machine
-// and thread count; FMA contraction rounds each multiply-add once instead of
-// twice, which keeps the batched passes within ~1 ulp per term of the scalar
-// path (the 1e-12 agreement contract pinned in test_mlp.cpp), in exchange
-// for ~2x per-core throughput.
-// (Disabled under ThreadSanitizer: TSan's interceptors are not ifunc-safe —
-// the resolver would run before the TSan runtime is initialized.)
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
-    defined(__ELF__) && !defined(__SANITIZE_THREAD__)
-#define MFLB_GEMM_CLONES __attribute__((target_clones("arch=x86-64-v3", "default")))
-#else
-#define MFLB_GEMM_CLONES
-#endif
+// Runtime ISA dispatch (MFLB_SIMD_CLONES, shared with math/vec_ops.cpp):
+// each kernel is cloned for AVX2+FMA (4-wide double lanes, fused
+// multiply-add) with the baseline build as fallback, selected once by the
+// loader. Lanes map one-to-one onto output elements and no reduction is ever
+// split, so results stay deterministic for a fixed machine and thread count;
+// FMA contraction rounds each multiply-add once instead of twice, which
+// keeps the batched passes within ~1 ulp per term of the scalar path (the
+// 1e-12 agreement contract pinned in test_mlp.cpp), in exchange for ~2x
+// per-core throughput.
 
 namespace mflb {
 
@@ -25,7 +20,7 @@ namespace {
 constexpr std::size_t kRowTile = 4; ///< C-row tile: fits L1 alongside one streamed B row.
 } // namespace
 
-MFLB_GEMM_CLONES
+MFLB_SIMD_CLONES
 void gemm_nt_acc(std::size_t m, std::size_t n, std::size_t k,
                  const double* __restrict a, const double* __restrict b,
                  double* __restrict c) noexcept {
@@ -107,7 +102,7 @@ void gemm_nt_acc(std::size_t m, std::size_t n, std::size_t k,
     }
 }
 
-MFLB_GEMM_CLONES
+MFLB_SIMD_CLONES
 void gemm_tn_acc(std::size_t m, std::size_t n, std::size_t k,
                  const double* __restrict a, const double* __restrict b,
                  double* __restrict c) noexcept {

@@ -59,6 +59,10 @@ struct EpisodeStats {
 /// the O(|Z|) read-out shared by the event-driven backends.
 std::vector<double> histogram_from_counts(std::span<const int> state_counts,
                                           std::size_t num_queues);
+/// Allocation-free variant for the epoch hot paths: resizes `out` to |Z|
+/// (a no-op once warm) and writes the same values.
+void histogram_from_counts_into(std::span<const int> state_counts, std::size_t num_queues,
+                                std::vector<double>& out);
 
 /// `sample_size`-queue estimate of H_t^M (paper §2.1 partial information):
 /// samples queues uniformly with replacement; one `uniform_below` draw per
@@ -66,6 +70,9 @@ std::vector<double> histogram_from_counts(std::span<const int> state_counts,
 std::vector<double> sampled_histogram(std::span<const int> queue_states,
                                       std::size_t num_states, std::size_t sample_size,
                                       Rng& rng);
+/// Allocation-free variant; identical draws and values.
+void sampled_histogram_into(std::span<const int> queue_states, std::size_t num_states,
+                            std::size_t sample_size, Rng& rng, std::vector<double>& out);
 
 /// Folds per-epoch statistics into the episode summary — the single place
 /// where the accumulation arithmetic (previously hand-duplicated in every

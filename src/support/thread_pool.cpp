@@ -84,8 +84,74 @@ bool on_pool_worker() noexcept {
     return t_on_pool_worker;
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
-                  std::size_t threads) {
+namespace {
+
+/// One worker's contiguous index strip; `next` is the strip's claim cursor,
+/// bumped by the owner and by stealers alike. Cache-line aligned so two
+/// workers hammering adjacent cursors never false-share.
+struct alignas(64) StripCursor {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+};
+
+/// Shared state of one parallel_for call, stack-owned by the caller. Tasks
+/// capture a single pointer to it so the submit() closures fit
+/// std::function's small-buffer optimization.
+struct ForContext {
+    ForContext(std::size_t threads_, std::size_t chunk_, IndexFnRef body_,
+               StripCursor* cursors_)
+        : threads(threads_), chunk(chunk_), body(body_), cursors(cursors_),
+          done(static_cast<std::ptrdiff_t>(threads_)) {}
+
+    std::size_t threads;
+    std::size_t chunk;
+    IndexFnRef body;
+    StripCursor* cursors;
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    Latch done;
+};
+
+/// Worker t drains its own strip in `chunk`-sized claims, then steals
+/// chunks from the other strips round-robin (t+1, t+2, …).
+void run_strips(ForContext& ctx, std::size_t t) {
+    bool stop = false;
+    for (std::size_t off = 0; off < ctx.threads && !stop; ++off) {
+        StripCursor& cur = ctx.cursors[(t + off) % ctx.threads];
+        while (!stop) {
+            const std::size_t begin = cur.next.fetch_add(ctx.chunk, std::memory_order_relaxed);
+            if (begin >= cur.end) {
+                break;
+            }
+            const std::size_t last = std::min(begin + ctx.chunk, cur.end);
+            for (std::size_t i = begin; i < last; ++i) {
+                if (ctx.failed.load(std::memory_order_relaxed)) {
+                    stop = true;
+                    break;
+                }
+                try {
+                    ctx.body(i);
+                } catch (...) {
+                    {
+                        std::lock_guard lock(ctx.error_mutex);
+                        if (!ctx.first_error) {
+                            ctx.first_error = std::current_exception();
+                        }
+                    }
+                    ctx.failed.store(true, std::memory_order_relaxed);
+                    stop = true;
+                    break;
+                }
+            }
+        }
+    }
+    ctx.done.count_down();
+}
+
+} // namespace
+
+void parallel_for(std::size_t n, IndexFnRef body, std::size_t threads) {
     if (n == 0) {
         return;
     }
@@ -97,7 +163,8 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
     // a body running on the pool must not wait for pool capacity it may
     // itself be occupying (replications x shards nesting would deadlock a
     // fixed-size pool, and would reorder nothing anyway: results are
-    // thread-count independent by the per-index RNG contract).
+    // thread-count independent by the per-index RNG contract). IndexFnRef
+    // keeps this path free of heap traffic.
     if (threads <= 1 || on_pool_worker()) {
         for (std::size_t i = 0; i < n; ++i) {
             body(i);
@@ -105,41 +172,27 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
         return;
     }
 
-    // Fan out `threads` strips onto the persistent pool; each strip claims
-    // indices from a shared atomic cursor. Completion is tracked by a
-    // per-call latch (not wait_idle) so concurrent parallel_for calls from
-    // different threads never wait on each other's tasks.
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    Latch done(threads);
+    // Chunked work-stealing fan-out onto the persistent pool: indices are
+    // pre-split into per-worker strips, claimed in ~8 chunks per worker so
+    // an unlucky strip (one shard with most of the events) is stolen from
+    // rather than waited on. Completion is tracked by a per-call latch (not
+    // wait_idle) so concurrent parallel_for calls from different threads
+    // never wait on each other's tasks. The schedule decides placement
+    // only, never results (per-index RNG-stream contract).
+    std::vector<StripCursor> cursors(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+        cursors[t].next.store(t * n / threads, std::memory_order_relaxed);
+        cursors[t].end = (t + 1) * n / threads;
+    }
+    ForContext ctx(threads, std::max<std::size_t>(1, n / (threads * 8)), body,
+                   cursors.data());
     ThreadPool& pool = shared_thread_pool();
     for (std::size_t t = 0; t < threads; ++t) {
-        pool.submit([&] {
-            for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-                if (failed.load(std::memory_order_relaxed)) {
-                    break;
-                }
-                try {
-                    body(i);
-                } catch (...) {
-                    {
-                        std::lock_guard lock(error_mutex);
-                        if (!first_error) {
-                            first_error = std::current_exception();
-                        }
-                    }
-                    failed.store(true, std::memory_order_relaxed);
-                    break;
-                }
-            }
-            done.count_down();
-        });
+        pool.submit([&ctx, t] { run_strips(ctx, t); });
     }
-    done.wait();
-    if (first_error) {
-        std::rethrow_exception(first_error);
+    ctx.done.wait();
+    if (ctx.first_error) {
+        std::rethrow_exception(ctx.first_error);
     }
 }
 

@@ -22,9 +22,11 @@
 #include <cstddef>
 #include <functional>
 #include <latch>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace mflb {
@@ -79,14 +81,46 @@ ThreadPool& shared_thread_pool();
 /// occupying.
 bool on_pool_worker() noexcept;
 
+/// Non-owning reference to a callable `void(std::size_t)` — the
+/// `parallel_for` body type. Unlike `std::function` it never allocates or
+/// copies the target, so the serial fast path (single-thread request or the
+/// nested-use guard) costs one indirect call per index and zero heap
+/// traffic — which is what keeps the sharded DES epoch hot paths
+/// allocation-free. The referenced callable must outlive the `parallel_for`
+/// call; that is trivially true for the inline-lambda call sites.
+class IndexFnRef {
+public:
+    template <typename F>
+        requires(!std::is_same_v<std::remove_cvref_t<F>, IndexFnRef> &&
+                 std::is_invocable_v<F&, std::size_t>)
+    // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, so
+    // lambda call sites read as plain parallel_for(n, [&](i) {...}).
+    IndexFnRef(F&& f) noexcept
+        : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+          call_([](void* obj, std::size_t i) {
+              (*static_cast<std::remove_reference_t<F>*>(obj))(i);
+          }) {}
+
+    void operator()(std::size_t i) const { call_(obj_, i); }
+
+private:
+    void* obj_;
+    void (*call_)(void*, std::size_t);
+};
+
 /// Runs body(i) for i in [0, n), distributed over up to `threads` workers
-/// (0 = hardware concurrency) of the shared pool. If `body` throws, the
-/// first exception is captured, remaining un-started indices are skipped,
+/// (0 = hardware concurrency) of the shared pool. Indices are pre-split
+/// into per-worker strips claimed in cache-friendly chunks (≈8 per worker);
+/// a worker that drains its own strip steals chunks from the others
+/// round-robin, so one slow strip cannot serialize the epoch tail. The
+/// schedule only decides *where* each index runs — bodies must not depend
+/// on execution order, which the per-index RNG-stream contract already
+/// guarantees; results stay thread-count independent. If `body` throws, the
+/// first exception is captured, remaining un-started chunks are skipped,
 /// and the exception is rethrown on the calling thread once this call's
 /// work has drained — so a throwing replication surfaces as a normal
 /// exception instead of std::terminate. Indices already in flight still run
 /// to completion. Nested calls (from inside a body) execute serially inline.
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
-                  std::size_t threads = 0);
+void parallel_for(std::size_t n, IndexFnRef body, std::size_t threads = 0);
 
 } // namespace mflb

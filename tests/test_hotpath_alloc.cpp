@@ -5,11 +5,14 @@
 // must not touch the heap. Verified by replacing the global allocator with a
 // counting one in this test binary — any hidden vector/matrix construction
 // in the step path shows up as a nonzero delta.
+#include "core/neural_policy.hpp"
 #include "des/des_system.hpp"
+#include "des/sharded_des_system.hpp"
 #include "field/mfc_env.hpp"
 #include "field/transition.hpp"
 #include "policies/fixed.hpp"
 #include "queueing/finite_system.hpp"
+#include "rl/gaussian_policy.hpp"
 #include "rl/ppo.hpp"
 #include "support/counting_allocator.inc"
 
@@ -137,6 +140,59 @@ TEST(HotPathAllocations, FiniteSystemGeneralServiceKernel) {
     const std::size_t before = counting_allocator::count();
     for (int i = 0; i < 50; ++i) {
         (void)system.step_with_rule(h, rng);
+    }
+    EXPECT_EQ(counting_allocator::count() - before, 0u);
+}
+
+TEST(HotPathAllocations, NeuralPolicyDecideIntoReusesScratch) {
+    // The batched epoch query: decide_into with a caller-owned BatchScratch
+    // routes the network through the GEMM batch path and realizes the rule in
+    // place — zero heap traffic once the scratch and output rule exist.
+    const TupleSpace space(6, 2);
+    Rng rng(17);
+    auto net = std::make_shared<rl::GaussianPolicy>(8, 72, std::vector<std::size_t>{32}, rng);
+    const NeuralUpperPolicy policy(space, 2, net);
+    const std::vector<double> nu{0.3, 0.3, 0.2, 0.1, 0.05, 0.05};
+    const std::unique_ptr<UpperLevelPolicy::Scratch> scratch = policy.make_scratch();
+    DecisionRule out(space);
+    policy.decide_into(nu, 1, rng, scratch.get(), out); // warmup sizes the workspace
+    const std::size_t before = counting_allocator::count();
+    for (int i = 0; i < 50; ++i) {
+        policy.decide_into(nu, i % 2, rng, scratch.get(), out);
+    }
+    EXPECT_EQ(counting_allocator::count() - before, 0u);
+    EXPECT_TRUE(out.is_valid());
+}
+
+TEST(HotPathAllocations, ShardedDesStepWithNeuralPolicy) {
+    // The full fused barrier on one thread: observed-distribution snapshot,
+    // batched policy query (cached scratch), vectorized destination law,
+    // shard epochs, and the pairwise reduction tree — allocation-free in
+    // steady state. K = 4 keeps a two-level tree in play.
+    FiniteSystemConfig config;
+    config.num_queues = 48;
+    config.num_clients = 2400;
+    config.dt = 2.0;
+    config.horizon = 1 << 20;
+    config.shards = 4;
+    config.threads = 1;
+    config.track_sojourn = true;
+    ShardedDesSystem system(config);
+    Rng net_rng(19);
+    const std::size_t num_lambda = system.arrivals().num_states();
+    const TupleSpace space(config.queue.num_states(), config.d);
+    auto net = std::make_shared<rl::GaussianPolicy>(
+        config.queue.num_states() + num_lambda,
+        static_cast<std::size_t>(space.size()) * static_cast<std::size_t>(config.d),
+        std::vector<std::size_t>{32}, net_rng);
+    const NeuralUpperPolicy policy(space, num_lambda, net);
+    Rng rng(23);
+    system.reset(rng);
+
+    (void)system.step(policy, rng); // warmup: builds the policy scratch + buffers
+    const std::size_t before = counting_allocator::count();
+    for (int i = 0; i < 50; ++i) {
+        (void)system.step(policy, rng);
     }
     EXPECT_EQ(counting_allocator::count() - before, 0u);
 }

@@ -198,6 +198,66 @@ TEST(ShardedDesSystem, DeterministicForFixedSeedAndShards) {
     expect_bit_identical(a, b);
 }
 
+TEST(ShardedDesSystem, OddAndSingleShardCountsStayThreadInvariant) {
+    // Odd K exercises the pass-through (orphan child) nodes of the pairwise
+    // reduction tree at every level; K = 1 bypasses the tree entirely. Both
+    // must honor the same bit-identity contract as the power-of-two case.
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{5}, std::size_t{7}}) {
+        SCOPED_TRACE(shards);
+        const DesEpisodeStats one =
+            run_sharded_episode(ClientModel::Aggregated, shards, 1, true);
+        const DesEpisodeStats two =
+            run_sharded_episode(ClientModel::Aggregated, shards, 2, true);
+        const DesEpisodeStats eight =
+            run_sharded_episode(ClientModel::Aggregated, shards, 8, true);
+        expect_bit_identical(one, two);
+        expect_bit_identical(one, eight);
+    }
+}
+
+TEST(ShardedDesSystem, SkewedInitialLoadStaysThreadInvariant) {
+    // Nearly-full initial queues start the per-shard high-water marks at the
+    // top of the state space and drain them down over the episode, covering
+    // the hot_hi raise (arrivals) and shrink (empty-top) paths on both sides
+    // of the reduction tree.
+    const auto run = [](std::size_t threads) {
+        FiniteSystemConfig config = small_config(ClientModel::Aggregated, 5, 2.0, 25);
+        config.threads = threads;
+        config.track_sojourn = true;
+        config.nu0 = {0.1, 0.0, 0.0, 0.0, 0.1, 0.8};
+        ShardedDesSystem system(config);
+        const TupleSpace space(config.queue.num_states(), config.d);
+        const FixedRulePolicy policy = make_jsq_policy(space);
+        Rng rng(97);
+        system.reset(rng);
+        return system.run_episode(policy, rng);
+    };
+    const DesEpisodeStats one = run(1);
+    const DesEpisodeStats eight = run(8);
+    EXPECT_GT(one.dropped_packets, 0u); // the skew actually stresses the top states
+    expect_bit_identical(one, eight);
+}
+
+TEST(ShardedDesSystem, BarrierProfileSplitsEpochTime) {
+    FiniteSystemConfig config = small_config(ClientModel::Aggregated, 4, 2.0, 12);
+    config.threads = 1;
+    ShardedDesSystem system(config);
+    const DecisionRule h = DecisionRule::mf_jsq(system.tuple_space());
+    Rng rng(5);
+    system.reset(rng);
+    EXPECT_EQ(system.barrier_profile().epochs, 0u);
+    while (!system.done()) {
+        system.step_with_rule(h, rng);
+    }
+    const ShardedDesSystem::BarrierProfile& profile = system.barrier_profile();
+    EXPECT_EQ(profile.epochs, 12u);
+    EXPECT_GT(profile.serial_seconds, 0.0);
+    EXPECT_GE(profile.parallel_seconds, 0.0);
+    system.reset(rng); // reset clears the profile with the rest of the state
+    EXPECT_EQ(system.barrier_profile().epochs, 0u);
+    EXPECT_EQ(system.barrier_profile().serial_seconds, 0.0);
+}
+
 TEST(ShardedDesSystem, ShardCountIsPartOfTheContract) {
     // K is a modeling choice like the seed: different K re-partitions the
     // RNG streams, so trajectories legitimately differ (while remaining

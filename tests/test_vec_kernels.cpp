@@ -1,0 +1,230 @@
+// Agreement contract of the vectorized epoch-barrier kernels (math/vec_ops)
+// against their strict left-to-right `_reference` twins: 1e-12 relative error
+// for arbitrary doubles, bit-exact for integer-valued inputs below 2^53 (the
+// counting client models — this is what keeps the golden sharded trajectories
+// pinned). Sizes straddle the scan's serial-fallback threshold (block < 16,
+// i.e. n < 64) and the 4-lane tail cases (n mod 4 ≠ 0). The same contract is
+// pinned end to end for the composed destination-law kernel and the shard-mass
+// partition. Under TSan the target_clones dispatch is compiled out
+// (MFLB_SIMD_CLONES is empty there), so these tests also pin that the plain
+// build of the 4-lane shapes agrees with the reference.
+#include "field/arrival_flow.hpp"
+#include "field/decision_rule.hpp"
+#include "math/vec_ops.hpp"
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mflb {
+namespace {
+
+// Sizes covering: empty, sub-lane, exact multiples of 4, every tail residue,
+// the scan fallback boundary (n = 63 serial, n = 64 segmented), and sizes
+// large enough that lane reassociation actually accumulates rounding.
+const std::vector<std::size_t> kSizes = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 31,
+                                         63, 64, 65, 127, 128, 257, 1000, 4099};
+
+std::vector<double> random_doubles(std::size_t n, Rng& rng) {
+    std::vector<double> xs(n);
+    for (double& x : xs) {
+        // Mixed magnitudes and signs so reassociation produces real ulp
+        // differences for the tolerance check to be meaningful.
+        x = rng.normal() * (1.0 + 1000.0 * rng.uniform());
+    }
+    return xs;
+}
+
+std::vector<std::uint64_t> random_counts(std::size_t n, Rng& rng) {
+    std::vector<std::uint64_t> xs(n);
+    for (std::uint64_t& x : xs) {
+        x = rng.uniform_below(1u << 20);
+    }
+    return xs;
+}
+
+void expect_close(double a, double b, double rel = 1e-12) {
+    const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    EXPECT_NEAR(a, b, rel * scale);
+}
+
+TEST(VecKernels, SumMatchesReferenceForDoubles) {
+    Rng rng(101);
+    for (const std::size_t n : kSizes) {
+        const std::vector<double> xs = random_doubles(n, rng);
+        expect_close(vec_sum(std::span<const double>(xs)),
+                     vec_sum_reference(std::span<const double>(xs)));
+    }
+}
+
+TEST(VecKernels, SumIsExactForIntegerValuedInputs) {
+    Rng rng(102);
+    for (const std::size_t n : kSizes) {
+        const std::vector<std::uint64_t> counts = random_counts(n, rng);
+        // uint64 overload: every reassociation is exact below 2^53.
+        EXPECT_EQ(vec_sum(std::span<const std::uint64_t>(counts)),
+                  vec_sum_reference(std::span<const std::uint64_t>(counts)));
+        // Integer-valued doubles (queue weights of the counting models).
+        std::vector<double> xs(counts.begin(), counts.end());
+        EXPECT_EQ(vec_sum(std::span<const double>(xs)),
+                  vec_sum_reference(std::span<const double>(xs)));
+    }
+}
+
+TEST(VecKernels, PrefixSumMatchesReferenceForDoubles) {
+    Rng rng(103);
+    for (const std::size_t n : kSizes) {
+        const std::vector<double> xs = random_doubles(n, rng);
+        std::vector<double> got(n, -1.0);
+        std::vector<double> want(n, -2.0);
+        inclusive_prefix_sum(xs, got);
+        inclusive_prefix_sum_reference(xs, want);
+        for (std::size_t i = 0; i < n; ++i) {
+            expect_close(got[i], want[i]);
+        }
+    }
+}
+
+TEST(VecKernels, PrefixSumIsExactForIntegerWeights) {
+    Rng rng(104);
+    for (const std::size_t n : kSizes) {
+        const std::vector<std::uint64_t> counts = random_counts(n, rng);
+        std::vector<double> got(n, -1.0);
+        std::vector<double> want(n, -2.0);
+        inclusive_prefix_sum(std::span<const std::uint64_t>(counts), got);
+        inclusive_prefix_sum_reference(std::span<const std::uint64_t>(counts), want);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(got[i], want[i]) << "n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(VecKernels, PrefixSumInPlaceEqualsOutOfPlace) {
+    Rng rng(105);
+    for (const std::size_t n : kSizes) {
+        const std::vector<double> xs = random_doubles(n, rng);
+        std::vector<double> out(n, -1.0);
+        inclusive_prefix_sum(xs, out);
+        std::vector<double> in_place = xs;
+        inclusive_prefix_sum(std::span<const double>(in_place), in_place);
+        EXPECT_EQ(in_place, out) << "n=" << n;
+    }
+}
+
+TEST(VecKernels, GatherScaleIsBitExact) {
+    Rng rng(106);
+    const std::vector<double> table = random_doubles(32, rng);
+    for (const std::size_t n : kSizes) {
+        std::vector<int> idx(n);
+        for (int& z : idx) {
+            z = static_cast<int>(rng.uniform_below(table.size()));
+        }
+        const double scale = rng.uniform(0.1, 2.0);
+        std::vector<double> got(n, -1.0);
+        gather_scale(idx, table, scale, got);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(got[i], scale * table[static_cast<std::size_t>(idx[i])]);
+        }
+    }
+}
+
+TEST(VecKernels, SizeMismatchThrows) {
+    const std::vector<double> in(8, 1.0);
+    const std::vector<std::uint64_t> in_u(8, 1);
+    std::vector<double> out(7, 0.0);
+    EXPECT_THROW(inclusive_prefix_sum(std::span<const double>(in), out),
+                 std::invalid_argument);
+    EXPECT_THROW(inclusive_prefix_sum(std::span<const std::uint64_t>(in_u), out),
+                 std::invalid_argument);
+    EXPECT_THROW(inclusive_prefix_sum_reference(std::span<const double>(in), out),
+                 std::invalid_argument);
+    const std::vector<int> idx(8, 0);
+    EXPECT_THROW(gather_scale(idx, in, 1.0, out), std::invalid_argument);
+}
+
+TEST(VecKernels, DestinationLawMatchesScalarReference) {
+    // The composed barrier kernel: routing table + row fold + gather vs the
+    // historical per-queue O(M·d) scan. M deliberately not a multiple of 4.
+    Rng rng(107);
+    const std::size_t num_z = 6;
+    const int d = 2;
+    const TupleSpace space(num_z, d);
+    const DecisionRule h = DecisionRule::greedy_softmax(space, 1.5);
+
+    const std::size_t m = 257;
+    std::vector<int> queue_states(m);
+    std::vector<double> hist(num_z, 0.0);
+    for (int& z : queue_states) {
+        z = static_cast<int>(rng.uniform_below(num_z));
+        hist[static_cast<std::size_t>(z)] += 1.0 / static_cast<double>(m);
+    }
+
+    std::vector<int> tuple(static_cast<std::size_t>(d));
+    std::vector<double> suffix(static_cast<std::size_t>(d) + 1);
+    std::vector<double> g(static_cast<std::size_t>(d) * num_z);
+    std::vector<double> want(m, -1.0);
+    std::vector<double> got(m, -2.0);
+    // Reference first: it leaves `g` untouched; the vectorized path then
+    // folds `g`'s rows in place (documented postcondition).
+    compute_destination_law_reference_into(queue_states, hist, h, tuple, suffix, g, want);
+    compute_destination_law_into(queue_states, hist, h, tuple, suffix, g, got);
+
+    double total_got = 0.0;
+    double total_want = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+        expect_close(got[j], want[j]);
+        total_got += got[j];
+        total_want += want[j];
+    }
+    // Both realize the same per-packet destination law: mass sums to one.
+    expect_close(total_got, 1.0, 1e-9);
+    expect_close(total_want, 1.0, 1e-9);
+}
+
+TEST(VecKernels, PartitionShardMassMatchesSerialSums) {
+    Rng rng(108);
+    const std::size_t m = 1003;
+    const std::size_t shards = 7;
+    std::vector<std::size_t> begin(shards + 1);
+    for (std::size_t s = 0; s <= shards; ++s) {
+        begin[s] = s * m / shards;
+    }
+
+    const std::vector<double> weights = random_doubles(m, rng);
+    std::vector<double> mass(shards, -1.0);
+    const double total = partition_shard_mass(weights, begin, mass);
+    double serial_total = 0.0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        double want = 0.0;
+        for (std::size_t j = begin[s]; j < begin[s + 1]; ++j) {
+            want += weights[j];
+        }
+        expect_close(mass[s], want);
+        serial_total += want;
+    }
+    expect_close(total, serial_total);
+
+    // Integer-weight overload (finite-N counts): exact, bit for bit.
+    const std::vector<std::uint64_t> counts = random_counts(m, rng);
+    std::vector<double> int_mass(shards, -1.0);
+    const double int_total = partition_shard_mass(counts, begin, int_mass);
+    double int_serial = 0.0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        double want = 0.0;
+        for (std::size_t j = begin[s]; j < begin[s + 1]; ++j) {
+            want += static_cast<double>(counts[j]);
+        }
+        EXPECT_EQ(int_mass[s], want);
+        int_serial += want;
+    }
+    EXPECT_EQ(int_total, int_serial);
+}
+
+} // namespace
+} // namespace mflb
