@@ -31,19 +31,14 @@
 #include "bench_common.hpp"
 #include "des/des_system.hpp"
 #include "des/sharded_des_system.hpp"
+#include "support/trace.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <thread>
 
 namespace {
 
 using namespace mflb;
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-    return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// The scale-out configuration at M queues: two-level modulated arrivals
 /// whose levels are scaled so the *total* offered load stays fixed.
@@ -73,12 +68,12 @@ EpisodeRun run_one_episode(const FiniteSystemConfig& config, const DecisionRule&
     System system(config);
     Rng rng(seed);
     system.reset(rng);
-    const auto start = Clock::now();
+    const trace::Stopwatch watch;
     double drops = 0.0;
     while (!system.done()) {
         drops += system.step_with_rule(rule, rng).drops_per_queue;
     }
-    return {seconds_since(start), drops};
+    return {watch.seconds(), drops};
 }
 
 /// Sharded episode with the backend's own barrier accounting attached: how
@@ -101,13 +96,13 @@ ShardedRun run_sharded_episode(const FiniteSystemConfig& config, const DecisionR
     ShardedDesSystem system(config);
     Rng rng(seed);
     system.reset(rng);
-    const auto start = Clock::now();
+    const trace::Stopwatch watch;
     double drops = 0.0;
     while (!system.done()) {
         drops += system.step_with_rule(rule, rng).drops_per_queue;
     }
     ShardedRun out;
-    out.episode = {seconds_since(start), drops};
+    out.episode = {watch.seconds(), drops};
     out.serial_s = system.barrier_profile().serial_seconds;
     out.parallel_s = system.barrier_profile().parallel_seconds;
     return out;
@@ -239,7 +234,7 @@ int main(int argc, char** argv) {
         DesSystem system(config);
         Rng rng(seed);
         system.reset(rng);
-        const auto start = Clock::now();
+        const trace::Stopwatch watch;
         std::uint64_t completed = 0;
         double sojourn_weighted = 0.0;
         while (!system.done()) {
@@ -247,7 +242,7 @@ int main(int argc, char** argv) {
             completed += stats.completed_jobs;
             sojourn_weighted += stats.mean_sojourn * static_cast<double>(stats.completed_jobs);
         }
-        timings.record("des_sojourn_episode_M=10000", seconds_since(start));
+        timings.record("des_sojourn_episode_M=10000", watch.seconds());
         std::printf("sojourn times at M=10^4 (%llu completed jobs):\n"
                     "  p50 %.3f   p95 %.3f   p99 %.3f   mean %.3f\n",
                     static_cast<unsigned long long>(completed), system.sojourn_p50(),

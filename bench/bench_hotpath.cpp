@@ -207,6 +207,51 @@ int main(int argc, char** argv) {
                     scalar_seconds / update_seconds);
     }
 
+    // --- 5. Telemetry overhead: epoch loop with the session off vs on ------
+    // The telemetry layer's contract is branch-cheap when disabled and
+    // allocation-free in steady state when enabled; this section puts a
+    // number on the "on" cost per backend. The *_overhead_fraction rows are
+    // informational (fraction rows never gate in check-bench-regression.sh);
+    // the absolute per-episode times feed the CI perf artifact.
+    {
+        const ExperimentConfig base_experiment = scenario_or_die("table1").experiment;
+        const std::size_t episodes = full ? 6 : 2;
+        std::printf("\nTelemetry overhead (Table 1, dt=5, %zu episodes, metrics+trace on):\n",
+                    episodes);
+        const auto time_backend = [&]<class System>(const char* name) {
+            FiniteSystemConfig config = base_experiment.finite_system();
+            config.dt = 5.0;
+            const TupleSpace space(base_experiment.queue.num_states(), base_experiment.d);
+            const FixedRulePolicy policy = make_jsq_policy(space);
+            const auto run = [&](TelemetrySession* session) {
+                FiniteSystemConfig run_config = config;
+                run_config.telemetry = session;
+                System system(run_config);
+                Rng rng(cli.get_int("seed"));
+                system.reset(rng);
+                (void)system.run_episode(policy, rng); // warmup sizes workspaces
+                const auto start = Clock::now();
+                for (std::size_t e = 0; e < episodes; ++e) {
+                    system.reset(rng);
+                    (void)system.run_episode(policy, rng);
+                }
+                return seconds_since(start) / static_cast<double>(episodes);
+            };
+            const double off = run(nullptr);
+            const auto session = TelemetrySession::in_memory(SeriesFormat::Jsonl, true);
+            const double on = run(session.get());
+            const double fraction = off > 0.0 ? (on - off) / off : 0.0;
+            timings.record(std::string(name) + "_epoch_telemetry_off", off);
+            timings.record(std::string(name) + "_epoch_telemetry_on", on);
+            timings.record(std::string(name) + "_telemetry_overhead_fraction", fraction);
+            std::printf("  %-8s off %.3f ms/episode, on %.3f ms/episode  ->  %+.2f%%\n", name,
+                        1e3 * off, 1e3 * on, 1e2 * fraction);
+        };
+        time_backend.operator()<FiniteSystem>("finite");
+        time_backend.operator()<DesSystem>("des");
+        time_backend.operator()<ShardedDesSystem>("sharded");
+    }
+
     timings.write(cli.get("json"));
     if (!cli.get("json").empty()) {
         std::printf("\ntimings written to %s\n", cli.get("json").c_str());

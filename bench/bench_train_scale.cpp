@@ -16,8 +16,8 @@
 /// `--json` emits steps/sec and speedup rows (`update_*`, `rollout_*`,
 /// `cem_*`) for the CI Release bench artifact.
 #include "bench_common.hpp"
+#include "support/trace.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <memory>
 #include <thread>
@@ -25,11 +25,6 @@
 namespace {
 
 using namespace mflb;
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-    return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 rl::PpoTrainer::EnvFactory mfc_factory(const MfcConfig& config) {
     return [config]() -> std::unique_ptr<rl::Env> {
@@ -109,9 +104,9 @@ int main(int argc, char** argv) {
             double best = 1e300;
             for (int rep = 0; rep < 2; ++rep) {
                 rl::PpoIterationStats repeat = stats;
-                const auto start = Clock::now();
+                const trace::Stopwatch watch;
                 trainer.optimize_phase(rep == 0 ? stats : repeat);
-                best = std::min(best, seconds_since(start));
+                best = std::min(best, watch.seconds());
             }
             return best;
         };
@@ -144,9 +139,9 @@ int main(int argc, char** argv) {
     {
         rl::PpoIterationStats stats;
         rl::PpoTrainer serial(mfc_factory(config), trainer_config(full, 1, 1, true), Rng(seed));
-        const auto start_serial = Clock::now();
+        const trace::Stopwatch serial_watch;
         serial.collect_phase(stats);
-        const double serial_seconds = seconds_since(start_serial);
+        const double serial_seconds = serial_watch.seconds();
         timings.record("rollout_collect_serial_seconds", serial_seconds);
         timings.record("rollout_collect_serial_steps_per_sec",
                        static_cast<double>(stats.timesteps_total) / serial_seconds);
@@ -158,9 +153,9 @@ int main(int argc, char** argv) {
             rl::PpoTrainer trainer(mfc_factory(config),
                                    trainer_config(full, num_envs, threads, true), Rng(seed));
             rl::PpoIterationStats collect_stats;
-            const auto start = Clock::now();
+            const trace::Stopwatch watch;
             trainer.collect_phase(collect_stats);
-            const double seconds = seconds_since(start);
+            const double seconds = watch.seconds();
             const double steps_per_sec =
                 static_cast<double>(collect_stats.timesteps_total) / seconds;
             char label[64];
@@ -196,10 +191,10 @@ int main(int argc, char** argv) {
         auto run_cem = [&](std::size_t threads) {
             rl::CemConfig threaded = cem;
             threaded.threads = threads;
-            const auto start = Clock::now();
+            const trace::Stopwatch watch;
             const CemTrainingResult result =
                 train_tabular_cem(config, threaded, 2, seed + 17);
-            return std::make_pair(seconds_since(start), result.best_return);
+            return std::make_pair(watch.seconds(), result.best_return);
         };
         const auto [serial_seconds, serial_best] = run_cem(1);
         const auto [parallel_seconds, parallel_best] = run_cem(0);

@@ -21,11 +21,28 @@
 #include "core/mflb.hpp"
 
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
 namespace {
 using namespace mflb;
+
+/// Telemetry session from --metrics-out/--metrics-every/--trace-out, or null
+/// when neither output is requested (the zero-overhead default). The caller
+/// keeps it alive across the run; destruction flushes the series file and
+/// writes the chrome://tracing JSON.
+std::unique_ptr<TelemetrySession> make_telemetry(const CliParser& cli) {
+    TelemetryConfig config;
+    config.metrics_out = cli.get("metrics-out");
+    config.trace_out = cli.get("trace-out");
+    const auto every = cli.get_int("metrics-every");
+    config.metrics_every = every > 0 ? static_cast<std::size_t>(every) : 1;
+    if (!config.any_enabled()) {
+        return nullptr;
+    }
+    return std::make_unique<TelemetrySession>(config);
+}
 
 int run_train_ppo(const CliParser& cli, const ExperimentConfig& experiment,
                   const MfcConfig& config) {
@@ -43,6 +60,8 @@ int run_train_ppo(const CliParser& cli, const ExperimentConfig& experiment,
     }
     ppo.num_envs = experiment.num_envs;
     ppo.train_threads = experiment.train_threads;
+    const std::unique_ptr<TelemetrySession> telemetry = make_telemetry(cli);
+    ppo.telemetry = telemetry.get();
     const auto iterations = static_cast<std::size_t>(cli.get_int("generations"));
     std::printf("training: dt=%.1f horizon=%d ppo(%s budget, iters=%zu, K=%zu envs, "
                 "%zu threads)\n",
@@ -85,6 +104,8 @@ int run_train(const CliParser& cli) {
     cem.generations = static_cast<std::size_t>(cli.get_int("generations"));
     cem.elites = std::max<std::size_t>(2, cem.population / 5);
     cem.threads = experiment.train_threads;
+    const std::unique_ptr<TelemetrySession> telemetry = make_telemetry(cli);
+    cem.telemetry = telemetry.get();
 
     const TupleSpace space(config.queue.num_states(), config.d);
     const std::vector<double> beta_grid{0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
@@ -183,13 +204,18 @@ int run_eval(const CliParser& cli) {
     // Only the event-driven backends see individual jobs, so only they can
     // report sojourn-time percentiles; the finite backend leaves them blank.
     const bool des = backend != SimBackend::Finite;
+    // One session shared by every evaluation below: replication 0 of each
+    // evaluated policy appends its epoch rows to the same series file.
+    const std::unique_ptr<TelemetrySession> telemetry = make_telemetry(cli);
     Table table({"policy", "drops/queue (95% CI)", "mean fill", "utilization",
                  "sojourn p50/p95/p99"});
     auto add = [&](const ExperimentConfig& config, const UpperLevelPolicy& policy,
                    const std::string& label) {
         SojournSummary sojourn;
+        FiniteSystemConfig system = config.finite_system();
+        system.telemetry = telemetry.get();
         const EvaluationResult r =
-            evaluate_backend(backend, config.finite_system(), policy, episodes,
+            evaluate_backend(backend, system, policy, episodes,
                              cli.get_int("seed"), threads, &sojourn);
         char percentiles[64];
         std::snprintf(percentiles, sizeof(percentiles), "%.2f / %.2f / %.2f",
@@ -286,6 +312,13 @@ int main(int argc, char** argv) {
              "(epoch-parallel event-driven); default = scenario's backend");
     cli.flag_int("threads", 0,
                  "Worker threads for replications / sharded epochs (0 = all cores)");
+    cli.flag("metrics-out", "",
+             "Per-epoch (eval) / per-iteration (train) time-series output: JSONL, or "
+             "CSV when the path ends in .csv; empty = disabled");
+    cli.flag_int("metrics-every", 1, "Emit every k-th epoch row (train rows always emit)");
+    cli.flag("trace-out", "",
+             "chrome://tracing span JSON covering barrier phases, shard event loops, "
+             "and trainer phases; empty = disabled");
     cli.flag("trainer", "cem",
              "Train-mode optimizer: 'cem' (tabular policy search, supports --out) or "
              "'ppo' (Table 2 pipeline on the MFC MDP)");

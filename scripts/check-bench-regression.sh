@@ -4,20 +4,65 @@
 # threshold (default 15%).
 #
 #   usage: check-bench-regression.sh OLD.json NEW.json [THRESHOLD_PCT]
+#          check-bench-regression.sh --require EXPECTED.txt NEW.json...
 #
 # Row semantics, matching the bench label conventions:
 #   - plain rows carry seconds: regression = new > old * (1 + threshold);
 #   - "*speedup*" rows carry ratios where bigger is better:
 #       regression = new < old / (1 + threshold);
 #   - "*fraction*" rows are dimensionless splits (e.g. the barrier's serial
-#     fraction) whose healthy value depends on the host's core count — they
-#     are reported but never gate.
-# Rows present in only one file are reported and skipped. Exits non-zero iff
-# at least one gating row regressed.
+#     fraction or the telemetry overhead) whose healthy value depends on the
+#     host — they are reported but never gate.
+# Rows present in only one file are reported and skipped — which means a
+# silently dropped row (renamed label, dead section) never fails the diff.
+# `--require` closes that hole: it checks that every `bench/label` key listed
+# in EXPECTED.txt (one per line, #-comments allowed) appears in the union of
+# the given artifacts, and fails on any missing row. Exits non-zero iff a
+# gating row regressed (diff mode) or an expected row is missing (--require).
 set -euo pipefail
+
+if [ "${1:-}" = "--require" ]; then
+    if [ "$#" -lt 3 ]; then
+        echo "usage: $0 --require EXPECTED.txt NEW.json..." >&2
+        exit 2
+    fi
+    shift
+    EXPECTED_FILE="$1"
+    shift
+    EXPECTED_FILE="$EXPECTED_FILE" python3 - "$@" <<'PY'
+import json
+import os
+import sys
+
+present = set()
+for path in sys.argv[1:]:
+    with open(path) as f:
+        for row in json.load(f):
+            present.add(f"{row['bench']}/{row['label']}")
+
+missing = []
+with open(os.environ["EXPECTED_FILE"]) as f:
+    for line in f:
+        key = line.split("#", 1)[0].strip()
+        if not key:
+            continue
+        if key in present:
+            print(f"  ok {key}")
+        else:
+            missing.append(key)
+            print(f"  MISSING {key}")
+
+if missing:
+    print(f"{len(missing)} expected benchmark row(s) missing: " + ", ".join(missing))
+    sys.exit(1)
+print("all expected benchmark rows present")
+PY
+    exit 0
+fi
 
 if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
     echo "usage: $0 OLD.json NEW.json [THRESHOLD_PCT]" >&2
+    echo "       $0 --require EXPECTED.txt NEW.json..." >&2
     exit 2
 fi
 

@@ -85,6 +85,11 @@ struct ExperimentConfig {
     /// Per-queue relative server speeds (empty = homogeneous). Resolved
     /// verbatim into `FiniteSystemConfig::server_speeds`.
     std::vector<double> server_speeds;
+    /// Telemetry outputs (--metrics-out/--metrics-every/--trace-out CLI
+    /// flags): the entry point builds one `TelemetrySession` from this and
+    /// hands its pointer to the simulator/trainer configs. Both paths empty
+    /// (the default) = telemetry fully disabled.
+    TelemetryConfig telemetry{};
 
     /// T_e = nearest integer to eval_total_time / Δt (paper, Section 4).
     int eval_horizon() const noexcept;

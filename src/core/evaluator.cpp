@@ -26,13 +26,25 @@ MfcConfig mfc_from_finite(const FiniteSystemConfig& config) {
     return mfc;
 }
 
+/// Replication i's config: telemetry stays attached on replication 0 only.
+/// The registry/sink belong to one serially-stepped system at a time; with
+/// every replication attached, concurrent epoch barriers would race on the
+/// slot merge. Replication 0 is seed-stable, so the emitted series is too.
+FiniteSystemConfig replication_config(const FiniteSystemConfig& config, std::size_t i) {
+    FiniteSystemConfig rep = config;
+    if (i != 0) {
+        rep.telemetry = nullptr;
+    }
+    return rep;
+}
+
 } // namespace
 
 EvaluationResult evaluate_finite(const FiniteSystemConfig& config, const UpperLevelPolicy& policy,
                                  std::size_t episodes, std::uint64_t seed, std::size_t threads) {
     const std::vector<EpisodeStats> stats =
-        run_replications(episodes, seed, threads, [&](std::size_t, Rng& rng) {
-            FiniteSystem system(config);
+        run_replications(episodes, seed, threads, [&](std::size_t i, Rng& rng) {
+            FiniteSystem system(replication_config(config, i));
             system.reset(rng);
             return system.run_episode(policy, rng);
         });
@@ -67,8 +79,8 @@ EvaluationResult evaluate_event_driven(const FiniteSystemConfig& config,
         des_config.track_sojourn = true;
     }
     const std::vector<DesEpisodeStats> stats =
-        run_replications(episodes, seed, threads, [&](std::size_t, Rng& rng) {
-            System system(des_config);
+        run_replications(episodes, seed, threads, [&](std::size_t i, Rng& rng) {
+            System system(replication_config(des_config, i));
             system.reset(rng);
             return system.run_episode(policy, rng);
         });
@@ -198,8 +210,8 @@ CoupledEvaluation evaluate_coupled(const FiniteSystemConfig& finite_config,
 
     // Finite-system replications on the same path.
     const std::vector<double> drops_by_episode =
-        run_replications(episodes, seed, threads, [&](std::size_t, Rng& rng) {
-            FiniteSystem system(finite_config);
+        run_replications(episodes, seed, threads, [&](std::size_t i, Rng& rng) {
+            FiniteSystem system(replication_config(finite_config, i));
             system.reset_conditioned(result.lambda_sequence, rng);
             double total = 0.0;
             while (!system.done()) {

@@ -64,6 +64,31 @@ DesSystem::DesSystem(FiniteSystemConfig config)
         suffix_.assign(d + 1, 1.0);
         dest_p_.assign(m, 0.0);
     }
+    telemetry_series_ = "des_epoch";
+    if (config_.telemetry != nullptr) {
+        set_telemetry(config_.telemetry);
+    }
+}
+
+void DesSystem::append_epoch_telemetry(MetricsRow& row) {
+    // state_counts_ is maintained incrementally, so the queue-length
+    // histogram summary is O(|Z|) regardless of M.
+    const std::size_t num_z = state_counts_.size();
+    int max_state = 0;
+    for (std::size_t z = 0; z < num_z; ++z) {
+        if (state_counts_[z] > 0) {
+            max_state = static_cast<int>(z);
+        }
+    }
+    const double inv_m = 1.0 / static_cast<double>(num_queues());
+    row.push("qlen_empty_frac", static_cast<double>(state_counts_[0]) * inv_m);
+    row.push("qlen_full_frac", static_cast<double>(state_counts_[num_z - 1]) * inv_m);
+    row.push_int("qlen_max", max_state);
+    if (config_.track_sojourn) {
+        row.push("sojourn_p50", p50_.value());
+        row.push("sojourn_p95", p95_.value());
+        row.push("sojourn_p99", p99_.value());
+    }
 }
 
 void DesSystem::reset(Rng& rng) {
@@ -311,7 +336,12 @@ EpochStats DesSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
     if (!(h.space() == space_)) {
         throw std::invalid_argument("DesSystem::step: decision rule on wrong tuple space");
     }
-    begin_epoch(h, rng);
+    trace::Tracer* tracer = session_tracer(telemetry_);
+    {
+        trace::ScopedSpan span(tracer, "destination_law");
+        begin_epoch(h, rng);
+    }
+    trace::ScopedSpan span(tracer, "event_loop");
     return run_events(&h, rng);
 }
 
@@ -330,7 +360,10 @@ EpochStats DesSystem::step(const UpperLevelPolicy& policy, Rng& rng) {
     if (router_.active()) {
         return step_router(rng);
     }
-    const DecisionRule h = policy.decide(observed_distribution(rng), lambda_state(), rng);
+    DecisionRule h = [&] {
+        trace::ScopedSpan span(session_tracer(telemetry_), "policy_query");
+        return policy.decide(observed_distribution(rng), lambda_state(), rng);
+    }();
     return step_with_rule(h, rng);
 }
 

@@ -111,6 +111,11 @@ public:
     double sojourn_p95() const noexcept { return p95_.value(); }
     double sojourn_p99() const noexcept { return p99_.value(); }
 
+protected:
+    /// Queue-length histogram summary from the incremental state counts plus
+    /// the streaming sojourn percentiles (track_sojourn only).
+    void append_epoch_telemetry(MetricsRow& row) override;
+
 private:
     static constexpr int kNoEpoch = -1;
 

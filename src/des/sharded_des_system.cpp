@@ -132,6 +132,45 @@ ShardedDesSystem::ShardedDesSystem(FiniteSystemConfig config)
     if (config_.client_model == ClientModel::Aggregated) {
         shard_clients_.assign(k, 0);
     }
+    telemetry_series_ = "sharded_epoch";
+    if (config_.telemetry != nullptr) {
+        set_telemetry(config_.telemetry);
+    }
+}
+
+void ShardedDesSystem::on_telemetry_attached() {
+    tracer_ = session_tracer(telemetry_);
+    shard_registry_ = nullptr;
+    if (telemetry_ != nullptr && telemetry_->metrics_enabled()) {
+        MetricsRegistry& registry = telemetry_->registry();
+        registry.ensure_slots(shards_.size());
+        shard_events_id_ = registry.counter("des_events_total");
+        barrier_serial_id_ = registry.gauge("barrier_serial_seconds");
+        barrier_parallel_id_ = registry.gauge("barrier_parallel_seconds");
+        shard_registry_ = &registry;
+    }
+}
+
+void ShardedDesSystem::append_epoch_telemetry(MetricsRow& row) {
+    const auto m = static_cast<double>(queues_.size());
+    row.push("qlen_empty_frac", static_cast<double>(state_counts_[0]) / m);
+    row.push("qlen_full_frac",
+             static_cast<double>(state_counts_[state_counts_.size() - 1]) / m);
+    std::size_t hi = state_hi_;
+    while (hi > 1 && state_counts_[hi - 1] == 0) {
+        --hi;
+    }
+    row.push_int("qlen_max", static_cast<std::int64_t>(hi - 1));
+    if (config_.track_sojourn) {
+        row.push("sojourn_p50", merged_quantile(0));
+        row.push("sojourn_p95", merged_quantile(1));
+        row.push("sojourn_p99", merged_quantile(2));
+    }
+    row.push_int("shards", static_cast<std::int64_t>(shards_.size()));
+    // The barrier profile rides the registry (appended after this hook), so
+    // the Amdahl split lands in the same row as the queueing metrics.
+    shard_registry_->set(barrier_serial_id_, profile_.serial_seconds);
+    shard_registry_->set(barrier_parallel_id_, profile_.parallel_seconds);
 }
 
 void ShardedDesSystem::reset(Rng& rng) {
@@ -209,6 +248,7 @@ std::vector<double> ShardedDesSystem::observed_distribution(Rng& rng) const {
 }
 
 void ShardedDesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
+    trace::ScopedSpan span(tracer_, "destination_law");
     const std::size_t m = queues_.size();
     const double total_rate = static_cast<double>(m) * lambda_value();
 
@@ -294,6 +334,7 @@ double ShardedDesSystem::destination_law_shard_masses(const DecisionRule& h) {
 }
 
 void ShardedDesSystem::begin_epoch_router() {
+    trace::ScopedSpan span(tracer_, "destination_law");
     const std::size_t m = queues_.size();
     const double total_rate = static_cast<double>(m) * lambda_value();
 
@@ -382,6 +423,7 @@ void ShardedDesSystem::handle_departure(Shard& shard, std::size_t local_id, doub
 void ShardedDesSystem::run_shard_epoch(std::size_t s, double epoch_start, double epoch_end) {
     Shard& shard = shards_[s];
     const std::size_t local_n = shard.end - shard.begin;
+    const std::uint64_t thin_begin = tracer_ != nullptr ? trace::now_ns() : 0;
 
     // Shard-local destination prefix sums for this epoch's routing weights,
     // realized with the vectorized scan (exact for the integer-count client
@@ -436,6 +478,10 @@ void ShardedDesSystem::run_shard_epoch(std::size_t s, double epoch_start, double
     } else {
         shard.fel.cancel(shard.local_arrival_slot());
     }
+    if (tracer_ != nullptr) {
+        tracer_->record("thinning", thin_begin, trace::now_ns());
+    }
+    trace::ScopedSpan advance_span(tracer_, "shard_advance");
 
     shard.cursor = epoch_start;
     shard.job_area = 0.0;
@@ -463,6 +509,15 @@ void ShardedDesSystem::run_shard_epoch(std::size_t s, double epoch_start, double
     // reduction walks only the occupied prefix next epoch.
     while (shard.hot_hi > 1 && shard.state_counts[shard.hot_hi - 1] == 0) {
         --shard.hot_hi;
+    }
+    // One lane write per epoch (not per event): the shard owns slot s until
+    // the barrier's merge_slots, so this stays wait-free and allocation-free.
+    if (shard_registry_ != nullptr) {
+        shard_registry_->add(shard_events_id_,
+                             static_cast<double>(shard.stats.accepted_packets +
+                                                 shard.stats.dropped_packets +
+                                                 shard.stats.served_packets),
+                             s);
     }
 }
 
@@ -595,7 +650,11 @@ EpochStats ShardedDesSystem::run_parallel_epoch(Rng& rng) {
         [&](std::size_t s) { run_shard_epoch(s, epoch_start, epoch_end); }, threads_);
     const auto t1 = std::chrono::steady_clock::now();
 
-    const EpochStats stats = reduce_epoch();
+    EpochStats stats;
+    {
+        trace::ScopedSpan span(tracer_, "reduction_tree");
+        stats = reduce_epoch();
+    }
     advance_epoch(rng);
     profile_.parallel_seconds += std::chrono::duration<double>(t1 - t0).count();
     profile_.serial_seconds += seconds_since(t1);
@@ -641,12 +700,15 @@ EpochStats ShardedDesSystem::step(const UpperLevelPolicy& policy, Rng& rng) {
     // allocation-free at steady state. Identical draws and rule as the
     // decide() path (decide_into's contract).
     const auto t0 = std::chrono::steady_clock::now();
-    if (scratch_policy_ != &policy) {
-        policy_scratch_ = policy.make_scratch();
-        scratch_policy_ = &policy;
+    {
+        trace::ScopedSpan span(tracer_, "policy_query");
+        if (scratch_policy_ != &policy) {
+            policy_scratch_ = policy.make_scratch();
+            scratch_policy_ = &policy;
+        }
+        observed_distribution_into(rng, obs_);
+        policy.decide_into(obs_, lambda_state(), rng, policy_scratch_.get(), rule_);
     }
-    observed_distribution_into(rng, obs_);
-    policy.decide_into(obs_, lambda_state(), rng, policy_scratch_.get(), rule_);
     profile_.serial_seconds += seconds_since(t0);
     return step_with_rule(rule_, rng);
 }

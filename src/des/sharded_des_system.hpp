@@ -137,6 +137,14 @@ public:
     };
     const BarrierProfile& barrier_profile() const noexcept { return profile_; }
 
+protected:
+    /// Grows the registry's slot lanes to K and registers the per-shard
+    /// event counter plus the barrier-profile gauges.
+    void on_telemetry_attached() override;
+    /// Queue-length summary from the reduced histogram, cross-shard-merged
+    /// sojourn percentiles, and the cumulative barrier profile.
+    void append_epoch_telemetry(MetricsRow& row) override;
+
 private:
     /// All state one shard touches during the parallel phase. Shards never
     /// read or write each other's `Shard` (nor each other's slices of the
@@ -264,6 +272,17 @@ private:
     mutable std::uint64_t merged_for_ = ~std::uint64_t{0};
 
     BarrierProfile profile_;
+
+    // Telemetry (support/telemetry.hpp). Each shard task feeds the event
+    // counter's own slot lane once per epoch (wait-free, no RNG, folded in
+    // fixed slot order at the barrier), so enabling metrics never couples
+    // shards or perturbs the (seed, K) determinism contract. `tracer_` is
+    // null whenever spans are disabled — ScopedSpan then costs one branch.
+    trace::Tracer* tracer_ = nullptr;
+    MetricsRegistry* shard_registry_ = nullptr;
+    MetricsRegistry::Id shard_events_id_ = 0;
+    MetricsRegistry::Id barrier_serial_id_ = 0;
+    MetricsRegistry::Id barrier_parallel_id_ = 0;
 
     // Policy-query hot path: reusable observation / rule buffers plus the
     // policy's opaque scratch (rebuilt when a different policy is passed).

@@ -53,6 +53,26 @@ FiniteSystem::FiniteSystem(FiniteSystemConfig config)
     if (general_service()) {
         next_completion_.assign(m, std::numeric_limits<double>::infinity());
     }
+    telemetry_series_ = "finite_epoch";
+    if (config_.telemetry != nullptr) {
+        set_telemetry(config_.telemetry);
+    }
+}
+
+void FiniteSystem::append_epoch_telemetry(MetricsRow& row) {
+    const int full_state = config_.queue.num_states() - 1;
+    std::size_t empty = 0;
+    std::size_t full = 0;
+    int max_state = 0;
+    for (const int z : queues_) {
+        empty += z == 0 ? 1 : 0;
+        full += z >= full_state ? 1 : 0;
+        max_state = std::max(max_state, z);
+    }
+    const double inv_m = 1.0 / static_cast<double>(queues_.size());
+    row.push("qlen_empty_frac", static_cast<double>(empty) * inv_m);
+    row.push("qlen_full_frac", static_cast<double>(full) * inv_m);
+    row.push_int("qlen_max", max_state);
 }
 
 void FiniteSystem::reset(Rng& rng) {
@@ -245,7 +265,12 @@ EpochStats FiniteSystem::step_with_rule(const DecisionRule& h, Rng& rng) {
     if (!(h.space() == space_)) {
         throw std::invalid_argument("FiniteSystem::step: decision rule on wrong tuple space");
     }
-    compute_queue_rates_into(h, rng);
+    trace::Tracer* tracer = session_tracer(telemetry_);
+    {
+        trace::ScopedSpan span(tracer, "destination_law");
+        compute_queue_rates_into(h, rng);
+    }
+    trace::ScopedSpan span(tracer, "queue_advance");
     return simulate_epoch_from_rates(rng);
 }
 
@@ -264,7 +289,10 @@ EpochStats FiniteSystem::step(const UpperLevelPolicy& policy, Rng& rng) {
     if (router_.active()) {
         return step_router(rng);
     }
-    const DecisionRule h = policy.decide(observed_distribution(rng), lambda_state(), rng);
+    DecisionRule h = [&] {
+        trace::ScopedSpan span(session_tracer(telemetry_), "policy_query");
+        return policy.decide(observed_distribution(rng), lambda_state(), rng);
+    }();
     return step_with_rule(h, rng);
 }
 

@@ -86,6 +86,11 @@ struct FiniteSystemConfig {
     /// rate speed_j · α, i.e. its service times are sample / speed_j. Empty
     /// (default) = homogeneous; otherwise one positive entry per queue.
     std::vector<double> server_speeds;
+    /// Optional telemetry session (non-owning; nullptr = fully disabled).
+    /// Every backend constructed from this config attaches to it: the
+    /// episode loop emits per-epoch series rows and the barrier phases emit
+    /// tracer spans. See support/telemetry.hpp for the determinism contract.
+    TelemetrySession* telemetry = nullptr;
 };
 
 /// Exact simulator of the finite (or infinite-client) queuing system.
@@ -127,6 +132,11 @@ public:
     /// Per-queue arrival rates computed for the *current* snapshot under `h`
     /// — exposed for tests validating eq. (5) and its aggregation.
     std::vector<double> compute_queue_rates(const DecisionRule& h, Rng& rng) const;
+
+protected:
+    /// Queue-length histogram summary of the current snapshot (empty/full
+    /// fractions, max occupied state) — the finite backend's epoch-row extras.
+    void append_epoch_telemetry(MetricsRow& row) override;
 
 private:
     /// Reusable per-step buffers; sizes are fixed at construction so the

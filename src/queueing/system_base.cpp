@@ -93,6 +93,60 @@ void SystemBase::reset_base(Rng& rng) {
     lambda_state_ = arrivals_.sample_initial(rng);
     t_ = 0;
     conditioned_.reset();
+    ++episodes_started_;
+}
+
+void SystemBase::set_telemetry(TelemetrySession* telemetry) {
+    telemetry_ = telemetry;
+    if (telemetry_ != nullptr && telemetry_->metrics_enabled()) {
+        MetricsRegistry& registry = telemetry_->registry();
+        metric_ids_.arrivals = registry.counter("arrivals_total");
+        metric_ids_.dropped = registry.counter("dropped_total");
+        metric_ids_.served = registry.counter("served_total");
+        metric_ids_.lambda = registry.gauge("lambda_gauge");
+        metric_ids_.qlen_mean = registry.gauge("qlen_mean_gauge");
+        metric_ids_.utilization = registry.gauge("utilization_gauge");
+    }
+    on_telemetry_attached();
+}
+
+void SystemBase::record_epoch_telemetry(int epoch, double lambda_epoch,
+                                        const EpochStats& stats) {
+    MetricsRegistry& registry = telemetry_->registry();
+    // Barrier-serial: fold the parallel phase's slot lanes in fixed order,
+    // then account this epoch on the serial lane.
+    registry.merge_slots();
+    const std::uint64_t arrivals = stats.accepted_packets + stats.dropped_packets;
+    registry.add(metric_ids_.arrivals, static_cast<double>(arrivals));
+    registry.add(metric_ids_.dropped, static_cast<double>(stats.dropped_packets));
+    registry.add(metric_ids_.served, static_cast<double>(stats.served_packets));
+    registry.set(metric_ids_.lambda, lambda_epoch);
+    registry.set(metric_ids_.qlen_mean, stats.mean_queue_length);
+    registry.set(metric_ids_.utilization, stats.server_utilization);
+
+    const std::size_t every = telemetry_->metrics_every();
+    if (every > 1 && static_cast<std::size_t>(epoch) % every != 0) {
+        return;
+    }
+    MetricsRow& row = telemetry_row_;
+    row.reset(telemetry_series_, epoch);
+    row.push_int("episode", static_cast<std::int64_t>(episodes_started_ > 0
+                                                          ? episodes_started_ - 1
+                                                          : 0));
+    row.push("sim_time", dt_ * (static_cast<double>(epoch) + 1.0));
+    row.push("lambda", lambda_epoch);
+    row.push_int("arrivals", static_cast<std::int64_t>(arrivals));
+    row.push_int("dropped", static_cast<std::int64_t>(stats.dropped_packets));
+    row.push_int("accepted", static_cast<std::int64_t>(stats.accepted_packets));
+    row.push_int("served", static_cast<std::int64_t>(stats.served_packets));
+    row.push("drops_per_queue", stats.drops_per_queue);
+    row.push("qlen_mean", stats.mean_queue_length);
+    row.push("utilization", stats.server_utilization);
+    row.push("sojourn_epoch_mean", stats.mean_sojourn);
+    row.push_int("completed_jobs", static_cast<std::int64_t>(stats.completed_jobs));
+    append_epoch_telemetry(row);
+    registry.append_to(row);
+    telemetry_->sink().write_row(row);
 }
 
 void SystemBase::condition_on(std::vector<std::size_t> lambda_states) {

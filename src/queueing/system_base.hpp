@@ -20,6 +20,7 @@
 
 #include "field/arrival_process.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 
 #include <cstdint>
 #include <optional>
@@ -101,6 +102,8 @@ private:
 /// and the episode loop. Derived systems implement one decision epoch.
 class SystemBase {
 public:
+    virtual ~SystemBase() = default;
+
     bool done() const noexcept { return t_ >= horizon_; }
     int time() const noexcept { return t_; }
     std::size_t lambda_state() const noexcept { return lambda_state_; }
@@ -117,6 +120,14 @@ public:
     double epoch_end_time() const noexcept { return dt_ * (static_cast<double>(t_) + 1.0); }
     std::size_t num_queues() const noexcept { return queues_.size(); }
     const std::vector<int>& queue_states() const noexcept { return queues_; }
+
+    /// Attaches a telemetry session (non-owning; nullptr detaches). The
+    /// episode loop then emits one `<backend>_epoch` row every
+    /// `metrics_every` epochs, and the derived simulators arm their barrier
+    /// spans on the session's tracer. Telemetry never consumes RNG draws:
+    /// trajectories are bit-identical with it on or off.
+    void set_telemetry(TelemetrySession* telemetry);
+    TelemetrySession* telemetry() const noexcept { return telemetry_; }
 
 protected:
     /// Validates and stores the shared epoch parameters; queues start empty.
@@ -138,16 +149,39 @@ protected:
     void advance_epoch(Rng& rng);
 
     /// The episode loop shared by every simulator: repeatedly invokes the
-    /// per-epoch kernel `step_fn` (returning EpochStats) until done.
+    /// per-epoch kernel `step_fn` (returning EpochStats) until done, and —
+    /// when a telemetry session is attached — emits the per-epoch series
+    /// row at the (serial) end of each epoch.
     template <class StepFn>
     EpisodeStats run_episode_loop(double discount, StepFn&& step_fn) {
         EpisodeAccumulator acc(discount,
                                static_cast<std::size_t>(horizon_ > t_ ? horizon_ - t_ : 0));
         while (!done()) {
-            acc.add(step_fn());
+            const int epoch = t_;
+            const bool emit = telemetry_ != nullptr && telemetry_->metrics_enabled();
+            // λ_t drives this epoch but the chain advances inside step_fn,
+            // so read it before stepping (only when a row may be emitted).
+            const double lambda_epoch = emit ? lambda_value() : 0.0;
+            const EpochStats epoch_stats = step_fn();
+            acc.add(epoch_stats);
+            if (emit) {
+                record_epoch_telemetry(epoch, lambda_epoch, epoch_stats);
+            }
         }
         return acc.finish();
     }
+
+    /// Derived hook: register backend metric ids / slot lanes on attach.
+    virtual void on_telemetry_attached() {}
+    /// Derived hook: append backend-specific fields (queue-length histogram
+    /// summary, sojourn percentiles, barrier profile) to the epoch row.
+    virtual void append_epoch_telemetry(MetricsRow& /*row*/) {}
+
+    /// Serial barrier-phase bookkeeping behind the episode loop: merges the
+    /// registry's slot lanes (fixed order), updates the base counters and
+    /// gauges, and writes the epoch row every `metrics_every` epochs.
+    /// `lambda_epoch` is λ_t as observed during the epoch (read pre-step).
+    void record_epoch_telemetry(int epoch, double lambda_epoch, const EpochStats& stats);
 
     ArrivalProcess arrivals_;
     double dt_ = 1.0;
@@ -156,6 +190,24 @@ protected:
     std::size_t lambda_state_ = 0;
     int t_ = 0;
     std::optional<std::vector<std::size_t>> conditioned_;
+
+    TelemetrySession* telemetry_ = nullptr;
+    const char* telemetry_series_ = "epoch"; ///< derived ctors override.
+
+private:
+    /// Registry ids of the base epoch metrics (valid while telemetry_ set).
+    struct BaseMetricIds {
+        MetricsRegistry::Id arrivals = 0;
+        MetricsRegistry::Id dropped = 0;
+        MetricsRegistry::Id served = 0;
+        MetricsRegistry::Id lambda = 0;
+        MetricsRegistry::Id qlen_mean = 0;
+        MetricsRegistry::Id utilization = 0;
+    };
+
+    BaseMetricIds metric_ids_;
+    MetricsRow telemetry_row_;
+    std::uint64_t episodes_started_ = 0; ///< row "episode" field.
 };
 
 } // namespace mflb

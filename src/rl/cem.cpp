@@ -29,7 +29,14 @@ CemResult cem_maximize(const std::function<double(std::span<const double>, Rng&)
     std::vector<Rng> eval_rngs(config.population, Rng(0));
     std::vector<std::size_t> order(config.population);
 
+    trace::Tracer* tracer = session_tracer(config.telemetry);
+    const bool emit_rows = config.telemetry != nullptr && config.telemetry->metrics_enabled();
+    MetricsRow row;
+
     for (std::size_t gen = 0; gen < config.generations; ++gen) {
+        trace::ScopedSpan gen_span(tracer, "cem_generation");
+        const trace::Stopwatch gen_watch;
+        double eval_seconds = 0.0;
         // Candidates and their evaluation streams are drawn serially (the
         // exact draw sequence of the legacy serial loop); only the objective
         // calls fan out, so scores are thread-count-invariant.
@@ -40,15 +47,19 @@ CemResult cem_maximize(const std::function<double(std::span<const double>, Rng&)
             }
             eval_rngs[c] = rng.split();
         }
-        if (config.threads == 1) {
-            for (std::size_t c = 0; c < config.population; ++c) {
-                scores[c] = objective(population[c], eval_rngs[c]);
+        {
+            const trace::Stopwatch eval_watch;
+            if (config.threads == 1) {
+                for (std::size_t c = 0; c < config.population; ++c) {
+                    scores[c] = objective(population[c], eval_rngs[c]);
+                }
+            } else {
+                parallel_for(
+                    config.population,
+                    [&](std::size_t c) { scores[c] = objective(population[c], eval_rngs[c]); },
+                    config.threads);
             }
-        } else {
-            parallel_for(
-                config.population,
-                [&](std::size_t c) { scores[c] = objective(population[c], eval_rngs[c]); },
-                config.threads);
+            eval_seconds = eval_watch.seconds();
         }
         std::iota(order.begin(), order.end(), std::size_t{0});
         std::sort(order.begin(), order.end(),
@@ -101,6 +112,17 @@ CemResult cem_maximize(const std::function<double(std::span<const double>, Rng&)
             std::accumulate(scores.begin(), scores.end(), 0.0) /
             static_cast<double>(config.population);
         stats.mean_std = dim > 0 ? std_sum / static_cast<double>(dim) : 0.0;
+        if (emit_rows) {
+            row.reset("cem_gen", static_cast<std::int64_t>(gen));
+            row.push("best_score", stats.best_score);
+            row.push("elite_mean_score", stats.elite_mean_score);
+            row.push("population_mean_score", stats.population_mean_score);
+            row.push("best_score_so_far", result.best_score);
+            row.push("mean_std", stats.mean_std);
+            row.push("eval_seconds", eval_seconds);
+            row.push("gen_seconds", gen_watch.seconds());
+            config.telemetry->sink().write_row(row);
+        }
         result.history.push_back(stats);
     }
     return result;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 
 #include <functional>
 #include <span>
@@ -31,6 +32,11 @@ struct CemConfig {
     /// serial path. Parallel evaluation is opt-in because it requires the
     /// objective to be thread-safe.
     std::size_t threads = 1;
+    /// Optional telemetry session (non-owning; nullptr = fully disabled).
+    /// Enables one "cem_gen" series row per generation (scores, noise,
+    /// evaluation wall-clock) plus a "cem_generation" tracer span. Never
+    /// consumes RNG draws or perturbs the optimization.
+    TelemetrySession* telemetry = nullptr;
 };
 
 /// One generation's diagnostics.

@@ -59,6 +59,7 @@ PpoTrainer::PpoTrainer(const EnvFactory& make_env, PpoConfig config, Rng rng)
         policy_.set_initial_log_std(config_.initial_log_std);
     }
     eval_rng_ = rng_.fork(kEvalStream);
+    tracer_ = session_tracer(config_.telemetry);
 
     // Rollout slots: slot k collects a fixed quota of ⌈B/K⌉ or ⌊B/K⌋ steps
     // on its own environment and fork(k) stream (slot 0 of a single-env
@@ -139,7 +140,11 @@ void PpoTrainer::collect_phase(PpoIterationStats& stats) {
         collect_slot(slots_[0], rng_);
     } else {
         parallel_for(
-            slots_.size(), [this](std::size_t k) { collect_slot(slots_[k], slots_[k].rng); },
+            slots_.size(),
+            [this](std::size_t k) {
+                trace::ScopedSpan span(tracer_, "rollout_slot");
+                collect_slot(slots_[k], slots_[k].rng);
+            },
             config_.train_threads);
     }
     double return_sum = 0.0;
@@ -359,10 +364,41 @@ void PpoTrainer::optimize_phase(PpoIterationStats& stats) {
     }
 }
 
+void PpoTrainer::record_iteration_telemetry(const PpoIterationStats& stats,
+                                            double collect_seconds, double update_seconds) {
+    TelemetrySession* session = config_.telemetry;
+    if (session == nullptr || !session->metrics_enabled()) {
+        return;
+    }
+    MetricsRow& row = telemetry_row_;
+    row.reset("ppo_iter", static_cast<std::int64_t>(history_.size()));
+    row.push_int("timesteps_total", static_cast<std::int64_t>(stats.timesteps_total));
+    row.push_int("episodes_completed", static_cast<std::int64_t>(stats.episodes_completed));
+    row.push("mean_episode_return", stats.mean_episode_return);
+    row.push("mean_kl", stats.mean_kl);
+    row.push("policy_loss", stats.policy_loss);
+    row.push("value_loss", stats.value_loss);
+    row.push("entropy", stats.entropy);
+    row.push("kl_coeff", stats.kl_coeff);
+    row.push("collect_seconds", collect_seconds);
+    row.push("update_seconds", update_seconds);
+    session->sink().write_row(row);
+}
+
 PpoIterationStats PpoTrainer::train_iteration() {
     PpoIterationStats stats;
-    collect_phase(stats);
-    optimize_phase(stats);
+    trace::Stopwatch watch;
+    {
+        trace::ScopedSpan span(tracer_, "ppo_collect");
+        collect_phase(stats);
+    }
+    const double collect_seconds = watch.seconds();
+    watch.restart();
+    {
+        trace::ScopedSpan span(tracer_, "ppo_update");
+        optimize_phase(stats);
+    }
+    record_iteration_telemetry(stats, collect_seconds, watch.seconds());
     history_.push_back(stats);
     return stats;
 }

@@ -23,6 +23,7 @@
 #include "rl/env.hpp"
 #include "rl/gaussian_policy.hpp"
 #include "rl/rollout_buffer.hpp"
+#include "support/telemetry.hpp"
 
 #include <functional>
 #include <memory>
@@ -63,6 +64,11 @@ struct PpoConfig {
     /// batched GEMM path (bit-identical results; kept as the benchmark
     /// baseline for bench_train_scale).
     bool batched_update = true;
+    /// Optional telemetry session (non-owning; nullptr = fully disabled).
+    /// Enables one "ppo_iter" series row per train_iteration (losses, KL,
+    /// entropy, returns, collect/update wall-clock) plus collect/update/slot
+    /// tracer spans. Never consumes RNG draws or perturbs training results.
+    TelemetrySession* telemetry = nullptr;
 };
 
 /// Per-iteration training diagnostics (one row of the Fig. 3 curve).
@@ -143,6 +149,10 @@ private:
     };
 
     void collect_slot(Slot& slot, Rng& rng) const;
+    /// Emits the iteration's "ppo_iter" series row (no-op when metrics are
+    /// disabled); the step index is the iteration count before this one.
+    void record_iteration_telemetry(const PpoIterationStats& stats, double collect_seconds,
+                                    double update_seconds);
     void optimize_batched(PpoIterationStats& stats);
     void optimize_scalar(PpoIterationStats& stats);
     void finish_optimize(PpoIterationStats& stats, double kl_sum, double policy_loss_sum,
@@ -163,6 +173,8 @@ private:
     RolloutBuffer buffer_; ///< merged batch, capacity train_batch_size.
     std::vector<PpoIterationStats> history_;
     std::size_t timesteps_total_ = 0;
+    trace::Tracer* tracer_ = nullptr; ///< null = spans disabled (one branch).
+    MetricsRow telemetry_row_;        ///< reused per iteration (allocation-free).
 
     // Constructor-sized update workspaces (rows = min(minibatch, batch)).
     std::vector<std::uint32_t> order_;

@@ -199,8 +199,21 @@ namespace {
 /// A piecewise-linear quantile curve: points (u, q) with u the cumulative
 /// fraction in [0, 1] and q the value, both non-decreasing. This is the
 /// continuous reading of a P² marker set (or of an exact small-sample
-/// buffer) that merge() mixes and inverts.
-using QuantileCurve = std::vector<std::pair<double, double>>;
+/// buffer) that merge() mixes and inverts. At most 5 points, held inline so
+/// merge() stays allocation-free (it runs on the telemetry barrier path
+/// every epoch).
+struct QuantileCurve {
+    std::pair<double, double> pts[5];
+    std::size_t n = 0;
+
+    void push_back(const std::pair<double, double>& p) noexcept { pts[n++] = p; }
+    std::size_t size() const noexcept { return n; }
+    const std::pair<double, double>* begin() const noexcept { return pts; }
+    const std::pair<double, double>* end() const noexcept { return pts + n; }
+    const std::pair<double, double>& operator[](std::size_t i) const noexcept { return pts[i]; }
+    const std::pair<double, double>& front() const noexcept { return pts[0]; }
+    const std::pair<double, double>& back() const noexcept { return pts[n - 1]; }
+};
 
 /// CDF of the curve at value x: the largest fraction u with Q(u) <= x,
 /// linearly interpolated inside segments, clamped to [0, 1] outside.
@@ -285,24 +298,25 @@ void P2Quantile::merge(const P2Quantile& other) {
     // Invert the mixture by scanning its breakpoints (the union of both
     // sides' marker heights): between consecutive breakpoints the mixture is
     // linear, so one interpolation per target fraction is exact.
-    std::vector<double> knots;
+    double knots[10];
+    std::size_t num_knots = 0;
     for (const auto& [u, q] : a) {
-        knots.push_back(q);
+        knots[num_knots++] = q;
     }
     for (const auto& [u, q] : b) {
-        knots.push_back(q);
+        knots[num_knots++] = q;
     }
-    std::sort(knots.begin(), knots.end());
+    std::sort(knots, knots + num_knots);
     const auto invert = [&](double f) {
         if (f <= 0.0) {
-            return knots.front();
+            return knots[0];
         }
         if (f >= 1.0) {
-            return knots.back();
+            return knots[num_knots - 1];
         }
-        double x0 = knots.front();
+        double x0 = knots[0];
         double f0 = mixture_cdf(x0);
-        for (std::size_t i = 1; i < knots.size(); ++i) {
+        for (std::size_t i = 1; i < num_knots; ++i) {
             const double x1 = knots[i];
             const double f1 = mixture_cdf(x1);
             if (f1 >= f) {
@@ -311,7 +325,7 @@ void P2Quantile::merge(const P2Quantile& other) {
             x0 = x1;
             f0 = f1;
         }
-        return knots.back();
+        return knots[num_knots - 1];
     };
 
     const std::size_t n = count_ + other.count_;

@@ -1,5 +1,7 @@
 #include "support/thread_pool.hpp"
 
+#include "support/trace.hpp"
+
 #include <atomic>
 #include <exception>
 
@@ -62,7 +64,16 @@ void ThreadPool::worker_loop() {
             task = std::move(tasks_.front());
             tasks_.pop();
         }
-        task();
+        // The ambient tracer (installed by the owning TelemetrySession) spans
+        // each task so pool occupancy shows up on the chrome://tracing
+        // timeline; with no tracer installed this is one predicted branch.
+        if (trace::Tracer* tracer = trace::active_tracer(); tracer != nullptr) {
+            const std::uint64_t begin = trace::now_ns();
+            task();
+            tracer->record("pool_task", begin, trace::now_ns());
+        } else {
+            task();
+        }
         {
             std::lock_guard lock(mutex_);
             --in_flight_;

@@ -1,0 +1,175 @@
+#include "support/trace.hpp"
+
+#include "support/logging.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mflb::trace {
+
+namespace {
+
+std::uint64_t steady_now_raw() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Process-wide clock origin so every tracer/stopwatch shares a timeline.
+std::uint64_t clock_origin() noexcept {
+    static const std::uint64_t origin = steady_now_raw();
+    return origin;
+}
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+std::atomic<Tracer*> g_active_tracer{nullptr};
+
+/// Per-thread buffer cache, keyed by the owning tracer's process-unique id
+/// (never reused, so a freed-and-reallocated Tracer cannot alias a stale
+/// cache entry).
+struct SlotCache {
+    std::uint64_t tracer_id = 0;
+    void* buffer = nullptr;
+    bool overflowed = false;
+};
+thread_local SlotCache t_slot_cache;
+
+/// Appends `name` JSON-escaped (quotes, backslashes, control chars).
+void append_escaped(std::string& out, const char* name) {
+    for (const char* p = name; *p != '\0'; ++p) {
+        const char c = *p;
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+            out.append(buf);
+        } else {
+            out.push_back(c);
+        }
+    }
+}
+
+} // namespace
+
+std::uint64_t now_ns() noexcept {
+    // Capture the origin before reading the clock: with unspecified operand
+    // order, `steady_now_raw() - clock_origin()` could read the clock first
+    // on the origin-initializing call and wrap negative.
+    const std::uint64_t origin = clock_origin();
+    return steady_now_raw() - origin;
+}
+
+Tracer::Tracer(std::size_t max_threads, std::size_t events_per_thread)
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      buffers_(max_threads == 0 ? 1 : max_threads) {
+    for (ThreadBuffer& buf : buffers_) {
+        buf.events.reserve(events_per_thread == 0 ? 1 : events_per_thread);
+    }
+}
+
+const char* Tracer::intern(std::string_view name) {
+    std::lock_guard lock(intern_mutex_);
+    for (const std::string& existing : interned_) {
+        if (existing == name) {
+            return existing.c_str();
+        }
+    }
+    interned_.emplace_back(name);
+    return interned_.back().c_str();
+}
+
+Tracer::ThreadBuffer* Tracer::local_buffer() noexcept {
+    SlotCache& cache = t_slot_cache;
+    if (cache.tracer_id != id_) {
+        const std::size_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+        cache.tracer_id = id_;
+        cache.overflowed = slot >= buffers_.size();
+        cache.buffer = cache.overflowed ? nullptr : &buffers_[slot];
+    }
+    return static_cast<ThreadBuffer*>(cache.buffer);
+}
+
+void Tracer::record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) noexcept {
+    ThreadBuffer* buf = local_buffer();
+    if (buf == nullptr || buf->events.size() == buf->events.capacity()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buf->events.push_back(Event{name, begin_ns, end_ns});
+}
+
+std::size_t Tracer::threads_used() const noexcept {
+    const std::size_t claimed = next_slot_.load(std::memory_order_relaxed);
+    return claimed < buffers_.size() ? claimed : buffers_.size();
+}
+
+std::size_t Tracer::event_count() const noexcept {
+    std::size_t total = 0;
+    for (const ThreadBuffer& buf : buffers_) {
+        total += buf.events.size();
+    }
+    return total;
+}
+
+const std::vector<Tracer::Event>& Tracer::thread_events(std::size_t tid) const {
+    return buffers_.at(tid).events;
+}
+
+void Tracer::to_json(std::string& out) const {
+    out.clear();
+    out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    bool first = true;
+    char buf[160];
+    for (std::size_t tid = 0; tid < buffers_.size(); ++tid) {
+        for (const Event& event : buffers_[tid].events) {
+            if (!first) {
+                out.push_back(',');
+            }
+            first = false;
+            out.append("{\"name\":\"");
+            append_escaped(out, event.name);
+            // Timestamps are microseconds in the trace event format;
+            // fractional values keep the ns resolution.
+            std::snprintf(buf, sizeof(buf),
+                          "\",\"cat\":\"mflb\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                          "\"pid\":1,\"tid\":%zu}",
+                          static_cast<double>(event.begin_ns) * 1e-3,
+                          static_cast<double>(event.end_ns - event.begin_ns) * 1e-3, tid);
+            out.append(buf);
+        }
+    }
+    out.append("]}");
+}
+
+bool Tracer::write(const std::string& path) const {
+    std::string json;
+    to_json(json);
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        log_error("trace: cannot open ", path, " for writing");
+        return false;
+    }
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+    const bool closed = std::fclose(file) == 0;
+    const bool ok = written == json.size() && closed;
+    if (!ok) {
+        log_error("trace: short write to ", path);
+    }
+    if (dropped() > 0) {
+        log_warn("trace: ", dropped(), " event(s) dropped (buffers full); ", path,
+                 " is truncated");
+    }
+    return ok;
+}
+
+void set_active_tracer(Tracer* tracer) noexcept {
+    g_active_tracer.store(tracer, std::memory_order_release);
+}
+
+Tracer* active_tracer() noexcept { return g_active_tracer.load(std::memory_order_acquire); }
+
+} // namespace mflb::trace

@@ -15,10 +15,13 @@
 #include "rl/gaussian_policy.hpp"
 #include "rl/ppo.hpp"
 #include "support/counting_allocator.inc"
+#include "support/telemetry.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
 
 namespace mflb {
 namespace {
@@ -195,6 +198,54 @@ TEST(HotPathAllocations, ShardedDesStepWithNeuralPolicy) {
         (void)system.step(policy, rng);
     }
     EXPECT_EQ(counting_allocator::count() - before, 0u);
+}
+
+TEST(HotPathAllocations, ShardedEpisodeWithTelemetryAddsNoAllocations) {
+    // The sharded epoch loop with a live telemetry session: per-shard counter
+    // lanes, the barrier merge, row formatting into the reused line buffer,
+    // stdio emission, and tracer spans must all stay off the heap once the
+    // warmup episodes have grown every buffer to its high-water mark. The
+    // episode accumulator itself allocates per episode, so the contract is
+    // pinned as a difference: a telemetry-on episode costs exactly as many
+    // allocations as a telemetry-off one.
+    const std::string metrics_path = ::testing::TempDir() + "mflb_alloc_metrics.jsonl";
+    const std::string trace_path = ::testing::TempDir() + "mflb_alloc_trace.json";
+    TelemetryConfig telemetry_config;
+    telemetry_config.metrics_out = metrics_path;
+    telemetry_config.trace_out = trace_path;
+    {
+        TelemetrySession session(telemetry_config);
+        FiniteSystemConfig config;
+        config.num_queues = 48;
+        config.num_clients = 2400;
+        config.dt = 2.0;
+        config.horizon = 64;
+        config.shards = 4;
+        config.threads = 1;
+        config.track_sojourn = true;
+
+        const auto episode_allocations = [&](TelemetrySession* attached) {
+            FiniteSystemConfig run_config = config;
+            run_config.telemetry = attached;
+            ShardedDesSystem system(run_config);
+            const FixedRulePolicy policy = make_jsq_policy(system.tuple_space());
+            Rng rng(29);
+            for (int warmup = 0; warmup < 2; ++warmup) {
+                system.reset(rng);
+                (void)system.run_episode(policy, rng);
+            }
+            system.reset(rng);
+            const std::size_t before = counting_allocator::count();
+            (void)system.run_episode(policy, rng);
+            return counting_allocator::count() - before;
+        };
+        const std::size_t off = episode_allocations(nullptr);
+        const std::size_t on = episode_allocations(&session);
+        EXPECT_EQ(on, off);
+        EXPECT_EQ(session.sink().rows_written(), 3u * 64u);
+    }
+    std::remove(metrics_path.c_str());
+    std::remove(trace_path.c_str());
 }
 
 TEST(HotPathAllocations, EventQueueOperationsAfterConstruction) {
