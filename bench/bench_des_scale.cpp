@@ -60,6 +60,11 @@ FiniteSystemConfig scale_config(std::size_t m, double lambda_total, double dt, i
 struct EpisodeRun {
     double seconds = 0.0;
     double drops_per_queue = 0.0;
+    std::uint64_t events = 0; ///< arrivals (accepted + dropped) + departures.
+
+    double events_per_second() const {
+        return seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+    }
 };
 
 template <class System>
@@ -69,11 +74,14 @@ EpisodeRun run_one_episode(const FiniteSystemConfig& config, const DecisionRule&
     Rng rng(seed);
     system.reset(rng);
     const trace::Stopwatch watch;
-    double drops = 0.0;
+    EpisodeRun out;
     while (!system.done()) {
-        drops += system.step_with_rule(rule, rng).drops_per_queue;
+        const EpochStats stats = system.step_with_rule(rule, rng);
+        out.drops_per_queue += stats.drops_per_queue;
+        out.events += stats.accepted_packets + stats.dropped_packets + stats.served_packets;
     }
-    return {watch.seconds(), drops};
+    out.seconds = watch.seconds();
+    return out;
 }
 
 /// Sharded episode with the backend's own barrier accounting attached: how
@@ -97,12 +105,14 @@ ShardedRun run_sharded_episode(const FiniteSystemConfig& config, const DecisionR
     Rng rng(seed);
     system.reset(rng);
     const trace::Stopwatch watch;
-    double drops = 0.0;
-    while (!system.done()) {
-        drops += system.step_with_rule(rule, rng).drops_per_queue;
-    }
     ShardedRun out;
-    out.episode = {watch.seconds(), drops};
+    while (!system.done()) {
+        const EpochStats stats = system.step_with_rule(rule, rng);
+        out.episode.drops_per_queue += stats.drops_per_queue;
+        out.episode.events +=
+            stats.accepted_packets + stats.dropped_packets + stats.served_packets;
+    }
+    out.episode.seconds = watch.seconds();
     out.serial_s = system.barrier_profile().serial_seconds;
     out.parallel_s = system.barrier_profile().parallel_seconds;
     return out;
@@ -177,6 +187,10 @@ int main(int argc, char** argv) {
         const EpisodeRun des = run_one_episode<DesSystem>(config, jsq, seed);
         std::snprintf(label, sizeof(label), "des_episode_M=%zu", m);
         timings.record(label, des.seconds);
+        // Throughput rows (events/sec; "event_rate" rows are bigger-is-better
+        // in check-bench-regression.sh): the quantity the calendar FEL buys.
+        std::snprintf(label, sizeof(label), "event_rate_des_M=%zu", m);
+        timings.record(label, des.events_per_second());
         if (des.seconds <= budget) {
             max_m_des = m;
         }
@@ -207,6 +221,31 @@ int main(int argc, char** argv) {
                 m_ratio >= 10.0 ? "(>= 10x: DES scale goal met)" : "");
     std::printf("speedup at M=10^5: %s%.1fx\n\n", speedup_at_1e5_is_bound ? ">= " : "",
                 speedup_at_1e5);
+
+    // --- 1b. FEL A/B: binary-heap vs calendar future event list -----------
+    {
+        // Same workload, same seed, results bit-identical by the FEL
+        // determinism contract — only the event-engine data structure
+        // changes. M = 10^5 pending events is deep enough that the heap's
+        // O(log n) sift shows; the "speedup" row is bigger-is-better in CI.
+        const std::size_t m = 100000;
+        FiniteSystemConfig config =
+            scale_config(m, lambda_total, dt, horizon, ClientModel::InfiniteClients, 10 * m);
+        config.fel = FelKind::Heap;
+        const EpisodeRun heap = run_one_episode<DesSystem>(config, jsq, seed);
+        timings.record("des_episode_fel=heap_M=100000", heap.seconds);
+        config.fel = FelKind::Calendar;
+        const EpisodeRun calendar = run_one_episode<DesSystem>(config, jsq, seed);
+        timings.record("des_episode_fel=calendar_M=100000", calendar.seconds);
+        const double fel_speedup =
+            calendar.seconds > 0.0 ? heap.seconds / calendar.seconds : 0.0;
+        timings.record("fel_speedup_M=100000", fel_speedup);
+        std::printf("FEL A/B at M=10^5: heap %.3f s, calendar %.3f s (%.2fx), "
+                    "drops/queue %s\n\n",
+                    heap.seconds, calendar.seconds, fel_speedup,
+                    heap.drops_per_queue == calendar.drops_per_queue ? "bit-identical"
+                                                                     : "MISMATCH");
+    }
 
     // --- 2. N-sweep: exact finite-N client aggregation on DES -------------
     {
@@ -325,6 +364,7 @@ int main(int argc, char** argv) {
                                                  ClientModel::InfiniteClients, 0);
         const ShardedRun run = run_sharded_episode(config, jsq, seed);
         timings.record("sharded_episode_M=10000000", run.episode.seconds);
+        timings.record("event_rate_sharded_M=10000000", run.episode.events_per_second());
         std::printf("sharded episode at M=10^7 (K=%zu default shards, %d epochs): %.3f s "
                     "(serial fraction %.3f), drops/queue %.6f\n",
                     ShardedDesSystem::kDefaultShards, short_horizon, run.episode.seconds,

@@ -7,6 +7,7 @@ written by --metrics-out and chrome://tracing span files as written by
 
   scripts/validate-telemetry.py \
       --metrics eval.jsonl --expect-series sharded_epoch --min-rows 10 \
+      --expect-field fel_schedules \
       --trace eval_trace.json --expect-span policy_query
 
 Exits non-zero listing every violation. JSONL rows must be one JSON object
@@ -26,7 +27,7 @@ def fail(errors, path, message):
     errors.append(f"{path}: {message}")
 
 
-def validate_jsonl(path, errors, seen_series):
+def validate_jsonl(path, errors, seen_series, seen_fields):
     rows = 0
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, start=1):
@@ -46,6 +47,7 @@ def validate_jsonl(path, errors, seen_series):
                 fail(errors, path, f"line {lineno}: missing string 'series'")
             else:
                 seen_series.add(series)
+            seen_fields.update(k for k in row if k not in ("series", "step"))
             if not isinstance(row.get("step"), int):
                 fail(errors, path, f"line {lineno}: missing integer 'step'")
             for key, value in row.items():
@@ -58,7 +60,7 @@ def validate_jsonl(path, errors, seen_series):
     return rows
 
 
-def validate_csv(path, errors, seen_series):
+def validate_csv(path, errors, seen_series, seen_fields):
     rows = 0
     with open(path, encoding="utf-8") as f:
         header = f.readline().rstrip("\n")
@@ -66,6 +68,7 @@ def validate_csv(path, errors, seen_series):
         if columns[:2] != ["series", "step"]:
             fail(errors, path, f"header must start with 'series,step', got '{header}'")
             return 0
+        seen_fields.update(columns[2:])
         for lineno, line in enumerate(f, start=2):
             line = line.rstrip("\n")
             if not line:
@@ -130,6 +133,10 @@ def main():
                         help="minimum rows required in every metrics file")
     parser.add_argument("--expect-series", action="append", default=[],
                         help="series name that must appear across the metrics files")
+    parser.add_argument("--expect-field", action="append", default=[],
+                        help="metrics field (column) that must appear across the "
+                             "metrics files, e.g. a registered counter like "
+                             "fel_schedules")
     parser.add_argument("--expect-span", action="append", default=[],
                         help="span name that must appear across the trace files")
     args = parser.parse_args()
@@ -137,11 +144,11 @@ def main():
         parser.error("nothing to validate: pass --metrics and/or --trace")
 
     errors = []
-    seen_series, seen_spans = set(), set()
+    seen_series, seen_spans, seen_fields = set(), set(), set()
     for path in args.metrics:
         validate = validate_csv if path.endswith(".csv") else validate_jsonl
         try:
-            rows = validate(path, errors, seen_series)
+            rows = validate(path, errors, seen_series, seen_fields)
         except OSError as e:
             fail(errors, path, f"cannot read ({e})")
             continue
@@ -155,6 +162,10 @@ def main():
         if series not in seen_series:
             errors.append(f"expected series '{series}' not found "
                           f"(saw {sorted(seen_series)})")
+    for field in args.expect_field:
+        if field not in seen_fields:
+            errors.append(f"expected metrics field '{field}' not found "
+                          f"(saw {sorted(seen_fields)})")
     for span in args.expect_span:
         if span not in seen_spans:
             errors.append(f"expected span '{span}' not found "

@@ -13,7 +13,9 @@ DesSystem::DesSystem(FiniteSystemConfig config)
       router_(config_.router, config_.num_queues,
               static_cast<std::size_t>(config_.queue.num_states()), config_.dt),
       service_(config_.service, config_.queue.service_rate),
-      fel_(config_.num_queues + 1), arrival_slot_(config_.num_queues) {
+      fel_(config_.fel, config_.num_queues + 1,
+           fel_rate_hint(config_, config_.num_queues)),
+      arrival_slot_(config_.num_queues) {
     if (config_.num_clients == 0 && config_.client_model != ClientModel::InfiniteClients) {
         throw std::invalid_argument("DesSystem: need at least one client");
     }
@@ -70,6 +72,17 @@ DesSystem::DesSystem(FiniteSystemConfig config)
     }
 }
 
+void DesSystem::on_telemetry_attached() {
+    fel_registry_ = nullptr;
+    if (telemetry_ != nullptr && telemetry_->metrics_enabled()) {
+        MetricsRegistry& registry = telemetry_->registry();
+        fel_schedules_id_ = registry.counter("fel_schedules");
+        fel_pops_id_ = registry.counter("fel_pops");
+        fel_scans_id_ = registry.counter("fel_bucket_scans");
+        fel_registry_ = &registry;
+    }
+}
+
 void DesSystem::append_epoch_telemetry(MetricsRow& row) {
     // state_counts_ is maintained incrementally, so the queue-length
     // histogram summary is O(|Z|) regardless of M.
@@ -85,9 +98,9 @@ void DesSystem::append_epoch_telemetry(MetricsRow& row) {
     row.push("qlen_full_frac", static_cast<double>(state_counts_[num_z - 1]) * inv_m);
     row.push_int("qlen_max", max_state);
     if (config_.track_sojourn) {
-        row.push("sojourn_p50", p50_.value());
-        row.push("sojourn_p95", p95_.value());
-        row.push("sojourn_p99", p99_.value());
+        row.push("sojourn_p50", sojourn_.p50());
+        row.push("sojourn_p95", sojourn_.p95());
+        row.push("sojourn_p99", sojourn_.p99());
     }
 }
 
@@ -131,9 +144,7 @@ void DesSystem::reset(Rng& rng) {
             }
             jobs_.push_back(std::move(stamps));
         }
-        p50_ = P2Quantile(0.5);
-        p95_ = P2Quantile(0.95);
-        p99_ = P2Quantile(0.99);
+        sojourn_.reset();
     }
 }
 
@@ -192,6 +203,9 @@ void DesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
         total_weight_ = running;
     }
 
+    // The epoch barrier is the one place the calendar FEL may resize or
+    // re-tune its day array — the event loop itself stays allocation-free.
+    fel_.retune();
     // The pending next-arrival (drawn under the previous epoch's rate and
     // routing) is stale; memorylessness makes cancel-and-redraw exact. This
     // is the FEL reschedule path, exercised once per epoch.
@@ -213,6 +227,7 @@ void DesSystem::begin_epoch_router(Rng& rng) {
         }
         total_weight_ = running;
     }
+    fel_.retune();
     fel_.schedule(arrival_slot_, cursor_ + rng.exponential(arrival_rate_));
 }
 
@@ -273,7 +288,9 @@ void DesSystem::handle_arrival(const DecisionRule* h, double t, Rng& rng, EpochS
     } else {
         ++stats.dropped_packets;
     }
-    fel_.schedule(arrival_slot_, t + rng.exponential(arrival_rate_));
+    // The arrival slot is at the FEL front (it was just peeked as the
+    // minimum): rescheduling in place is one sift instead of pop + insert.
+    fel_.pop_and_reschedule(arrival_slot_, t + rng.exponential(arrival_rate_));
 }
 
 void DesSystem::handle_departure(std::size_t j, double t, Rng& rng, EpochStats& stats) {
@@ -288,13 +305,14 @@ void DesSystem::handle_departure(std::size_t j, double t, Rng& rng, EpochStats& 
         const double sojourn = jobs_[j].pop(t);
         stats.mean_sojourn += sojourn; // running sum; divided at epoch end.
         ++stats.completed_jobs;
-        p50_.add(sojourn);
-        p95_.add(sojourn);
-        p99_.add(sojourn);
+        sojourn_.record(sojourn);
     }
     if (queues_[j] > 0) {
-        fel_.schedule(j, t + service_time(j, rng));
+        // The departure event is still at the FEL front; move it to the next
+        // completion in place instead of pop + insert.
+        fel_.pop_and_reschedule(j, t + service_time(j, rng));
     } else {
+        fel_.pop();
         --busy_queues_;
     }
 }
@@ -305,8 +323,16 @@ EpochStats DesSystem::run_events(const DecisionRule* h, Rng& rng) {
     EpochStats stats;
     job_area_ = 0.0;
     busy_area_ = 0.0;
-    while (!fel_.empty() && fel_.peek().time <= epoch_end) {
-        const EventQueue::Event event = fel_.pop();
+    // Peek-based loop: the handlers relocate (or pop) the front event
+    // themselves, so the dominant arrival/still-busy-departure paths pay one
+    // in-place reschedule instead of a pop followed by a fresh insert. The
+    // pop *sequence* is unchanged — it is the (time, id) sorted order of the
+    // pending-event multiset, independent of how entries move internally.
+    while (!fel_.empty()) {
+        const FutureEventList::Event event = fel_.peek();
+        if (event.time > epoch_end) {
+            break;
+        }
         advance_areas_to(event.time);
         if (event.id == arrival_slot_) {
             handle_arrival(h, event.time, rng, stats);
@@ -315,6 +341,17 @@ EpochStats DesSystem::run_events(const DecisionRule* h, Rng& rng) {
         }
     }
     advance_areas_to(epoch_end);
+
+    if (fel_registry_ != nullptr) {
+        const FutureEventList::Stats s = fel_.stats();
+        fel_registry_->add(fel_schedules_id_,
+                           static_cast<double>(s.schedules - fel_published_.schedules));
+        fel_registry_->add(fel_pops_id_,
+                           static_cast<double>(s.pops - fel_published_.pops));
+        fel_registry_->add(fel_scans_id_,
+                           static_cast<double>(s.bucket_scans - fel_published_.bucket_scans));
+        fel_published_ = s;
+    }
 
     const auto m = static_cast<double>(queues_.size());
     const double m_dt = m * config_.dt;
@@ -371,9 +408,9 @@ DesEpisodeStats DesSystem::run_episode(const UpperLevelPolicy& policy, Rng& rng)
     DesEpisodeStats stats;
     static_cast<EpisodeStats&>(stats) =
         run_episode_loop(config_.discount, [&] { return step(policy, rng); });
-    stats.sojourn_p50 = p50_.value();
-    stats.sojourn_p95 = p95_.value();
-    stats.sojourn_p99 = p99_.value();
+    stats.sojourn_p50 = sojourn_.p50();
+    stats.sojourn_p95 = sojourn_.p95();
+    stats.sojourn_p99 = sojourn_.p99();
     return stats;
 }
 
@@ -381,9 +418,9 @@ DesEpisodeStats DesSystem::run_episode(Rng& rng) {
     DesEpisodeStats stats;
     static_cast<EpisodeStats&>(stats) =
         run_episode_loop(config_.discount, [&] { return step_router(rng); });
-    stats.sojourn_p50 = p50_.value();
-    stats.sojourn_p95 = p95_.value();
-    stats.sojourn_p99 = p99_.value();
+    stats.sojourn_p50 = sojourn_.p50();
+    stats.sojourn_p95 = sojourn_.p95();
+    stats.sojourn_p99 = sojourn_.p99();
     return stats;
 }
 

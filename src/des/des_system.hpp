@@ -43,7 +43,7 @@
 /// thread-safe; the Monte Carlo harness gives each replication its own.
 #pragma once
 
-#include "des/event_queue.hpp"
+#include "des/fel.hpp"
 #include "queueing/finite_system.hpp"
 #include "queueing/sojourn.hpp"
 #include "queueing/system_base.hpp"
@@ -72,7 +72,7 @@ public:
 
     const FiniteSystemConfig& config() const noexcept { return config_; }
     const TupleSpace& tuple_space() const noexcept { return space_; }
-    const EventQueue& event_queue() const noexcept { return fel_; }
+    const FutureEventList& event_queue() const noexcept { return fel_; }
 
     /// Draws initial queue states i.i.d. from ν_0 and samples λ_0 (same RNG
     /// draw order as `FiniteSystem::reset`), then seeds the FEL with the
@@ -107,11 +107,14 @@ public:
     DesEpisodeStats run_episode(Rng& rng);
 
     /// Streaming sojourn percentile estimates so far (track_sojourn only).
-    double sojourn_p50() const noexcept { return p50_.value(); }
-    double sojourn_p95() const noexcept { return p95_.value(); }
-    double sojourn_p99() const noexcept { return p99_.value(); }
+    double sojourn_p50() const noexcept { return sojourn_.p50(); }
+    double sojourn_p95() const noexcept { return sojourn_.p95(); }
+    double sojourn_p99() const noexcept { return sojourn_.p99(); }
 
 protected:
+    /// Registers the FEL operation counters (fel_schedules / fel_pops /
+    /// fel_bucket_scans) with the session's metrics registry.
+    void on_telemetry_attached() override;
     /// Queue-length histogram summary from the incremental state counts plus
     /// the streaming sojourn percentiles (track_sojourn only).
     void append_epoch_telemetry(MetricsRow& row) override;
@@ -161,7 +164,7 @@ private:
     TupleSpace space_;
     EpochRouter router_;
     ServiceDistribution service_;
-    EventQueue fel_;
+    FutureEventList fel_;      ///< heap or calendar per config_.fel.
     std::size_t arrival_slot_; ///< = num_queues; slots below are departures.
 
     // Incremental system state (O(1) per event).
@@ -195,9 +198,15 @@ private:
 
     // Per-job sojourn tracking (track_sojourn only).
     std::vector<JobTimestamps> jobs_;
-    P2Quantile p50_{0.5};
-    P2Quantile p95_{0.95};
-    P2Quantile p99_{0.99};
+    SojournRecorder sojourn_;
+
+    // FEL telemetry: per-epoch deltas of the facade's lifetime counters,
+    // published into the registry's serial lane at each epoch end.
+    MetricsRegistry* fel_registry_ = nullptr;
+    MetricsRegistry::Id fel_schedules_id_ = 0;
+    MetricsRegistry::Id fel_pops_id_ = 0;
+    MetricsRegistry::Id fel_scans_id_ = 0;
+    FutureEventList::Stats fel_published_{};
 };
 
 } // namespace mflb

@@ -44,6 +44,17 @@ bool EventQueue::cancel(std::size_t id) noexcept {
     return true;
 }
 
+void EventQueue::pop_and_reschedule(std::size_t id, double time) {
+    if (!contains(id)) {
+        throw std::logic_error(
+            "EventQueue::pop_and_reschedule: slot has no pending event");
+    }
+    const std::size_t i = pos_[id];
+    heap_[i].time = time;
+    sift_up(i); // no-op at the root (the intended call site).
+    sift_down(pos_[id]);
+}
+
 EventQueue::Event EventQueue::peek() const {
     if (empty()) {
         throw std::logic_error("EventQueue::peek: queue is empty");

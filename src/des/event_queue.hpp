@@ -47,6 +47,14 @@ public:
     /// Removes the pending event of slot `id`; returns false if none.
     bool cancel(std::size_t id) noexcept;
 
+    /// Reschedules the *pending* slot `id` at `time` — the arrival slot's
+    /// pop-then-reschedule pattern collapsed into a single sift. When `id`
+    /// is at the root (the common case: it was just peeked as the minimum)
+    /// this is one sift-down from the root instead of remove_at(0) plus a
+    /// fresh insert. Throws std::logic_error if the slot has no pending
+    /// event.
+    void pop_and_reschedule(std::size_t id, double time);
+
     /// Earliest pending event; throws std::logic_error when empty.
     Event peek() const;
     /// Removes and returns the earliest pending event.

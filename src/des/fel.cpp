@@ -1,0 +1,43 @@
+#include "des/fel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mflb {
+
+std::string_view fel_kind_name(FelKind kind) noexcept {
+    switch (kind) {
+    case FelKind::Heap:
+        return "heap";
+    case FelKind::Calendar:
+        break;
+    }
+    return "calendar";
+}
+
+FelKind parse_fel_kind(std::string_view name) {
+    if (name == "heap") {
+        return FelKind::Heap;
+    }
+    if (name == "calendar") {
+        return FelKind::Calendar;
+    }
+    throw std::invalid_argument("unknown FEL kind '" + std::string(name) +
+                                "'; expected 'heap' or 'calendar'");
+}
+
+double fel_rate_hint(const FiniteSystemConfig& config, std::size_t num_queues) {
+    double peak_lambda = 0.0;
+    for (std::size_t s = 0; s < config.arrivals.num_states(); ++s) {
+        peak_lambda = std::max(peak_lambda, config.arrivals.level(s));
+    }
+    const auto m = static_cast<double>(num_queues);
+    const double arrivals = m * peak_lambda;
+    // Departure flux can exceed neither the accepted-arrival flux nor the
+    // aggregate service capacity (retune() absorbs any residual mismatch).
+    const double departures = std::min(arrivals, m * config.queue.service_rate);
+    return arrivals + departures;
+}
+
+} // namespace mflb

@@ -86,7 +86,9 @@ ShardedDesSystem::ShardedDesSystem(FiniteSystemConfig config)
     }
     shards_.reserve(k);
     for (std::size_t s = 0; s < k; ++s) {
-        shards_.emplace_back(shard_begin_[s + 1] - shard_begin_[s], num_z);
+        const std::size_t n_local = shard_begin_[s + 1] - shard_begin_[s];
+        shards_.emplace_back(config_.fel, n_local, fel_rate_hint(config_, n_local),
+                             num_z);
         shards_.back().begin = shard_begin_[s];
         shards_.back().end = shard_begin_[s + 1];
     }
@@ -147,6 +149,9 @@ void ShardedDesSystem::on_telemetry_attached() {
         shard_events_id_ = registry.counter("des_events_total");
         barrier_serial_id_ = registry.gauge("barrier_serial_seconds");
         barrier_parallel_id_ = registry.gauge("barrier_parallel_seconds");
+        fel_schedules_id_ = registry.counter("fel_schedules");
+        fel_pops_id_ = registry.counter("fel_pops");
+        fel_scans_id_ = registry.counter("fel_bucket_scans");
         shard_registry_ = &registry;
     }
 }
@@ -211,9 +216,7 @@ void ShardedDesSystem::reset(Rng& rng) {
         shard.busy_queues = 0;
         shard.cursor = 0.0;
         shard.rr_next = 0;
-        shard.p50 = P2Quantile(0.5);
-        shard.p95 = P2Quantile(0.95);
-        shard.p99 = P2Quantile(0.99);
+        shard.sojourn.reset();
         for (std::size_t j = shard.begin; j < shard.end; ++j) {
             const int z = queues_[j];
             ++shard.state_counts[static_cast<std::size_t>(z)];
@@ -393,8 +396,10 @@ void ShardedDesSystem::handle_arrival(Shard& shard, double t) {
     } else {
         ++shard.stats.dropped_packets;
     }
-    shard.fel.schedule(shard.local_arrival_slot(),
-                       t + shard.rng.exponential(shard.arrival_rate));
+    // The arrival slot is at the shard FEL's front (it was just peeked as
+    // the minimum): reschedule in place instead of pop + insert.
+    shard.fel.pop_and_reschedule(shard.local_arrival_slot(),
+                                 t + shard.rng.exponential(shard.arrival_rate));
 }
 
 void ShardedDesSystem::handle_departure(Shard& shard, std::size_t local_id, double t) {
@@ -409,13 +414,14 @@ void ShardedDesSystem::handle_departure(Shard& shard, std::size_t local_id, doub
         const double sojourn = jobs_[j].pop(t);
         shard.stats.mean_sojourn += sojourn; // running sum; divided in reduce.
         ++shard.stats.completed_jobs;
-        shard.p50.add(sojourn);
-        shard.p95.add(sojourn);
-        shard.p99.add(sojourn);
+        shard.sojourn.record(sojourn);
     }
     if (queues_[j] > 0) {
-        shard.fel.schedule(local_id, t + service_time(j, shard.rng));
+        // The departure event is still at the FEL front; move it to the next
+        // completion in place instead of pop + insert.
+        shard.fel.pop_and_reschedule(local_id, t + service_time(j, shard.rng));
     } else {
+        shard.fel.pop();
         --shard.busy_queues;
     }
 }
@@ -424,6 +430,11 @@ void ShardedDesSystem::run_shard_epoch(std::size_t s, double epoch_start, double
     Shard& shard = shards_[s];
     const std::size_t local_n = shard.end - shard.begin;
     const std::uint64_t thin_begin = tracer_ != nullptr ? trace::now_ns() : 0;
+
+    // Epoch boundary: the one place the shard's calendar FEL may resize or
+    // re-tune its day array (shard-owned, so this is race-free; the event
+    // loop below stays allocation-free).
+    shard.fel.retune();
 
     // Shard-local destination prefix sums for this epoch's routing weights,
     // realized with the vectorized scan (exact for the integer-count client
@@ -495,8 +506,15 @@ void ShardedDesSystem::run_shard_epoch(std::size_t s, double epoch_start, double
             shard.cursor = t;
         }
     };
-    while (!shard.fel.empty() && shard.fel.peek().time <= epoch_end) {
-        const EventQueue::Event event = shard.fel.pop();
+    // Peek-based loop: the handlers relocate (or pop) the front event
+    // themselves, so the dominant paths pay one in-place reschedule instead
+    // of a pop followed by a fresh insert; the pop sequence — the (time, id)
+    // sorted order of the pending-event multiset — is unchanged.
+    while (!shard.fel.empty()) {
+        const FutureEventList::Event event = shard.fel.peek();
+        if (event.time > epoch_end) {
+            break;
+        }
         advance_to(event.time);
         if (event.id == shard.local_arrival_slot()) {
             handle_arrival(shard, event.time);
@@ -518,6 +536,17 @@ void ShardedDesSystem::run_shard_epoch(std::size_t s, double epoch_start, double
                                                  shard.stats.dropped_packets +
                                                  shard.stats.served_packets),
                              s);
+        // FEL operation deltas ride the same shard-owned lane.
+        const FutureEventList::Stats fs = shard.fel.stats();
+        shard_registry_->add(fel_schedules_id_,
+                             static_cast<double>(fs.schedules - shard.fel_last.schedules),
+                             s);
+        shard_registry_->add(fel_pops_id_,
+                             static_cast<double>(fs.pops - shard.fel_last.pops), s);
+        shard_registry_->add(
+            fel_scans_id_,
+            static_cast<double>(fs.bucket_scans - shard.fel_last.bucket_scans), s);
+        shard.fel_last = fs;
     }
 }
 
@@ -738,15 +767,11 @@ double ShardedDesSystem::merged_quantile(int which) const {
         // One pass over the shards merges all three percentiles (same
         // per-quantile merge order as the historical per-call loops, so the
         // cached values are identical); re-merged only after a new epoch.
-        P2Quantile p50(0.5);
-        P2Quantile p95(0.95);
-        P2Quantile p99(0.99);
+        SojournRecorder merged;
         for (const Shard& shard : shards_) {
-            p50.merge(shard.p50);
-            p95.merge(shard.p95);
-            p99.merge(shard.p99);
+            merged.merge(shard.sojourn);
         }
-        merged_q_ = {p50.value(), p95.value(), p99.value()};
+        merged_q_ = {merged.p50(), merged.p95(), merged.p99()};
         merged_for_ = epochs_run_;
     }
     return merged_q_[static_cast<std::size_t>(which)];

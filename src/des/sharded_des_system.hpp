@@ -52,7 +52,7 @@
 #pragma once
 
 #include "des/des_system.hpp"
-#include "des/event_queue.hpp"
+#include "des/fel.hpp"
 #include "queueing/finite_system.hpp"
 #include "queueing/sojourn.hpp"
 #include "queueing/system_base.hpp"
@@ -152,7 +152,7 @@ private:
     struct Shard {
         std::size_t begin = 0;            ///< first owned queue index.
         std::size_t end = 0;              ///< past-the-end queue index.
-        EventQueue fel;                   ///< (end-begin) departures + 1 arrival slot.
+        FutureEventList fel;              ///< (end-begin) departures + 1 arrival slot.
         Rng rng{0};                       ///< fork(shard_id) stream, reset-owned.
         std::vector<int> state_counts;    ///< local histogram over Z.
         std::size_t hot_hi = 0;           ///< 1 + highest occupied state index:
@@ -170,12 +170,14 @@ private:
         double busy_area = 0.0;           ///< ∫ #busy dτ within the epoch.
         EpochStats stats;                 ///< this epoch's local counters.
         std::size_t rr_next = 0;          ///< shard-local round-robin cursor.
-        P2Quantile p50{0.5};              ///< local sojourn percentiles
-        P2Quantile p95{0.95};             ///< (track_sojourn only; merged
-        P2Quantile p99{0.99};             ///< across shards on demand).
+        SojournRecorder sojourn;          ///< local sojourn percentiles
+                                          ///< (track_sojourn only; merged
+                                          ///< across shards on demand).
+        FutureEventList::Stats fel_last{}; ///< counters at last telemetry publish.
 
-        Shard(std::size_t num_local_queues, std::size_t num_states)
-            : fel(num_local_queues + 1), state_counts(num_states, 0),
+        Shard(FelKind kind, std::size_t num_local_queues, double rate_hint,
+              std::size_t num_states)
+            : fel(kind, num_local_queues + 1, rate_hint), state_counts(num_states, 0),
               cum(num_local_queues, 0.0) {}
 
         std::size_t local_arrival_slot() const noexcept { return end - begin; }
@@ -283,6 +285,9 @@ private:
     MetricsRegistry::Id shard_events_id_ = 0;
     MetricsRegistry::Id barrier_serial_id_ = 0;
     MetricsRegistry::Id barrier_parallel_id_ = 0;
+    MetricsRegistry::Id fel_schedules_id_ = 0;
+    MetricsRegistry::Id fel_pops_id_ = 0;
+    MetricsRegistry::Id fel_scans_id_ = 0;
 
     // Policy-query hot path: reusable observation / rule buffers plus the
     // policy's opaque scratch (rebuilt when a different policy is passed).

@@ -93,6 +93,33 @@ TEST(HotPathAllocations, DesSystemStepWithRuleAllClientModels) {
     }
 }
 
+TEST(HotPathAllocations, DesSystemStepAllocationFreeUnderBothFelKinds) {
+    // The FEL seam must not change the steady-state allocation contract:
+    // heap and calendar (including the calendar's epoch-barrier retunes,
+    // whose width-change rebuilds reuse the preallocated scratch buffer)
+    // both run the event loop without touching the heap allocator.
+    for (const FelKind kind : {FelKind::Heap, FelKind::Calendar}) {
+        FiniteSystemConfig config;
+        config.num_queues = 50;
+        config.num_clients = 2500;
+        config.dt = 2.0;
+        config.horizon = 1 << 20;
+        config.fel = kind;
+        DesSystem system(config);
+        Rng rng(5);
+        system.reset(rng);
+        const DecisionRule h = DecisionRule::mf_jsq(system.tuple_space());
+
+        (void)system.step_with_rule(h, rng); // warmup
+        const std::size_t before = counting_allocator::count();
+        for (int i = 0; i < 50; ++i) {
+            (void)system.step_with_rule(h, rng);
+        }
+        EXPECT_EQ(counting_allocator::count() - before, 0u)
+            << "fel kind " << static_cast<int>(kind);
+    }
+}
+
 TEST(HotPathAllocations, DesSystemRouterStepNonExponentialService) {
     // The classical-router epoch path (weight law + prefix sums + arrival
     // reschedule) and the general-service departure path (multi-draw
@@ -265,6 +292,35 @@ TEST(HotPathAllocations, EventQueueOperationsAfterConstruction) {
             if (fel.cancel(victim)) {
                 fel.schedule(victim, event.time + 1.0);
             }
+        }
+    }
+    EXPECT_EQ(counting_allocator::count() - before, 0u);
+}
+
+TEST(HotPathAllocations, CalendarQueueOperationsAfterConstruction) {
+    // Same contract as the heap FEL: pop / schedule / reschedule / cancel —
+    // and the epoch-barrier retune, when the day array needs no growth —
+    // are allocation-free after construction.
+    CalendarQueue fel(128, 2.0);
+    Rng rng(9);
+    for (std::size_t id = 0; id < 128; ++id) {
+        fel.schedule(id, rng.uniform());
+    }
+    const std::size_t before = counting_allocator::count();
+    for (int round = 0; round < 1000; ++round) {
+        const CalendarQueue::Event event = fel.pop();
+        fel.schedule(event.id, event.time + rng.uniform());
+        fel.schedule(static_cast<std::size_t>(rng.uniform_below(128)),
+                     event.time + rng.uniform()); // reschedule path
+        if (round % 7 == 0) {
+            const auto victim = static_cast<std::size_t>(rng.uniform_below(128));
+            if (fel.cancel(victim)) {
+                fel.pop_and_reschedule(fel.peek().id, event.time + 0.5);
+                fel.schedule(victim, event.time + 1.0);
+            }
+        }
+        if (round % 100 == 99) {
+            fel.retune(); // width-change rebuilds reuse the scratch buffer.
         }
     }
     EXPECT_EQ(counting_allocator::count() - before, 0u);
