@@ -171,6 +171,15 @@ int run_eval(const CliParser& cli) {
         if (cli.provided("fel")) {
             experiment.fel = parse_fel_kind(cli.get("fel"));
         }
+        // Overlapped sharded barrier; bit-identical either way, so this is
+        // the A/B-bench and bisection seam, not a results knob.
+        if (cli.provided("pipeline")) {
+            const std::string pipeline = cli.get("pipeline");
+            if (pipeline != "on" && pipeline != "off") {
+                throw std::invalid_argument("--pipeline must be 'on' or 'off'");
+            }
+            experiment.pipeline = pipeline == "on";
+        }
         // Routing discipline and service-time law: scenario values unless
         // overridden (the staleness-sweep / heavy-tail scenarios preset them).
         if (cli.provided("router")) {
@@ -338,6 +347,10 @@ int main(int argc, char** argv) {
                   "the reduced CI-sized budget (paper scale: ~2.5e7 steps, hours)");
     cli.flag_int("shards", 0,
                  "Queue shards K for the sharded-des backend (0 = scenario's, or min(8, M))");
+    cli.flag("pipeline", "on",
+             "Overlapped epoch pipeline for the sharded-des backend: 'on' (eager "
+             "reduction folds + offloaded barrier compute) or 'off' (PR-7 fused "
+             "barrier); bit-identical results either way");
     cli.flag("fel", "calendar",
              "Future event list for the des/sharded-des backends: calendar "
              "(amortized O(1) buckets, default) or heap (binary heap); "

@@ -1,6 +1,7 @@
 #include "des/des_system.hpp"
 
 #include "field/arrival_flow.hpp"
+#include "math/vec_ops.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -194,13 +195,14 @@ void DesSystem::begin_epoch(const DecisionRule& h, Rng& rng) {
     }
 
     if (config_.client_model != ClientModel::InfiniteClients) {
-        // Prefix sums of the client counts for O(log M) arrival thinning.
-        double running = 0.0;
-        for (std::size_t j = 0; j < m; ++j) {
-            running += static_cast<double>(counts_[j]);
-            cum_[j] = running;
-        }
-        total_weight_ = running;
+        // Prefix sums of the client counts for O(log M) arrival thinning —
+        // the segmented vectorized scan, exact (hence bit-identical to the
+        // serial loop it replaced) because the counts are integers below
+        // 2^53. The router weight path below stays serial: its weights are
+        // arbitrary doubles, where the scan's block reassociation would
+        // move bits.
+        inclusive_prefix_sum(std::span<const std::uint64_t>(counts_), cum_);
+        total_weight_ = m > 0 ? cum_[m - 1] : 0.0;
     }
 
     // The epoch barrier is the one place the calendar FEL may resize or

@@ -40,6 +40,20 @@
 ///     pool, while the few floating-point accumulators (areas, sojourn sums)
 ///     stay a fixed-order serial pass over the K shards; λ advances.
 ///
+/// Overlapped pipeline (`config.pipeline`, default on; see the
+/// "Pipelined barrier" section of docs/ARCHITECTURE.md): the barrier is
+/// restructured so only the caller-RNG draws and the O(K) bookkeeping stay
+/// serial. The deterministic barrier compute (policy GEMM query, routing
+/// table + fold) runs as a pool task overlapped with the per-shard FEL
+/// retunes; the O(M) destination-law work uses fused gather kernels against
+/// a prescaled per-state table (never materializing the per-queue law for
+/// InfiniteClients); and each shard folds its integer payloads into the
+/// reduction tree the moment its event loop finishes (eager reduction —
+/// atomic pending counters pick the last-arriving child to combine each
+/// node, which is order-immaterial because only integers travel through the
+/// tree). Bit-identical to the non-pipelined barrier by construction; the
+/// seam exists for A/B benching and bisection.
+///
 /// Determinism contract: results are a function of (seed, K) only — never
 /// of the thread count — because every RNG stream is owned by exactly one
 /// shard (or the serial phase), shard work is self-contained, the reduction
@@ -60,6 +74,7 @@
 #include "support/statistics.hpp"
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -127,13 +142,33 @@ public:
     double sojourn_p95() const { return merged_quantile(1); }
     double sojourn_p99() const { return merged_quantile(2); }
 
-    /// Cumulative wall-clock split of the epoch barrier vs the parallel
-    /// shard phase since the last reset — the serial-fraction numerator that
-    /// `bench_des_scale` reports (Amdahl accounting of the fused barrier).
+    /// Cumulative wall-clock split of the epoch since the last reset — the
+    /// Amdahl accounting that `bench_des_scale` reports. Four components:
+    /// the irreducibly serial prologue (caller-RNG draws + O(K) rate/tree
+    /// bookkeeping), the overlappable deterministic compute (policy query,
+    /// routing table/fold, per-shard mass fan-out — a pool task plus
+    /// parallel_for work in pipelined mode, folded into the prologue when
+    /// the pipeline is off), the reduction tail (root readout + fixed-order
+    /// floating-point pass + λ advance), and the parallel shard event loops.
+    /// The serial fraction is serial_seconds() / total_seconds(): prologue
+    /// and reduction are the phases that cannot overlap shard work.
     struct BarrierProfile {
-        double serial_seconds = 0.0;   ///< policy query + barrier phases 1 and 3.
-        double parallel_seconds = 0.0; ///< shard event loops (wall clock).
-        std::uint64_t epochs = 0;      ///< epochs accumulated.
+        double serial_prologue_seconds = 0.0;    ///< RNG draws + O(K) bookkeeping
+                                                 ///< (pipeline off: the whole
+                                                 ///< pre-parallel barrier).
+        double overlapped_compute_seconds = 0.0; ///< deterministic barrier compute
+                                                 ///< (0 when the pipeline is off).
+        double reduction_seconds = 0.0;          ///< reduction tail + λ advance.
+        double parallel_seconds = 0.0;           ///< shard event loops (wall clock).
+        std::uint64_t epochs = 0;                ///< epochs accumulated.
+
+        double serial_seconds() const noexcept {
+            return serial_prologue_seconds + reduction_seconds;
+        }
+        double total_seconds() const noexcept {
+            return serial_prologue_seconds + overlapped_compute_seconds +
+                   reduction_seconds + parallel_seconds;
+        }
     };
     const BarrierProfile& barrier_profile() const noexcept { return profile_; }
 
@@ -201,10 +236,46 @@ private:
     /// shared by the policy and router paths.
     EpochStats run_parallel_epoch(Rng& rng);
     /// Parallel phase: shard s's epoch on [epoch_start, epoch_end).
-    void run_shard_epoch(std::size_t s, double epoch_start, double epoch_end);
+    /// `pipelined` selects the overlapped-barrier variant: the FEL retune is
+    /// already done, InfiniteClients prefix sums come from the fused gather
+    /// against the prescaled table, and the shard folds eagerly into the
+    /// reduction tree when its loop finishes.
+    void run_shard_epoch(std::size_t s, double epoch_start, double epoch_end,
+                         bool pipelined);
     /// Barrier phase 2: fixed-order reduction into the epoch's EpochStats
-    /// and the global state-count histogram.
+    /// and the global state-count histogram (non-pipelined: folds the tree
+    /// level by level first).
     EpochStats reduce_epoch();
+    /// Folds the pairwise tree level by level (non-pipelined path; the
+    /// pipelined path folds eagerly from the shard tasks instead).
+    void fold_tree_levels();
+    /// Combines tree node (level, i) from its children (shards at level 0).
+    /// Writes only the node's own slot; integer payloads, so the call order
+    /// within a level — and eager vs level-by-level folding — is immaterial.
+    void combine_node(std::size_t level, std::size_t i);
+    /// Reduction tail shared by both paths: reads the folded root (or the
+    /// single shard), zeroes the stale histogram tail, runs the fixed-order
+    /// floating-point pass, and finalizes the epoch stats.
+    EpochStats reduce_tail();
+    /// Eager reduction: shard s's task arrives at its leaf-level parent; the
+    /// last child to arrive (atomic pending counter) combines the node and
+    /// climbs while it remains last. All folding happens inside shard tasks,
+    /// so the parallel_for join implies tree completion.
+    void eager_fold_from_shard(std::size_t s);
+    /// Re-arms the eager-fold pending counters (child counts) for an epoch.
+    void reset_tree_pending();
+    /// One overlapped-pipeline epoch (`config.pipeline`). Exactly one of
+    /// {policy, h} is non-null for the policy/rule paths; both null means
+    /// the classical-router path. `policy` non-null offloads the (RNG-free)
+    /// epoch query to the compute task; rng-consuming policies are queried
+    /// by the caller first and come in through `h`.
+    EpochStats step_pipelined(const UpperLevelPolicy* policy,
+                              UpperLevelPolicy::Scratch* scratch, const DecisionRule* h,
+                              Rng& rng);
+    /// Cached per-policy scratch, keyed by policy identity so alternating
+    /// policies (eval-during-train A/B/A) reuse both workspaces instead of
+    /// rebuilding on every switch. Entries live until reset().
+    UpperLevelPolicy::Scratch* scratch_for(const UpperLevelPolicy& policy);
 
     void handle_arrival(Shard& shard, double t);
     void handle_departure(Shard& shard, std::size_t local_id, double t);
@@ -239,15 +310,26 @@ private:
     EpochRouter router_;
     ServiceDistribution service_;
     std::size_t threads_ = 0;
+    bool pipeline_ = true;
 
     std::vector<Shard> shards_;
     std::vector<std::size_t> shard_begin_; ///< K+1 fence posts over [0, M].
 
     // Fixed-shape pairwise reduction tree over the K shards: level widths
     // K, ⌈K/2⌉, …, 1, flattened into `tree_` with `tree_off_[l]` the offset
-    // of level l's first node (empty when K == 1).
+    // of level l's first node (empty when K == 1). `level_width_[l]` is the
+    // *input* width of level l (K, then ⌈K/2⌉, …). For the eager pipelined
+    // fold each node carries a cache-line-padded pending counter, re-armed
+    // to its child count every epoch; the counters live in their own array
+    // because atomics are not movable and two adjacent nodes' counters must
+    // not false-share.
     std::vector<ReduceNode> tree_;
     std::vector<std::size_t> tree_off_;
+    std::vector<std::size_t> level_width_;
+    struct alignas(64) PendingCount {
+        std::atomic<int> n{0};
+    };
+    std::vector<PendingCount> tree_pending_;
     std::size_t state_hi_ = 0; ///< valid extent of state_counts_; zeros above.
 
     // Global barrier-phase state.
@@ -257,6 +339,9 @@ private:
     std::vector<int> tuple_;               ///< decode buffer (d).
     std::vector<double> suffix_;           ///< suffix products (d + 1).
     std::vector<double> dest_p_;           ///< per-queue destination law (M).
+    std::vector<double> scaled_sums_;      ///< (1/M)·folded routing sums (|Z|) —
+                                           ///< the prescaled gather table of the
+                                           ///< pipelined InfiniteClients path.
     std::vector<std::uint64_t> counts_;    ///< per-queue client counts (M).
     std::vector<int> sampled_;             ///< PerClient sampled queues (d).
     std::vector<int> states_;              ///< their snapshot states (d).
@@ -283,18 +368,27 @@ private:
     trace::Tracer* tracer_ = nullptr;
     MetricsRegistry* shard_registry_ = nullptr;
     MetricsRegistry::Id shard_events_id_ = 0;
-    MetricsRegistry::Id barrier_serial_id_ = 0;
+    MetricsRegistry::Id barrier_prologue_id_ = 0;
+    MetricsRegistry::Id barrier_overlap_id_ = 0;
+    MetricsRegistry::Id barrier_reduce_id_ = 0;
     MetricsRegistry::Id barrier_parallel_id_ = 0;
     MetricsRegistry::Id fel_schedules_id_ = 0;
     MetricsRegistry::Id fel_pops_id_ = 0;
     MetricsRegistry::Id fel_scans_id_ = 0;
 
-    // Policy-query hot path: reusable observation / rule buffers plus the
-    // policy's opaque scratch (rebuilt when a different policy is passed).
+    // Policy-query hot path: reusable observation / rule buffers plus a
+    // per-policy scratch cache keyed by policy identity (a linear scan over
+    // the handful of policies a caller alternates between), so the A/B/A
+    // eval-during-train pattern reuses both GEMM workspaces instead of
+    // thrashing them. Entries are dropped on reset(); callers must not
+    // destroy a policy mid-episode (same lifetime rule as before).
     std::vector<double> obs_;
     DecisionRule rule_;
-    std::unique_ptr<UpperLevelPolicy::Scratch> policy_scratch_;
-    const UpperLevelPolicy* scratch_policy_ = nullptr;
+    struct ScratchEntry {
+        const UpperLevelPolicy* policy = nullptr;
+        std::unique_ptr<UpperLevelPolicy::Scratch> scratch;
+    };
+    std::vector<ScratchEntry> policy_scratches_;
 };
 
 } // namespace mflb

@@ -111,6 +111,21 @@ std::span<const double> fold_routing_table_rows(std::span<double> g, std::size_t
     return g.first(num_z);
 }
 
+void prescale_destination_sums(std::span<const double> sums, double inv_m,
+                               std::span<double> scaled) {
+    if (scaled.size() != sums.size()) {
+        throw std::invalid_argument("prescale_destination_sums: output size mismatch");
+    }
+    // One multiply per *state* instead of per queue: scaled[z] is the exact
+    // double gather_scale would have produced for every queue in state z, so
+    // downstream fused gathers against `scaled` are pure load + add loops
+    // (no FMA-contractible multiply), bit-equal per element to the
+    // materialized inv_m-scaled law.
+    for (std::size_t z = 0; z < sums.size(); ++z) {
+        scaled[z] = inv_m * sums[z];
+    }
+}
+
 void compute_destination_law_into(std::span<const int> queue_states,
                                   std::span<const double> hist, const DecisionRule& h,
                                   std::span<int> tuple, std::span<double> suffix,

@@ -64,6 +64,15 @@ void compute_routing_table_into(std::span<const double> hist, const DecisionRule
 std::span<const double> fold_routing_table_rows(std::span<double> g, std::size_t num_z,
                                                 int d) noexcept;
 
+/// scaled[z] = inv_m * sums[z] — folds the 1/M factor of the destination law
+/// into a |Z|-sized lookup table, so the fused gather kernels (`gather_sum`,
+/// `gather_prefix_sum`) that read it are pure load + add loops. Each entry is
+/// the exact product `gather_scale` computes per queue, so gathers against
+/// the prescaled table are bit-equal to the materialized per-queue law.
+/// `scaled` must have sums.size() elements (aliasing sums is allowed).
+void prescale_destination_sums(std::span<const double> sums, double inv_m,
+                               std::span<double> scaled);
+
 /// Per-queue destination law under rule `h` given the frozen snapshot: fills
 /// `dest_p[j] = (1/M) Σ_k g(k, z_j)` — the exact probability that one
 /// client's (equivalently, by Poisson thinning, one arriving job's) routing

@@ -14,8 +14,34 @@ namespace {
 /// dynamically.
 constexpr std::size_t kMinScanBlock = 16;
 
+/// Element sources for the shared sum/scan kernel bodies. The kernels are
+/// templated over the source so the fused gather variants (`gather_sum`,
+/// `gather_prefix_sum`) instantiate the *same* loop bodies as the contiguous
+/// variants: identical accumulator split, identical add order, hence
+/// bit-identical results to the gather_scale → vec_sum/inclusive_prefix_sum
+/// composition they replace.
 template <class In>
-double sum4_impl(const In* __restrict xs, std::size_t n) noexcept {
+struct PtrSrc {
+    const In* p;
+    double operator[](std::size_t i) const noexcept { return static_cast<double>(p[i]); }
+    PtrSrc operator+(std::size_t off) const noexcept { return PtrSrc{p + off}; }
+};
+
+/// Reads table[idx[i]] — the destination-law gather as a source. The loop
+/// body is a pure load + add (any scalar factor must be pre-folded into the
+/// table), so there is no FMA-contractible multiply-add pattern and the
+/// clones stay bit-identical.
+struct GatherSrc {
+    const int* idx;
+    const double* tab;
+    double operator[](std::size_t i) const noexcept {
+        return tab[static_cast<std::size_t>(idx[i])];
+    }
+    GatherSrc operator+(std::size_t off) const noexcept { return GatherSrc{idx + off, tab}; }
+};
+
+template <class Src>
+double sum4_impl(Src xs, std::size_t n) noexcept {
     // Fixed 4-lane split: lane j sums xs[4i+j]; lanes combine as
     // (l0+l1)+(l2+l3); the tail is appended left to right. The split is part
     // of the kernel contract — pure adds, no FMA pattern, so the AVX2 and
@@ -54,8 +80,8 @@ void scan_reference_impl(const In* __restrict in, double* __restrict out,
     }
 }
 
-template <class In>
-void scan4_impl(const In* in, double* out, std::size_t n) noexcept {
+template <class Src>
+void scan4_impl(Src in, double* out, std::size_t n) noexcept {
     // Segmented two-pass scan over four equal blocks of length L = n/4:
     // pass 1 sums blocks 0-2 (three independent chains), pass 2 scans all
     // four blocks as independent chains seeded with the block offsets, then
@@ -65,13 +91,17 @@ void scan4_impl(const In* in, double* out, std::size_t n) noexcept {
     // after reading in[i].
     const std::size_t len = n / 4;
     if (len < kMinScanBlock) {
-        scan_reference_impl(in, out, n);
+        double running = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            running += static_cast<double>(in[i]);
+            out[i] = running;
+        }
         return;
     }
-    const In* b0 = in;
-    const In* b1 = in + len;
-    const In* b2 = in + 2 * len;
-    const In* b3 = in + 3 * len;
+    const Src b0 = in;
+    const Src b1 = in + len;
+    const Src b2 = in + 2 * len;
+    const Src b3 = in + 3 * len;
     double s0 = 0.0, s1 = 0.0, s2 = 0.0;
     for (std::size_t i = 0; i < len; ++i) {
         s0 += static_cast<double>(b0[i]);
@@ -106,12 +136,12 @@ void scan4_impl(const In* in, double* out, std::size_t n) noexcept {
 
 MFLB_SIMD_CLONES
 double vec_sum(std::span<const double> xs) noexcept {
-    return sum4_impl(xs.data(), xs.size());
+    return sum4_impl(PtrSrc<double>{xs.data()}, xs.size());
 }
 
 MFLB_SIMD_CLONES
 double vec_sum(std::span<const std::uint64_t> xs) noexcept {
-    return sum4_impl(xs.data(), xs.size());
+    return sum4_impl(PtrSrc<std::uint64_t>{xs.data()}, xs.size());
 }
 
 double vec_sum_reference(std::span<const double> xs) noexcept {
@@ -127,7 +157,7 @@ void inclusive_prefix_sum(std::span<const double> in, std::span<double> out) {
     if (out.size() != in.size()) {
         throw std::invalid_argument("inclusive_prefix_sum: output size mismatch");
     }
-    scan4_impl(in.data(), out.data(), in.size());
+    scan4_impl(PtrSrc<double>{in.data()}, out.data(), in.size());
 }
 
 MFLB_SIMD_CLONES
@@ -135,7 +165,7 @@ void inclusive_prefix_sum(std::span<const std::uint64_t> in, std::span<double> o
     if (out.size() != in.size()) {
         throw std::invalid_argument("inclusive_prefix_sum: output size mismatch");
     }
-    scan4_impl(in.data(), out.data(), in.size());
+    scan4_impl(PtrSrc<std::uint64_t>{in.data()}, out.data(), in.size());
 }
 
 void inclusive_prefix_sum_reference(std::span<const double> in, std::span<double> out) {
@@ -150,6 +180,20 @@ void inclusive_prefix_sum_reference(std::span<const std::uint64_t> in, std::span
         throw std::invalid_argument("inclusive_prefix_sum_reference: output size mismatch");
     }
     scan_reference_impl(in.data(), out.data(), in.size());
+}
+
+MFLB_SIMD_CLONES
+double gather_sum(std::span<const int> idx, std::span<const double> table) noexcept {
+    return sum4_impl(GatherSrc{idx.data(), table.data()}, idx.size());
+}
+
+MFLB_SIMD_CLONES
+void gather_prefix_sum(std::span<const int> idx, std::span<const double> table,
+                       std::span<double> out) {
+    if (out.size() != idx.size()) {
+        throw std::invalid_argument("gather_prefix_sum: output size mismatch");
+    }
+    scan4_impl(GatherSrc{idx.data(), table.data()}, out.data(), idx.size());
 }
 
 MFLB_SIMD_CLONES

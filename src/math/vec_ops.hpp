@@ -59,4 +59,19 @@ void inclusive_prefix_sum_reference(std::span<const std::uint64_t> in, std::span
 void gather_scale(std::span<const int> idx, std::span<const double> table, double scale,
                   std::span<double> out);
 
+/// Σ_i table[idx[i]] with the same fixed 4-lane split as `vec_sum`. The
+/// kernel instantiates the identical loop body as `vec_sum` over a gathering
+/// source, so the result is bit-equal to `gather_scale(idx, table, 1.0, tmp)`
+/// followed by `vec_sum(tmp)` — without materializing `tmp`. Fold any scalar
+/// factor into the table beforehand (the loop is a pure load + add; keeping
+/// the multiply out of it prevents FMA contraction from changing bits).
+double gather_sum(std::span<const int> idx, std::span<const double> table) noexcept;
+
+/// out[i] = Σ_{j<=i} table[idx[j]] with the same segmented two-pass scan
+/// shape as `inclusive_prefix_sum`; bit-equal to the gather_scale →
+/// inclusive_prefix_sum composition it replaces. `out` must have idx.size()
+/// elements and must not alias `table`.
+void gather_prefix_sum(std::span<const int> idx, std::span<const double> table,
+                       std::span<double> out);
+
 } // namespace mflb

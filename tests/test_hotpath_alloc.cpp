@@ -195,10 +195,50 @@ TEST(HotPathAllocations, NeuralPolicyDecideIntoReusesScratch) {
 }
 
 TEST(HotPathAllocations, ShardedDesStepWithNeuralPolicy) {
-    // The full fused barrier on one thread: observed-distribution snapshot,
+    // The full epoch barrier on one thread — observed-distribution snapshot,
     // batched policy query (cached scratch), vectorized destination law,
     // shard epochs, and the pairwise reduction tree — allocation-free in
-    // steady state. K = 4 keeps a two-level tree in play.
+    // steady state, on both sides of the pipeline seam (the pipelined path
+    // adds the eager reduction folds, the completion token, and the fused
+    // gather kernels; none may touch the heap). K = 4 keeps a two-level
+    // tree in play.
+    for (const bool pipeline : {true, false}) {
+        FiniteSystemConfig config;
+        config.num_queues = 48;
+        config.num_clients = 2400;
+        config.dt = 2.0;
+        config.horizon = 1 << 20;
+        config.shards = 4;
+        config.threads = 1;
+        config.pipeline = pipeline;
+        config.track_sojourn = true;
+        ShardedDesSystem system(config);
+        Rng net_rng(19);
+        const std::size_t num_lambda = system.arrivals().num_states();
+        const TupleSpace space(config.queue.num_states(), config.d);
+        auto net = std::make_shared<rl::GaussianPolicy>(
+            config.queue.num_states() + num_lambda,
+            static_cast<std::size_t>(space.size()) * static_cast<std::size_t>(config.d),
+            std::vector<std::size_t>{32}, net_rng);
+        const NeuralUpperPolicy policy(space, num_lambda, net);
+        Rng rng(23);
+        system.reset(rng);
+
+        (void)system.step(policy, rng); // warmup: builds the policy scratch + buffers
+        const std::size_t before = counting_allocator::count();
+        for (int i = 0; i < 50; ++i) {
+            (void)system.step(policy, rng);
+        }
+        EXPECT_EQ(counting_allocator::count() - before, 0u)
+            << "pipeline " << (pipeline ? "on" : "off");
+    }
+}
+
+TEST(HotPathAllocations, ShardedDesPolicyAlternationReusesBothScratches) {
+    // A/B/A policy alternation (eval-during-train interleaves a candidate and
+    // a baseline policy against one system): the scratch cache is keyed by
+    // policy identity, so switching *back* to an already-seen policy must
+    // reuse its warm scratch instead of rebuilding it every flip.
     FiniteSystemConfig config;
     config.num_queues = 48;
     config.num_clients = 2400;
@@ -206,23 +246,27 @@ TEST(HotPathAllocations, ShardedDesStepWithNeuralPolicy) {
     config.horizon = 1 << 20;
     config.shards = 4;
     config.threads = 1;
-    config.track_sojourn = true;
     ShardedDesSystem system(config);
     Rng net_rng(19);
     const std::size_t num_lambda = system.arrivals().num_states();
     const TupleSpace space(config.queue.num_states(), config.d);
-    auto net = std::make_shared<rl::GaussianPolicy>(
-        config.queue.num_states() + num_lambda,
-        static_cast<std::size_t>(space.size()) * static_cast<std::size_t>(config.d),
-        std::vector<std::size_t>{32}, net_rng);
-    const NeuralUpperPolicy policy(space, num_lambda, net);
+    const auto make_policy = [&] {
+        auto net = std::make_shared<rl::GaussianPolicy>(
+            config.queue.num_states() + num_lambda,
+            static_cast<std::size_t>(space.size()) * static_cast<std::size_t>(config.d),
+            std::vector<std::size_t>{32}, net_rng);
+        return NeuralUpperPolicy(space, num_lambda, net);
+    };
+    const NeuralUpperPolicy a = make_policy();
+    const NeuralUpperPolicy b = make_policy();
     Rng rng(23);
     system.reset(rng);
 
-    (void)system.step(policy, rng); // warmup: builds the policy scratch + buffers
+    (void)system.step(a, rng); // warmup builds one cache entry per policy
+    (void)system.step(b, rng);
     const std::size_t before = counting_allocator::count();
     for (int i = 0; i < 50; ++i) {
-        (void)system.step(policy, rng);
+        (void)system.step(i % 2 == 0 ? a : b, rng);
     }
     EXPECT_EQ(counting_allocator::count() - before, 0u);
 }

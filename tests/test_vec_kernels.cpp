@@ -134,6 +134,66 @@ TEST(VecKernels, GatherScaleIsBitExact) {
     }
 }
 
+TEST(VecKernels, GatherSumIsBitEqualToComposedGatherThenSum) {
+    // The fused barrier kernel of the pipelined sharded backend: the shard
+    // mass over a prescaled table must equal gather_scale(scale = 1) followed
+    // by vec_sum *bit for bit* — both instantiate the same 4-lane loop body.
+    Rng rng(108);
+    const std::vector<double> table = random_doubles(32, rng);
+    for (const std::size_t n : kSizes) {
+        std::vector<int> idx(n);
+        for (int& z : idx) {
+            z = static_cast<int>(rng.uniform_below(table.size()));
+        }
+        std::vector<double> materialized(n, -1.0);
+        gather_scale(idx, table, 1.0, materialized);
+        const double composed = vec_sum(std::span<const double>(materialized));
+        EXPECT_EQ(gather_sum(idx, table), composed) << "n=" << n;
+    }
+}
+
+TEST(VecKernels, GatherPrefixSumIsBitEqualToComposedGatherThenScan) {
+    // Same contract for the thinning prefix sum: the fused gather scan must
+    // reproduce the materialize-then-scan composition bit for bit, on both
+    // sides of the segmented scan's serial-fallback threshold.
+    Rng rng(109);
+    const std::vector<double> table = random_doubles(32, rng);
+    for (const std::size_t n : kSizes) {
+        std::vector<int> idx(n);
+        for (int& z : idx) {
+            z = static_cast<int>(rng.uniform_below(table.size()));
+        }
+        std::vector<double> materialized(n, -1.0);
+        gather_scale(idx, table, 1.0, materialized);
+        std::vector<double> composed(n, -1.0);
+        inclusive_prefix_sum(materialized, composed);
+        std::vector<double> fused(n, -2.0);
+        gather_prefix_sum(idx, table, fused);
+        EXPECT_EQ(fused, composed) << "n=" << n;
+    }
+}
+
+TEST(VecKernels, PrescaledGatherEqualsScaledGather) {
+    // prescale_destination_sums folds the 1/M factor into the table; gathers
+    // against the prescaled table must match gather_scale(idx, sums, inv_m)
+    // per element exactly (one multiply per state, same double product).
+    Rng rng(110);
+    const std::vector<double> sums = random_doubles(32, rng);
+    const double inv_m = 1.0 / 48.0;
+    std::vector<double> scaled(sums.size(), 0.0);
+    prescale_destination_sums(sums, inv_m, scaled);
+    std::vector<int> idx(257);
+    for (int& z : idx) {
+        z = static_cast<int>(rng.uniform_below(sums.size()));
+    }
+    std::vector<double> via_scale(idx.size(), -1.0);
+    gather_scale(idx, sums, inv_m, via_scale);
+    std::vector<double> via_prescaled(idx.size(), -2.0);
+    gather_scale(idx, scaled, 1.0, via_prescaled);
+    EXPECT_EQ(via_prescaled, via_scale);
+    EXPECT_EQ(gather_sum(idx, scaled), vec_sum(std::span<const double>(via_scale)));
+}
+
 TEST(VecKernels, SizeMismatchThrows) {
     const std::vector<double> in(8, 1.0);
     const std::vector<std::uint64_t> in_u(8, 1);
@@ -146,6 +206,8 @@ TEST(VecKernels, SizeMismatchThrows) {
                  std::invalid_argument);
     const std::vector<int> idx(8, 0);
     EXPECT_THROW(gather_scale(idx, in, 1.0, out), std::invalid_argument);
+    EXPECT_THROW(gather_prefix_sum(idx, in, out), std::invalid_argument);
+    EXPECT_THROW(prescale_destination_sums(in, 1.0, out), std::invalid_argument);
 }
 
 TEST(VecKernels, DestinationLawMatchesScalarReference) {
